@@ -1,0 +1,43 @@
+"""Ablation: adaptive vs static thread-block assignment (paper §3.2.2).
+
+A single static division point cannot serve every shape and strategy:
+the profile-then-select mechanism must match or beat any fixed nc across
+a mix of workloads, and clearly beat badly chosen fixed points.
+"""
+
+import numpy as np
+
+from repro.hw import h800_node
+from repro.moe import MIXTRAL_8X7B
+from repro.parallel import ParallelStrategy
+from repro.runtime import make_workload
+from repro.systems import Comet
+
+
+def run_ablation():
+    workloads = [
+        make_workload(MIXTRAL_8X7B, h800_node(), strategy, tokens)
+        for strategy in ParallelStrategy.sweep(8)
+        for tokens in (4096, 16384)
+    ]
+    adaptive = Comet(adaptive=True)
+    adaptive_total = sum(adaptive.time_layer(w).total_us for w in workloads)
+    fixed_totals = {}
+    for nc in (4, 16, 32, 64):
+        system = Comet(fixed_nc=nc)
+        fixed_totals[nc] = sum(system.time_layer(w).total_us for w in workloads)
+    return adaptive_total, fixed_totals
+
+
+def test_ablation_adaptive_nc(run_once):
+    adaptive_total, fixed_totals = run_once(run_ablation)
+    print(f"\nadaptive: {adaptive_total / 1000:.3f} ms over the workload mix")
+    for nc, total in sorted(fixed_totals.items()):
+        print(f"fixed nc={nc:3d}: {total / 1000:.3f} ms")
+
+    # Adaptive selection beats every static choice on the mix (within a
+    # hair of the best, since the best static point may tie per-workload).
+    best_fixed = min(fixed_totals.values())
+    assert adaptive_total <= best_fixed * 1.02
+    # And clearly beats poor static choices.
+    assert adaptive_total < 0.9 * max(fixed_totals.values())

@@ -1,0 +1,21 @@
+"""Figure 1(a): time breakdown of MoE models under Megatron on 8xH800.
+
+Paper claim: inter-device communication of the MoE layers occupies ~47%
+of end-to-end execution time on average across Mixtral-8x7B, Qwen2-MoE
+and Phi-3.5-MoE at sequence lengths 4096 and 8192.
+"""
+
+from repro.bench import fig01_time_breakdown
+
+
+def test_fig01_time_breakdown(run_once):
+    result = run_once(fig01_time_breakdown)
+    print("\n" + result.format())
+
+    # Communication is a large share of execution for every model...
+    for row in result.rows:
+        assert row.comm_fraction > 0.25, row
+    # ...roughly half on average (paper: 0.47).
+    assert 0.35 < result.mean_comm_fraction < 0.70
+    # MoE layers dominate these models' runtime.
+    assert all(r.moe_fraction > 0.5 for r in result.rows)

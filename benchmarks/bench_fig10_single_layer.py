@@ -1,0 +1,35 @@
+"""Figure 10: single MoE layer duration across input token lengths.
+
+Paper claims: with expert parallelism (EP=8) and Mixtral-shaped experts,
+Comet achieves a 1.28x-2.37x speedup over the baselines (mean ~1.96x)
+across M in [2048, 32768], for both (E=8, topk=2) and (E=32, topk=4).
+"""
+
+from repro.bench import fig10_single_layer
+
+
+def test_fig10_single_layer(run_once):
+    result = run_once(fig10_single_layer)
+    print("\n" + result.format())
+
+    # Comet wins every cell.
+    for row in result.rows:
+        for system in row.durations_ms:
+            if system != "Comet":
+                assert row.speedup(system) > 1.0, (row.tokens, system)
+
+    # Speedups in the paper's band.
+    low, high = result.speedup_range
+    assert low > 1.1
+    assert high < 3.0
+    assert 1.4 < result.mean_speedup < 2.4  # paper: 1.96x
+
+    # Durations grow with the token count for every system.
+    by_config: dict = {}
+    for row in result.rows:
+        by_config.setdefault((row.experts, row.topk), []).append(row)
+    for rows in by_config.values():
+        rows.sort(key=lambda r: r.tokens)
+        for system in rows[0].durations_ms:
+            series = [r.durations_ms[system] for r in rows if system in r.durations_ms]
+            assert series == sorted(series), system

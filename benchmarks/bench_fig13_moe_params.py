@@ -1,0 +1,28 @@
+"""Figure 13: single MoE layer across expert counts and topk values.
+
+Paper claims: layer duration grows with topk (more routed computation);
+Comet delivers 1.16x-1.83x speedup across E in {8, 16} and topk in
+{1, 2, 4, 8} at M=16384, EP=8.
+"""
+
+from repro.bench import fig13_moe_params
+
+
+def test_fig13_moe_params(run_once):
+    result = run_once(fig13_moe_params)
+    print("\n" + result.format())
+
+    # Duration increases with topk for every system and expert count.
+    by_e: dict = {}
+    for row in result.rows:
+        by_e.setdefault(row.experts, []).append(row)
+    for rows in by_e.values():
+        rows.sort(key=lambda r: r.topk)
+        for system in rows[0].durations_ms:
+            series = [r.durations_ms[system] for r in rows if system in r.durations_ms]
+            assert series == sorted(series), system
+
+    # Comet wins everywhere, inside a band around the paper's 1.16-1.83x.
+    speedups = result.speedups
+    assert min(speedups) > 1.05
+    assert max(speedups) < 2.6

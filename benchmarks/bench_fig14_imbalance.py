@@ -1,0 +1,32 @@
+"""Figure 14 (left): MoE layer under imbalanced token distributions.
+
+Paper claims: as the std of per-expert token fractions grows from 0 to
+0.05 (production average: 0.032), every system slows down — the most
+loaded expert paces the layer — but Comet consistently outperforms the
+others at every imbalance level.
+"""
+
+from repro.bench import fig14_imbalance
+
+
+def test_fig14_imbalance(run_once):
+    result = run_once(fig14_imbalance)
+    print("\n" + result.format())
+
+    durations = result.durations_ms
+    stds = sorted(durations)
+
+    # Load imbalance prolongs the layer for every system.
+    for system in ("Megatron-Cutlass", "Tutel", "Comet"):
+        series = [durations[std][system] for std in stds]
+        assert series[-1] > series[0] * 1.2, system
+        # Monotone within noise: each step never shrinks by more than 5%.
+        for a, b in zip(series, series[1:]):
+            assert b > 0.95 * a, system
+
+    # Comet best at every std, including the production value 0.032.
+    for std in stds:
+        comet = durations[std]["Comet"]
+        for system, value in durations[std].items():
+            if system != "Comet":
+                assert comet < value, (std, system)

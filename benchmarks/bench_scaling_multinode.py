@@ -1,0 +1,73 @@
+"""Extension bench: scaling expert parallelism across nodes.
+
+The paper deploys COMET on production clusters beyond a single node,
+where the EP all-to-all crosses the (much slower) scale-out fabric. This
+bench grows the pod from 1 to 4 H800 nodes (EP = 8 -> 32, experts scale
+with the world so per-GPU work is constant) and checks that:
+
+* every system slows down as more traffic leaves NVLink;
+* COMET's advantage persists — and widens — because a slower fabric
+  means *more* communication latency to hide under the same compute.
+"""
+
+from repro.hw.multinode import h800_pod
+from repro.moe import MIXTRAL_8X7B
+from repro.parallel import ParallelStrategy
+from repro.runtime import make_workload
+from repro.systems import Comet, MegatronCutlass, Tutel
+
+
+def run_harness(tokens_per_gpu: int = 2048):
+    results = {}
+    for nodes in (1, 2, 4):
+        pod = h800_pod(nodes)
+        world = pod.world_size
+        cluster = pod.effective_cluster()
+        config = MIXTRAL_8X7B.with_experts(world, 2)  # one expert per GPU
+        workload = make_workload(
+            config, cluster, ParallelStrategy(1, world),
+            total_tokens=tokens_per_gpu * world,
+        )
+        per_system = {}
+        for system in (MegatronCutlass(), Tutel(), Comet()):
+            per_system[system.name] = system.time_layer(workload)
+        results[nodes] = per_system
+    return results
+
+
+def test_scaling_multinode(run_once):
+    results = run_once(run_harness)
+
+    print(f"\n{'nodes':>5s} {'GPUs':>5s} " + "".join(
+        f"{name:>18s}" for name in ("Megatron-Cutlass", "Tutel", "Comet")
+    ) + f" {'speedup':>8s}")
+    for nodes, per_system in results.items():
+        base = per_system["Megatron-Cutlass"].total_us
+        comet = per_system["Comet"].total_us
+        cells = "".join(
+            f" {per_system[n].total_us / 1000:17.3f}"
+            for n in ("Megatron-Cutlass", "Tutel", "Comet")
+        )
+        print(f"{nodes:5d} {nodes * 8:5d}{cells} {base / comet:7.2f}x")
+
+    # Per-GPU work is constant, so growth in layer time is fabric-driven:
+    # crossing nodes must slow every system down.
+    for name in ("Megatron-Cutlass", "Tutel", "Comet"):
+        series = [results[n][name].total_us for n in (1, 2, 4)]
+        assert series[1] > series[0], name
+        assert series[2] > series[1], name
+
+    # COMET stays fastest at every scale.
+    for nodes, per_system in results.items():
+        comet = per_system["Comet"].total_us
+        for name, timing in per_system.items():
+            if name != "Comet":
+                assert comet < timing.total_us, (nodes, name)
+
+    # The slower fabric leaves more latency to hide: COMET's speedup over
+    # Megatron does not shrink when leaving the node.
+    speedups = {
+        n: results[n]["Megatron-Cutlass"].total_us / results[n]["Comet"].total_us
+        for n in (1, 2, 4)
+    }
+    assert speedups[4] > speedups[1] * 0.9

@@ -1,0 +1,53 @@
+"""Extension bench: full training step (the paper's production context).
+
+COMET is deployed for MoE *training* at ByteDance (the paper reports
+millions of GPU hours saved).  This bench times one training step —
+forward, backward (same communication, ~2x GEMM), data-parallel gradient
+sync, Adam update — under every system and checks that the forward-pass
+advantages carry over.
+"""
+
+from repro.hw import h800_node
+from repro.moe import PAPER_MODELS
+from repro.parallel import ParallelStrategy
+from repro.runtime.training import run_training_step
+from repro.systems import Comet, MegatronCutlass, Tutel
+
+
+def run_harness(tokens: int = 16384):
+    cluster = h800_node()
+    results = {}
+    for config in PAPER_MODELS:
+        strategy = ParallelStrategy(1, 8)
+        per_system = {}
+        for system in (MegatronCutlass(), Tutel(), Comet()):
+            per_system[system.name] = run_training_step(
+                system, config, cluster, strategy, total_tokens=tokens
+            )
+        results[config.name] = per_system
+    return results
+
+
+def test_training_step(run_once):
+    results = run_once(run_harness)
+
+    print(f"\n{'model':16s} {'system':18s} {'step ms':>9s} {'MoE %':>7s} "
+          f"{'bwd hidden':>10s}")
+    for model, per_system in results.items():
+        for name, timing in per_system.items():
+            print(
+                f"{model:16s} {name:18s} {timing.step_ms:9.2f} "
+                f"{100 * timing.moe_fraction:6.1f}% "
+                f"{100 * timing.moe_bwd.hidden_comm_fraction:9.1f}%"
+            )
+
+    for model, per_system in results.items():
+        base = per_system["Megatron-Cutlass"].step_us
+        tutel = per_system["Tutel"].step_us
+        comet = per_system["Comet"].step_us
+        # The training-step ladder matches the forward ladder.
+        assert comet < tutel < base, model
+        # Training speedup in the end-to-end band (paper: 1.71x mean fwd).
+        assert 1.2 < base / comet < 2.6, model
+        # MoE dominates the step for these models.
+        assert per_system["Megatron-Cutlass"].moe_fraction > 0.5, model

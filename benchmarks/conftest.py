@@ -1,0 +1,18 @@
+"""Shared pytest-benchmark configuration.
+
+Every benchmark regenerates a full paper figure/table, so a single round
+is the meaningful unit; pytest-benchmark's default calibration would
+re-run multi-second harnesses dozens of times for no statistical gain.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the harness exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,59 @@
+"""Token-imbalance study (paper Figure 14, left).
+
+Sweeps the standard deviation of per-expert token fractions from uniform
+(std=0) to heavily skewed (std=0.05), including the paper's production
+average of 0.032, and shows (a) each system's layer duration, (b) which
+rank paces the layer, and (c) how the most-loaded expert's row count
+drives the slowdown.
+
+Run:
+    python examples/imbalanced_routing.py
+"""
+
+from repro import (
+    MIXTRAL_8X7B,
+    Comet,
+    MegatronCutlass,
+    ParallelStrategy,
+    Tutel,
+    compare_systems,
+    h800_node,
+    make_workload,
+)
+
+STDS = (0.0, 0.01, 0.02, 0.032, 0.04, 0.05)
+
+
+def main() -> None:
+    cluster = h800_node()
+    strategy = ParallelStrategy(tp_size=1, ep_size=8)
+    systems = [MegatronCutlass(), Tutel(), Comet()]
+
+    print("Mixtral-8x7B layer, M=8192, EP=8 — duration (ms) vs routing skew\n")
+    print(f"{'std':>6s} {'max expert':>11s} {'bottleneck':>11s}"
+          + "".join(f" {s.name:>17s}" for s in systems))
+
+    for std in STDS:
+        workload = make_workload(
+            MIXTRAL_8X7B, cluster, strategy, total_tokens=8192,
+            imbalance_std=std, seed=7,
+        )
+        geometry = workload.geometry
+        timings = compare_systems(systems, workload)
+        cells = "".join(
+            f" {timings[s.name].total_us / 1000:17.3f}" for s in systems
+        )
+        print(
+            f"{std:6.3f} {int(workload.plan.expert_counts.max()):11d} "
+            f"rank {geometry.bottleneck_rank:6d}{cells}"
+        )
+
+    print(
+        "\nWith EP=8 each expert lives on its own GPU, so the most-loaded"
+        "\nexpert's row count fixes the slowest rank's GroupGEMM and paces"
+        "\nthe whole layer (std=0.032 is the paper's production average)."
+    )
+
+
+if __name__ == "__main__":
+    main()

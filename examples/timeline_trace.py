@@ -1,0 +1,67 @@
+"""Export a Chrome-trace timeline of COMET's fused kernels.
+
+Simulates one rank's layer0 (dispatch + GroupGEMM) and layer1 (GroupGEMM
++ top-k reduce + combine) fused kernels with tracing enabled, prints a
+busy-time summary per lane, and writes ``comet_timeline.json`` — open it
+in ``chrome://tracing`` or https://ui.perfetto.dev to see the comm blocks
+streaming tokens under the compute blocks' tiles.
+
+Run:
+    python examples/timeline_trace.py [output.json]
+"""
+
+import sys
+
+from repro import MIXTRAL_8X7B, Comet, ParallelStrategy, h800_node, make_workload
+from repro.kernels.fused import simulate_layer0_fused, simulate_layer1_fused
+from repro.sim import Tracer
+from repro.tensor import build_layer0_schedule, build_layer1_schedule
+
+
+def main(path: str = "comet_timeline.json") -> None:
+    cluster = h800_node()
+    config = MIXTRAL_8X7B
+    strategy = ParallelStrategy(tp_size=1, ep_size=8)
+    workload = make_workload(config, cluster, strategy, total_tokens=16384)
+    geometry = workload.geometry
+    rank = geometry.bottleneck_rank
+    rank_workload = geometry.rank_workload(rank)
+    comet = Comet()
+    nc0 = comet.division_point(workload, layer=0)
+    nc1 = comet.division_point(workload, layer=1)
+
+    tracer = Tracer()
+    schedule0 = build_layer0_schedule(rank_workload.pairs_by_src_expert, rank)
+    r0 = simulate_layer0_fused(
+        cluster.gpu, cluster.link, schedule0,
+        token_bytes=config.token_bytes, k=config.hidden_size,
+        cols=config.ffn_size, nc=nc0,
+        tracer=tracer, lane=f"rank{rank}/layer0",
+    )
+    schedule1 = build_layer1_schedule(rank_workload.expert_rows, cols=config.hidden_size)
+    r1 = simulate_layer1_fused(
+        cluster.gpu, cluster.link, schedule1, comet._layer1_comm_work(workload, rank),
+        k=config.ffn_size, cols=config.hidden_size, nc=nc1,
+        tracer=tracer, lane=f"rank{rank}/layer1",
+    )
+
+    print(f"layer0 fused kernel: {r0.duration_us / 1000:.3f} ms "
+          f"(nc={r0.nc}, np={r0.np_blocks}, "
+          f"{100 * r0.hidden_comm_fraction:.1f}% comm hidden)")
+    print(f"layer1 fused kernel: {r1.duration_us / 1000:.3f} ms "
+          f"(nc={r1.nc}, np={r1.np_blocks}, "
+          f"{100 * r1.hidden_comm_fraction:.1f}% comm hidden)")
+
+    print("\nbusy time per lane (µs):")
+    for lane in tracer.lanes():
+        print(f"  {lane:22s} {tracer.busy_time(lane=lane):10.1f}")
+    print("\nbusy time per category (µs):")
+    for category, busy in tracer.category_breakdown().items():
+        print(f"  {category:22s} {busy:10.1f}")
+
+    tracer.save_chrome_trace(path)
+    print(f"\nwrote {len(tracer.events)} trace events to {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "comet_timeline.json")

@@ -1,0 +1,99 @@
+"""repro — reproduction of COMET (MLSys 2025).
+
+COMET: Fine-grained Computation-communication Overlapping for
+Mixture-of-Experts (Zhang et al., ByteDance Seed / SJTU).
+
+The package simulates multi-GPU MoE layer execution at GEMM-tile
+granularity and implements five execution systems over a shared hardware
+and cost substrate: Megatron-Cutlass, Megatron-TE, FasterMoE, Tutel, and
+COMET itself (shared-tensor dependency resolving + rescheduling +
+thread-block-specialised fused kernels with adaptive workload
+assignment).
+
+Quickstart::
+
+    from repro import (
+        MIXTRAL_8X7B, ParallelStrategy, h800_node, make_workload,
+        Comet, MegatronCutlass, compare_systems,
+    )
+
+    workload = make_workload(
+        MIXTRAL_8X7B, h800_node(), ParallelStrategy(tp_size=1, ep_size=8),
+        total_tokens=16384,
+    )
+    timings = compare_systems([MegatronCutlass(), Comet()], workload)
+    for name, t in timings.items():
+        print(name, t.total_us, t.hidden_comm_fraction)
+"""
+
+from repro.hw import ClusterSpec, GpuSpec, LinkSpec, h800_node, l20_node
+from repro.moe import (
+    MIXTRAL_8X7B,
+    PAPER_MODELS,
+    PHI35_MOE,
+    QWEN2_MOE,
+    ExpertWeights,
+    MoEConfig,
+    RoutingPlan,
+    TopKGate,
+    reference_moe_forward,
+)
+from repro.parallel import ParallelStrategy
+from repro.runtime import (
+    ModelTiming,
+    MoELayerWorkload,
+    compare_systems,
+    make_workload,
+    overlap_report,
+    run_layer,
+    run_model,
+)
+from repro.systems import (
+    ALL_SYSTEMS,
+    BASELINE_SYSTEMS,
+    Comet,
+    FasterMoE,
+    LayerTiming,
+    MegatronCutlass,
+    MegatronTE,
+    MoESystem,
+    Tutel,
+    UnsupportedWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "BASELINE_SYSTEMS",
+    "ClusterSpec",
+    "Comet",
+    "ExpertWeights",
+    "FasterMoE",
+    "GpuSpec",
+    "LayerTiming",
+    "LinkSpec",
+    "MIXTRAL_8X7B",
+    "MegatronCutlass",
+    "MegatronTE",
+    "ModelTiming",
+    "MoEConfig",
+    "MoELayerWorkload",
+    "MoESystem",
+    "PAPER_MODELS",
+    "PHI35_MOE",
+    "ParallelStrategy",
+    "QWEN2_MOE",
+    "RoutingPlan",
+    "TopKGate",
+    "Tutel",
+    "UnsupportedWorkload",
+    "compare_systems",
+    "h800_node",
+    "l20_node",
+    "make_workload",
+    "overlap_report",
+    "reference_moe_forward",
+    "run_layer",
+    "run_model",
+]

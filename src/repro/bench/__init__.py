@@ -1,0 +1,39 @@
+"""Benchmark harness: one runner per table/figure of the paper.
+
+Each ``fig*``/``table*`` function regenerates the corresponding result:
+it builds the paper's workload, runs the systems, and returns a
+structured result object whose ``format()`` prints the same rows/series
+the paper plots.  The ``benchmarks/`` directory wraps these runners in
+pytest-benchmark entries; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.bench.report import format_table
+from repro.bench.validation import Claim, validate_all
+from repro.bench.figures import (
+    fig01_time_breakdown,
+    fig08_nc_sweep,
+    fig09_end_to_end,
+    fig10_single_layer,
+    fig11_breakdown,
+    fig12_parallelism,
+    fig13_moe_params,
+    fig14_imbalance,
+    fig14_l20,
+    table3_memory,
+)
+
+__all__ = [
+    "Claim",
+    "validate_all",
+    "fig01_time_breakdown",
+    "fig08_nc_sweep",
+    "fig09_end_to_end",
+    "fig10_single_layer",
+    "fig11_breakdown",
+    "fig12_parallelism",
+    "fig13_moe_params",
+    "fig14_imbalance",
+    "fig14_l20",
+    "format_table",
+    "table3_memory",
+]

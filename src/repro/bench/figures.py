@@ -1,0 +1,600 @@
+"""Runners that regenerate every table and figure of the evaluation.
+
+All token counts follow Figure 10's convention: ``M`` is the *total*
+input token length across the world, with ``M / W`` tokens per device
+before dispatch.  End-to-end runs (Figures 1a and 9) give each of the
+``W / TP`` data-parallel replicas its ``M * TP / W`` share for the
+attention part while the MoE layer spans all ``M`` tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.comm.nvshmem import SymmetricHeap
+from repro.hw.cluster import ClusterSpec
+from repro.hw.presets import h800_node, l20_node
+from repro.kernels.assignment import default_variants, profile_division_points
+from repro.moe.config import MIXTRAL_8X7B, PAPER_MODELS, MoEConfig
+from repro.parallel.strategy import ParallelStrategy
+from repro.runtime.executor import compare_systems
+from repro.runtime.model_runner import run_model
+from repro.runtime.workload import make_workload
+from repro.systems import (
+    Comet,
+    FasterMoE,
+    MegatronCutlass,
+    MegatronTE,
+    Tutel,
+)
+from repro.systems.base import LayerTiming
+from repro.tensor.reschedule import build_layer1_schedule
+
+__all__ = [
+    "fig01_time_breakdown",
+    "fig08_nc_sweep",
+    "fig09_end_to_end",
+    "fig10_single_layer",
+    "fig11_breakdown",
+    "fig12_parallelism",
+    "fig13_moe_params",
+    "fig14_imbalance",
+    "fig14_l20",
+    "table3_memory",
+]
+
+SYSTEM_ORDER = ("Megatron-TE", "Megatron-Cutlass", "FasterMoE", "Tutel", "Comet")
+
+
+def _fresh_systems() -> list:
+    return [MegatronTE(), MegatronCutlass(), FasterMoE(), Tutel(), Comet()]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1(a): time breakdown of MoE models under Megatron
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig01Row:
+    model: str
+    seq_len: int
+    comm_fraction: float
+    moe_fraction: float
+    layer_ms: float
+
+
+@dataclass(frozen=True)
+class Fig01Result:
+    rows: list[Fig01Row]
+
+    @property
+    def mean_comm_fraction(self) -> float:
+        return float(np.mean([r.comm_fraction for r in self.rows]))
+
+    def format(self) -> str:
+        table = format_table(
+            ["model", "seq", "comm %", "MoE %", "layer ms"],
+            [
+                (r.model, r.seq_len, 100 * r.comm_fraction, 100 * r.moe_fraction, r.layer_ms)
+                for r in self.rows
+            ],
+            title="Figure 1(a): Megatron MoE time breakdown (8xH800)",
+        )
+        return table + f"\nmean communication share: {100 * self.mean_comm_fraction:.1f}%"
+
+
+def fig01_time_breakdown(
+    cluster: ClusterSpec | None = None,
+    seq_lens: tuple[int, ...] = (4096, 8192),
+) -> Fig01Result:
+    """Communication share of end-to-end execution (paper: 47% mean)."""
+    cluster = cluster or h800_node()
+    system = MegatronCutlass()
+    rows = []
+    for config in PAPER_MODELS:
+        for seq in seq_lens:
+            strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
+            timing = run_model(system, config, cluster, strategy, total_tokens=seq)
+            rows.append(
+                Fig01Row(
+                    model=config.name,
+                    seq_len=seq,
+                    comm_fraction=timing.comm_fraction,
+                    moe_fraction=timing.moe_fraction,
+                    layer_ms=timing.layer_us / 1000,
+                )
+            )
+    return Fig01Result(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: duration of the layer1 fused kernel vs nc
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig08Curve:
+    tp_size: int
+    ep_size: int
+    tokens: int
+    durations_us: dict[int, float]
+    best_nc: int
+
+    def format_row(self) -> tuple:
+        return (
+            f"TP={self.tp_size},EP={self.ep_size}",
+            self.tokens,
+            self.best_nc,
+            self.durations_us[self.best_nc] / 1000,
+        )
+
+
+@dataclass(frozen=True)
+class Fig08Result:
+    curves: list[Fig08Curve]
+
+    def best_nc(self, tp: int, ep: int, tokens: int) -> int:
+        for c in self.curves:
+            if (c.tp_size, c.ep_size, c.tokens) == (tp, ep, tokens):
+                return c.best_nc
+        raise KeyError((tp, ep, tokens))
+
+    def format(self) -> str:
+        return format_table(
+            ["parallelism", "M", "optimal nc", "duration ms"],
+            [c.format_row() for c in self.curves],
+            title="Figure 8: optimal communication-block count (layer1 fused kernel)",
+        )
+
+
+def fig08_nc_sweep(
+    cluster: ClusterSpec | None = None,
+    token_lengths: tuple[int, ...] = (4096, 8192, 16384),
+    config: MoEConfig = MIXTRAL_8X7B,
+    variant_step: int = 2,
+) -> Fig08Result:
+    """Sweep the division point for each parallelism and input length."""
+    cluster = cluster or h800_node()
+    world = cluster.world_size
+    comet = Comet()
+    curves = []
+    for strategy in ParallelStrategy.sweep(world):
+        for tokens in token_lengths:
+            workload = make_workload(config, cluster, strategy, tokens)
+            geometry = workload.geometry
+            rank = geometry.bottleneck_rank
+            rank_workload = geometry.rank_workload(rank)
+            schedule = build_layer1_schedule(
+                rank_workload.expert_rows, cols=config.hidden_size
+            )
+            comm = comet._layer1_comm_work(workload, rank)
+            k = config.ffn_size // strategy.tp_size
+
+            def simulate(nc: int) -> float:
+                return comet._run_layer1_kernel(
+                    workload, schedule, comm, k, nc
+                ).duration_us
+
+            sweep = profile_division_points(
+                simulate, default_variants(cluster.gpu.num_sms, step=variant_step)
+            )
+            curves.append(
+                Fig08Curve(
+                    tp_size=strategy.tp_size,
+                    ep_size=strategy.ep_size,
+                    tokens=tokens,
+                    durations_us=sweep.durations_us,
+                    best_nc=sweep.best_nc,
+                )
+            )
+    return Fig08Result(curves=curves)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: end-to-end model latency
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig09Row:
+    model: str
+    strategy: str
+    total_tokens: int
+    latencies_ms: dict[str, float]  # system -> end-to-end ms
+    attention_ms: float
+
+
+@dataclass(frozen=True)
+class Fig09Result:
+    rows: list[Fig09Row]
+
+    def mean_reduction_vs(self, baseline: str) -> float:
+        """Mean end-to-end latency reduction of Comet vs ``baseline``."""
+        reductions = [
+            1.0 - row.latencies_ms["Comet"] / row.latencies_ms[baseline]
+            for row in self.rows
+            if baseline in row.latencies_ms
+        ]
+        if not reductions:
+            raise ValueError(f"baseline {baseline!r} never ran")
+        return float(np.mean(reductions))
+
+    def format(self) -> str:
+        headers = ["model", "strategy", "M", "attn ms"] + [
+            s for s in SYSTEM_ORDER
+        ]
+        table_rows = []
+        for row in self.rows:
+            cells = [row.model, row.strategy, row.total_tokens, row.attention_ms]
+            for system in SYSTEM_ORDER:
+                cells.append(
+                    row.latencies_ms.get(system, float("nan"))
+                )
+            table_rows.append(cells)
+        lines = [
+            format_table(headers, table_rows, title="Figure 9: end-to-end latency (ms)")
+        ]
+        for baseline in SYSTEM_ORDER[:-1]:
+            try:
+                reduction = self.mean_reduction_vs(baseline)
+            except ValueError:
+                continue
+            lines.append(
+                f"mean latency reduction vs {baseline}: {100 * reduction:.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def fig09_end_to_end(
+    cluster: ClusterSpec | None = None,
+    total_tokens: tuple[int, ...] = (4096, 8192),
+    models: tuple[MoEConfig, ...] = PAPER_MODELS,
+) -> Fig09Result:
+    """End-to-end latency for every model/strategy/system combination."""
+    cluster = cluster or h800_node()
+    rows = []
+    for config in models:
+        for strategy in ParallelStrategy.sweep(cluster.world_size):
+            for tokens in total_tokens:
+                latencies: dict[str, float] = {}
+                attention_ms = 0.0
+                for system in _fresh_systems():
+                    if not system.supports(
+                        make_workload(config, cluster, strategy, strategy.world_size)
+                    ):
+                        continue
+                    timing = run_model(
+                        system, config, cluster, strategy, total_tokens=tokens
+                    )
+                    latencies[system.name] = timing.total_ms
+                    attention_ms = timing.attention_us / 1000
+                rows.append(
+                    Fig09Row(
+                        model=config.name,
+                        strategy=str(strategy),
+                        total_tokens=tokens,
+                        latencies_ms=latencies,
+                        attention_ms=attention_ms,
+                    )
+                )
+    return Fig09Result(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: single MoE layer duration across token lengths
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    experts: int
+    topk: int
+    tokens: int
+    durations_ms: dict[str, float]
+
+    def speedup(self, system: str) -> float:
+        return self.durations_ms[system] / self.durations_ms["Comet"]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    rows: list[Fig10Row]
+
+    @property
+    def mean_speedup(self) -> float:
+        """Mean Comet speedup over all baselines and token lengths."""
+        speedups = [
+            row.speedup(system)
+            for row in self.rows
+            for system in row.durations_ms
+            if system != "Comet"
+        ]
+        return float(np.mean(speedups))
+
+    @property
+    def speedup_range(self) -> tuple[float, float]:
+        speedups = [
+            row.speedup(system)
+            for row in self.rows
+            for system in row.durations_ms
+            if system != "Comet"
+        ]
+        return (float(min(speedups)), float(max(speedups)))
+
+    def format(self) -> str:
+        headers = ["E", "topk", "M"] + list(SYSTEM_ORDER)
+        table_rows = []
+        for row in self.rows:
+            cells = [row.experts, row.topk, row.tokens]
+            cells += [row.durations_ms.get(s, float("nan")) for s in SYSTEM_ORDER]
+            table_rows.append(cells)
+        low, high = self.speedup_range
+        return (
+            format_table(headers, table_rows, title="Figure 10: single layer (ms)")
+            + f"\nComet speedup: mean {self.mean_speedup:.2f}x, range "
+            f"{low:.2f}x-{high:.2f}x"
+        )
+
+
+def fig10_single_layer(
+    cluster: ClusterSpec | None = None,
+    token_lengths: tuple[int, ...] = (2048, 4096, 8192, 16384, 32768),
+    expert_configs: tuple[tuple[int, int], ...] = ((8, 2), (32, 4)),
+) -> Fig10Result:
+    """Single-layer sweep with Mixtral-shaped experts (paper Figure 10)."""
+    cluster = cluster or h800_node()
+    strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
+    rows = []
+    for experts, topk in expert_configs:
+        config = MIXTRAL_8X7B.with_experts(experts, topk)
+        for tokens in token_lengths:
+            workload = make_workload(config, cluster, strategy, tokens)
+            timings = compare_systems(_fresh_systems(), workload)
+            rows.append(
+                Fig10Row(
+                    experts=experts,
+                    topk=topk,
+                    tokens=tokens,
+                    durations_ms={
+                        name: t.total_us / 1000 for name, t in timings.items()
+                    },
+                )
+            )
+    return Fig10Result(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: time breakdown of one MoE layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    timings: dict[str, LayerTiming]
+
+    def hidden_fraction(self, system: str) -> float:
+        return self.timings[system].hidden_comm_fraction
+
+    def format(self) -> str:
+        headers = ["system", "gating", "l0-comm", "l0-comp", "act", "l1-comp", "l1-comm", "total", "hidden%"]
+        rows = []
+        for name in SYSTEM_ORDER:
+            if name not in self.timings:
+                continue
+            t = self.timings[name]
+            b = t.breakdown()
+            rows.append(
+                (
+                    name,
+                    b["gating"] / 1000,
+                    b["layer0-comm"] / 1000,
+                    b["layer0-comp"] / 1000,
+                    b["activation"] / 1000,
+                    b["layer1-comp"] / 1000,
+                    b["layer1-comm"] / 1000,
+                    t.total_us / 1000,
+                    100 * t.hidden_comm_fraction,
+                )
+            )
+        return format_table(
+            headers, rows, title="Figure 11: MoE layer breakdown (ms), M=16384, EP=8"
+        )
+
+
+def fig11_breakdown(
+    cluster: ClusterSpec | None = None,
+    tokens: int = 16384,
+) -> Fig11Result:
+    cluster = cluster or h800_node()
+    strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
+    workload = make_workload(MIXTRAL_8X7B, cluster, strategy, tokens)
+    timings = compare_systems(_fresh_systems(), workload)
+    return Fig11Result(timings=dict(timings))
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: parallelism strategies within the MoE layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    durations_ms: dict[str, dict[str, float]]  # strategy -> system -> ms
+
+    def format(self) -> str:
+        strategies = list(self.durations_ms)
+        headers = ["system"] + strategies
+        rows = []
+        for system in SYSTEM_ORDER:
+            cells = [system]
+            for strategy in strategies:
+                cells.append(self.durations_ms[strategy].get(system, float("nan")))
+            rows.append(cells)
+        return format_table(
+            headers, rows, title="Figure 12: MoE layer (ms) across parallelisms, M=8192"
+        )
+
+
+def fig12_parallelism(
+    cluster: ClusterSpec | None = None,
+    tokens: int = 8192,
+    config: MoEConfig = MIXTRAL_8X7B,
+) -> Fig12Result:
+    cluster = cluster or h800_node()
+    durations: dict[str, dict[str, float]] = {}
+    for strategy in ParallelStrategy.sweep(cluster.world_size):
+        workload = make_workload(config, cluster, strategy, tokens)
+        timings = compare_systems(_fresh_systems(), workload)
+        durations[str(strategy)] = {
+            name: t.total_us / 1000 for name, t in timings.items()
+        }
+    return Fig12Result(durations_ms=durations)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: varying E and topk
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    rows: list[Fig10Row]
+
+    @property
+    def speedups(self) -> list[float]:
+        return [
+            row.speedup(system)
+            for row in self.rows
+            for system in row.durations_ms
+            if system != "Comet"
+        ]
+
+    def format(self) -> str:
+        headers = ["E", "topk", "M"] + list(SYSTEM_ORDER)
+        table_rows = []
+        for row in self.rows:
+            cells = [row.experts, row.topk, row.tokens]
+            cells += [row.durations_ms.get(s, float("nan")) for s in SYSTEM_ORDER]
+            table_rows.append(cells)
+        speedups = self.speedups
+        return (
+            format_table(headers, table_rows, title="Figure 13: E/topk sweep (ms), M=16384")
+            + f"\nComet speedup range {min(speedups):.2f}x-{max(speedups):.2f}x"
+        )
+
+
+def fig13_moe_params(
+    cluster: ClusterSpec | None = None,
+    tokens: int = 16384,
+    expert_counts: tuple[int, ...] = (8, 16),
+    topks: tuple[int, ...] = (1, 2, 4, 8),
+) -> Fig13Result:
+    cluster = cluster or h800_node()
+    strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
+    rows = []
+    for experts in expert_counts:
+        for topk in topks:
+            config = MIXTRAL_8X7B.with_experts(experts, topk)
+            workload = make_workload(config, cluster, strategy, tokens)
+            timings = compare_systems(_fresh_systems(), workload)
+            rows.append(
+                Fig10Row(
+                    experts=experts,
+                    topk=topk,
+                    tokens=tokens,
+                    durations_ms={
+                        name: t.total_us / 1000 for name, t in timings.items()
+                    },
+                )
+            )
+    return Fig13Result(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: token imbalance (left) and the L20 cluster (right)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig14ImbalanceResult:
+    durations_ms: dict[float, dict[str, float]]  # std -> system -> ms
+
+    def format(self) -> str:
+        stds = list(self.durations_ms)
+        headers = ["system"] + [f"std={s}" for s in stds]
+        rows = []
+        for system in SYSTEM_ORDER:
+            cells = [system]
+            for std in stds:
+                cells.append(self.durations_ms[std].get(system, float("nan")))
+            rows.append(cells)
+        return format_table(
+            headers, rows,
+            title="Figure 14 (left): MoE layer (ms) under token imbalance, M=8192",
+        )
+
+
+def fig14_imbalance(
+    cluster: ClusterSpec | None = None,
+    tokens: int = 8192,
+    stds: tuple[float, ...] = (0.0, 0.01, 0.02, 0.032, 0.04, 0.05),
+) -> Fig14ImbalanceResult:
+    cluster = cluster or h800_node()
+    strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
+    durations: dict[float, dict[str, float]] = {}
+    for std in stds:
+        workload = make_workload(
+            MIXTRAL_8X7B, cluster, strategy, tokens, imbalance_std=std, seed=7
+        )
+        timings = compare_systems(_fresh_systems(), workload)
+        durations[std] = {name: t.total_us / 1000 for name, t in timings.items()}
+    return Fig14ImbalanceResult(durations_ms=durations)
+
+
+def fig14_l20(
+    tokens: int = 8192,
+    config: MoEConfig | None = None,
+) -> Fig12Result:
+    """Figure 14 (right): parallelism sweep on the PCIe-limited L20 node."""
+    config = config or MIXTRAL_8X7B.with_experts(8, topk=4)
+    return fig12_parallelism(l20_node(), tokens=tokens, config=config)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: NVSHMEM buffer footprint
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    buffers_mb: dict[tuple[str, int], float]  # (model, M) -> MB per device
+
+    def format(self) -> str:
+        token_lengths = sorted({m for _, m in self.buffers_mb})
+        headers = ["Mem(MB)"] + [model.name for model in PAPER_MODELS]
+        rows = []
+        for tokens in token_lengths:
+            cells: list[object] = [f"M={tokens}"]
+            for model in PAPER_MODELS:
+                cells.append(self.buffers_mb[(model.name, tokens)])
+            rows.append(cells)
+        return format_table(headers, rows, title="Table 3: NVSHMEM buffer per device")
+
+
+def table3_memory(
+    cluster: ClusterSpec | None = None,
+    token_lengths: tuple[int, ...] = (4096, 8192),
+) -> Table3Result:
+    """Symmetric-heap accounting for the paper's three models."""
+    cluster = cluster or h800_node()
+    buffers: dict[tuple[str, int], float] = {}
+    for config in PAPER_MODELS:
+        for tokens in token_lengths:
+            heap = SymmetricHeap(cluster)
+            buffer = heap.malloc("comm", config.nvshmem_buffer_bytes(tokens))
+            buffers[(config.name, tokens)] = buffer.mbytes
+    return Table3Result(buffers_mb=buffers)

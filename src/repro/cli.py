@@ -1,0 +1,185 @@
+"""Command-line interface: regenerate figures, time layers, export traces.
+
+Examples::
+
+    python -m repro figure fig11                # print a paper figure
+    python -m repro figure table3 --json out.json
+    python -m repro layer --model mixtral --tp 1 --ep 8 --tokens 16384
+    python -m repro sweep-nc --tp 4 --ep 2 --tokens 16384
+    python -m repro trace --out timeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench import figures as _figures
+from repro.bench.export import save_json
+from repro.hw.presets import h800_node, l20_node
+from repro.moe.config import MIXTRAL_8X7B, PAPER_MODELS, PHI35_MOE, QWEN2_MOE
+from repro.parallel.strategy import ParallelStrategy
+from repro.runtime.executor import compare_systems
+from repro.runtime.visualize import render_breakdown_bars, render_overlap_lanes
+from repro.runtime.workload import make_workload
+from repro.systems import ALL_SYSTEMS
+
+__all__ = ["main"]
+
+FIGURES = {
+    "fig1a": _figures.fig01_time_breakdown,
+    "fig8": _figures.fig08_nc_sweep,
+    "fig9": _figures.fig09_end_to_end,
+    "fig10": _figures.fig10_single_layer,
+    "fig11": _figures.fig11_breakdown,
+    "fig12": _figures.fig12_parallelism,
+    "fig13": _figures.fig13_moe_params,
+    "fig14-imbalance": _figures.fig14_imbalance,
+    "fig14-l20": _figures.fig14_l20,
+    "table3": _figures.table3_memory,
+}
+
+MODELS = {
+    "mixtral": MIXTRAL_8X7B,
+    "qwen2": QWEN2_MOE,
+    "phi3.5": PHI35_MOE,
+}
+
+CLUSTERS = {"h800": h800_node, "l20": l20_node}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COMET (MLSys 2025) reproduction: simulate MoE systems "
+        "and regenerate the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--json", metavar="PATH", help="also export raw data")
+
+    layer = sub.add_parser("layer", help="time one MoE layer under all systems")
+    layer.add_argument("--model", choices=sorted(MODELS), default="mixtral")
+    layer.add_argument("--cluster", choices=sorted(CLUSTERS), default="h800")
+    layer.add_argument("--tp", type=int, default=1)
+    layer.add_argument("--ep", type=int, default=8)
+    layer.add_argument("--tokens", type=int, default=16384)
+    layer.add_argument("--imbalance-std", type=float, default=0.0)
+    layer.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep-nc", help="profile the fused-kernel division point")
+    sweep.add_argument("--model", choices=sorted(MODELS), default="mixtral")
+    sweep.add_argument("--cluster", choices=sorted(CLUSTERS), default="h800")
+    sweep.add_argument("--tp", type=int, default=1)
+    sweep.add_argument("--ep", type=int, default=8)
+    sweep.add_argument("--tokens", type=int, default=16384)
+
+    trace = sub.add_parser("trace", help="export a Chrome trace of COMET's kernels")
+    trace.add_argument("--model", choices=sorted(MODELS), default="mixtral")
+    trace.add_argument("--tokens", type=int, default=16384)
+    trace.add_argument("--out", default="comet_timeline.json")
+
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    result = FIGURES[args.name]()
+    print(result.format())
+    if args.json:
+        save_json(result, args.json)
+        print(f"\nwrote raw data to {args.json}")
+    return 0
+
+
+def _cmd_layer(args: argparse.Namespace) -> int:
+    cluster = CLUSTERS[args.cluster]()
+    config = MODELS[args.model]
+    strategy = ParallelStrategy(tp_size=args.tp, ep_size=args.ep)
+    workload = make_workload(
+        config, cluster, strategy, args.tokens,
+        imbalance_std=args.imbalance_std, seed=args.seed,
+    )
+    timings = compare_systems([cls() for cls in ALL_SYSTEMS], workload)
+    print(f"{config.name}, {strategy}, M={args.tokens}, {cluster.name}\n")
+    print(render_breakdown_bars(timings))
+    comet = timings.get("Comet")
+    if comet is not None:
+        print()
+        print(render_overlap_lanes(comet))
+    return 0
+
+
+def _cmd_sweep_nc(args: argparse.Namespace) -> int:
+    cluster = CLUSTERS[args.cluster]()
+    result = _figures.fig08_nc_sweep(
+        cluster,
+        token_lengths=(args.tokens,),
+        config=MODELS[args.model],
+    )
+    for curve in result.curves:
+        if (curve.tp_size, curve.ep_size) != (args.tp, args.ep):
+            continue
+        print(f"TP={args.tp}, EP={args.ep}, M={args.tokens}:")
+        worst = max(curve.durations_us.values())
+        for nc, duration in sorted(curve.durations_us.items()):
+            bar = "#" * max(1, int(40 * duration / worst))
+            marker = "  <- optimal" if nc == curve.best_nc else ""
+            print(f"  nc={nc:3d}  {duration / 1000:7.3f} ms  {bar}{marker}")
+        return 0
+    print(f"no curve for TP={args.tp}, EP={args.ep} on this cluster", file=sys.stderr)
+    return 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.kernels.fused import simulate_layer0_fused, simulate_layer1_fused
+    from repro.sim import Tracer
+    from repro.systems import Comet
+    from repro.tensor import build_layer0_schedule, build_layer1_schedule
+
+    cluster = h800_node()
+    config = MODELS[args.model]
+    strategy = ParallelStrategy(1, cluster.world_size)
+    workload = make_workload(config, cluster, strategy, args.tokens)
+    geometry = workload.geometry
+    rank = geometry.bottleneck_rank
+    rank_workload = geometry.rank_workload(rank)
+    comet = Comet()
+
+    tracer = Tracer()
+    simulate_layer0_fused(
+        cluster.gpu, cluster.link,
+        build_layer0_schedule(rank_workload.pairs_by_src_expert, rank),
+        token_bytes=config.token_bytes, k=config.hidden_size,
+        cols=config.ffn_size, nc=comet.division_point(workload, 0),
+        tracer=tracer, lane=f"rank{rank}/layer0",
+    )
+    simulate_layer1_fused(
+        cluster.gpu, cluster.link,
+        build_layer1_schedule(rank_workload.expert_rows, cols=config.hidden_size),
+        comet._layer1_comm_work(workload, rank),
+        k=config.ffn_size, cols=config.hidden_size,
+        nc=comet.division_point(workload, 1),
+        tracer=tracer, lane=f"rank{rank}/layer1",
+    )
+    tracer.save_chrome_trace(args.out)
+    print(f"wrote {len(tracer.events)} events to {args.out}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "figure": _cmd_figure,
+        "layer": _cmd_layer,
+        "sweep-nc": _cmd_sweep_nc,
+        "trace": _cmd_trace,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Communication substrate: collective cost models and simulated NVSHMEM.
+
+Two tiers, matching the paper's §4:
+
+* :mod:`repro.comm.primitives` — kernel-level collectives (all-to-all,
+  all-gather, reduce-scatter) with alpha-beta costs over the cluster's
+  link model.  The baselines (Megatron/NCCL, FasterMoE, Tutel) live here.
+* :mod:`repro.comm.nvshmem` — a simulated symmetric heap providing the
+  fine-grained, GPU-initiated token get/put that COMET's fused kernels
+  issue from communication thread blocks.
+"""
+
+from repro.comm.primitives import (
+    CollectiveCost,
+    all_gather_cost,
+    all_to_all_cost,
+    hierarchical_all_to_all_cost,
+    reduce_scatter_cost,
+)
+from repro.comm.nvshmem import SymmetricHeap, NvshmemBuffer
+
+__all__ = [
+    "CollectiveCost",
+    "NvshmemBuffer",
+    "SymmetricHeap",
+    "all_gather_cost",
+    "all_to_all_cost",
+    "hierarchical_all_to_all_cost",
+    "reduce_scatter_cost",
+]

@@ -1,0 +1,133 @@
+"""Simulated NVSHMEM: a symmetric heap with GPU-initiated fine-grained I/O.
+
+The real COMET allocates one symmetric communication buffer per device
+(size ``dtype_bytes * M * N``, shared across layers and experts — paper
+§5.5 / Table 3) and has communication thread blocks issue token-granular
+``put``/``get`` operations against remote ranks through NVSHMEM's global
+address space.
+
+This module reproduces the two observable behaviours of that stack:
+
+* **accounting** — symmetric allocation must be identical on every rank;
+  :class:`SymmetricHeap` tracks per-rank reservations and reproduces the
+  Table 3 footprints;
+* **timing** — :meth:`SymmetricHeap.token_op_us` gives the cost of one
+  token-granular remote operation as seen by a single communication
+  thread block, which the fused-kernel simulator multiplies out across
+  ``nc`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.cluster import ClusterSpec
+
+__all__ = ["NvshmemBuffer", "SymmetricHeap"]
+
+
+@dataclass(frozen=True)
+class NvshmemBuffer:
+    """One symmetric allocation (same size and offset on every rank)."""
+
+    name: str
+    offset: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"buffer size must be positive, got {self.nbytes}")
+        if self.offset < 0:
+            raise ValueError(f"offset must be non-negative, got {self.offset}")
+
+    @property
+    def mbytes(self) -> float:
+        return self.nbytes / (1024 * 1024)
+
+
+@dataclass
+class SymmetricHeap:
+    """Per-node symmetric heap over a cluster's GPUs.
+
+    Allocation is symmetric by construction: one reservation charges every
+    rank the same bytes at the same offset, exactly like
+    ``nvshmem_malloc``.
+    """
+
+    cluster: ClusterSpec
+    alignment: int = 512
+    _buffers: dict[str, NvshmemBuffer] = field(default_factory=dict)
+    _cursor: int = 0
+
+    def malloc(self, name: str, nbytes: int) -> NvshmemBuffer:
+        """Reserve ``nbytes`` symmetrically on all ranks."""
+        if name in self._buffers:
+            raise ValueError(f"buffer {name!r} already allocated")
+        if nbytes <= 0:
+            raise ValueError(f"buffer size must be positive, got {nbytes}")
+        aligned = -(-nbytes // self.alignment) * self.alignment
+        buffer = NvshmemBuffer(name=name, offset=self._cursor, nbytes=aligned)
+        self._buffers[name] = buffer
+        self._cursor += aligned
+        return buffer
+
+    def free(self, name: str) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        del self._buffers[name]
+        # The cursor is not rewound (bump allocation); COMET allocates its
+        # communication buffer once for the lifetime of the model, so heap
+        # reuse is not on the critical path.
+
+    @property
+    def bytes_per_rank(self) -> int:
+        """Live symmetric bytes charged to each rank."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate symmetric bytes across the cluster."""
+        return self.bytes_per_rank * self.cluster.world_size
+
+    def buffer(self, name: str) -> NvshmemBuffer:
+        return self._buffers[name]
+
+    # -- fine-grained operation timing -----------------------------------
+    def token_op_us(self, token_bytes: int, remote: bool) -> float:
+        """Cost of one token get/put issued by one communication block.
+
+        Remote ops pay the link's per-message overhead and stream at the
+        per-thread-block copy rate; local ops only traverse HBM.  This is
+        the *per-block serialised* cost — concurrency across blocks is the
+        fused-kernel simulator's job.
+        """
+        if token_bytes <= 0:
+            raise ValueError(f"token_bytes must be positive, got {token_bytes}")
+        if remote:
+            link = self.cluster.link
+            return link.per_message_us + token_bytes / link.block_bytes_per_us
+        gpu = self.cluster.gpu
+        return 2.0 * token_bytes / gpu.hbm_bytes_per_us
+
+    def stream_time_us(
+        self, nbytes: float, num_blocks: int, messages: int = 1
+    ) -> float:
+        """Time for ``num_blocks`` comm blocks to move ``nbytes`` remote bytes.
+
+        Aggregate throughput saturates at the link bandwidth
+        (:meth:`~repro.hw.link.LinkSpec.effective_bandwidth`); message
+        initiation costs are divided across blocks.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+        if nbytes == 0:
+            return 0.0
+        link = self.cluster.link
+        bandwidth = link.effective_bandwidth(num_blocks)
+        return (
+            link.latency_us
+            + (messages * link.per_message_us) / num_blocks
+            + nbytes / bandwidth
+        )

@@ -1,0 +1,194 @@
+"""Kernel-level collective communication cost models (NCCL-like).
+
+These are the coarse collectives the *baseline* systems launch as separate
+kernels on separate streams.  Costs follow the standard alpha-beta model
+evaluated over the cluster's uniform link: a collective's duration is the
+maximum over ranks of that rank's serialised send/receive time, plus
+per-step message latencies.
+
+All byte quantities refer to payloads on the wire (local copies are free
+at this tier — they are charged to the computation side by the schedulers,
+matching the paper's Figure 11 accounting where "communication" means
+GPU-to-GPU time only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.cluster import ClusterSpec
+
+__all__ = [
+    "CollectiveCost",
+    "all_gather_cost",
+    "all_to_all_cost",
+    "hierarchical_all_to_all_cost",
+    "reduce_scatter_cost",
+]
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Outcome of a collective cost evaluation.
+
+    Attributes:
+        time_us: wall-clock duration of the collective.
+        wire_bytes: total bytes crossing the interconnect (all ranks).
+        messages: number of point-to-point messages issued.
+        bottleneck_rank: rank whose traffic determines the duration.
+    """
+
+    time_us: float
+    wire_bytes: float
+    messages: int
+    bottleneck_rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time_us < 0 or self.wire_bytes < 0 or self.messages < 0:
+            raise ValueError("collective cost fields must be non-negative")
+
+
+def all_to_all_cost(
+    cluster: ClusterSpec,
+    send_bytes: np.ndarray,
+    chunk_fraction: float = 1.0,
+) -> CollectiveCost:
+    """Pairwise-exchange all-to-all over a ``(W, W)`` byte matrix.
+
+    ``send_bytes[s, d]`` is the payload rank ``s`` sends rank ``d``.  With
+    ``chunk_fraction < 1`` only that fraction of every payload moves
+    (used by chunked pipelining schemes); per-message latencies do *not*
+    shrink, which is exactly why coarse chunking has an efficiency floor.
+
+    The duration is ``max_rank(max(send_r, recv_r)) / link_bw`` plus
+    ``W - 1`` pairwise step latencies, the standard cost of a pairwise
+    (ring-scheduled) exchange on a fully connected node.
+    """
+    send_bytes = np.asarray(send_bytes, dtype=np.float64)
+    world = cluster.world_size
+    if send_bytes.shape != (world, world):
+        raise ValueError(
+            f"send_bytes must be ({world}, {world}), got {send_bytes.shape}"
+        )
+    if not 0.0 < chunk_fraction <= 1.0:
+        raise ValueError(f"chunk_fraction must lie in (0, 1], got {chunk_fraction}")
+
+    off_diag = send_bytes.copy()
+    np.fill_diagonal(off_diag, 0.0)
+    off_diag *= chunk_fraction
+
+    sent = off_diag.sum(axis=1)
+    received = off_diag.sum(axis=0)
+    per_rank = np.maximum(sent, received)
+    bottleneck = int(per_rank.argmax()) if world else 0
+    steps = world - 1
+    link = cluster.link
+    time = (
+        per_rank.max() / link.a2a_bytes_per_us
+        + steps * (link.latency_us + link.per_message_us)
+        if world > 1
+        else 0.0
+    )
+    return CollectiveCost(
+        time_us=float(time),
+        wire_bytes=float(off_diag.sum()),
+        messages=int((off_diag > 0).sum()),
+        bottleneck_rank=bottleneck,
+    )
+
+
+def all_gather_cost(
+    cluster: ClusterSpec,
+    bytes_per_rank: float,
+    group_size: int,
+) -> CollectiveCost:
+    """Ring all-gather of ``bytes_per_rank`` within a ``group_size`` group."""
+    _validate_group(cluster, group_size, bytes_per_rank)
+    if group_size == 1:
+        return CollectiveCost(0.0, 0.0, 0)
+    link = cluster.link
+    steps = group_size - 1
+    # Ring schedule: every step forwards one rank-sized shard, so each rank
+    # receives (g - 1) shards of ``bytes_per_rank`` (its peers' contributions).
+    time = steps * (
+        bytes_per_rank / link.ring_bytes_per_us + link.latency_us + link.per_message_us
+    )
+    return CollectiveCost(
+        time_us=float(time),
+        wire_bytes=float(bytes_per_rank * steps * group_size),
+        messages=steps * group_size,
+    )
+
+
+def reduce_scatter_cost(
+    cluster: ClusterSpec,
+    bytes_per_rank: float,
+    group_size: int,
+) -> CollectiveCost:
+    """Ring reduce-scatter; wire cost mirrors the all-gather (dual op)."""
+    return all_gather_cost(cluster, bytes_per_rank, group_size)
+
+
+def hierarchical_all_to_all_cost(
+    cluster: ClusterSpec,
+    send_bytes: np.ndarray,
+    tile_ranks: int = 2,
+) -> CollectiveCost:
+    """Tutel-style 2D-hierarchical all-to-all (paper refs [10, 17, 27]).
+
+    Messages are first aggregated among ``tile_ranks`` neighbours, then
+    exchanged between rank tiles, then scattered locally.  On a single
+    fully connected node the win is message aggregation: the pairwise step
+    count drops from ``W - 1`` to ``(tile_ranks - 1) + (W / tile_ranks - 1)``
+    at the cost of each payload crossing the wire once more within the
+    tile (modelled as a 2/tile_ranks overhead on bytes) and extra local
+    encode/decode work that the Tutel *scheduler* (not this function)
+    charges to computation.
+    """
+    send_bytes = np.asarray(send_bytes, dtype=np.float64)
+    world = cluster.world_size
+    if send_bytes.shape != (world, world):
+        raise ValueError(
+            f"send_bytes must be ({world}, {world}), got {send_bytes.shape}"
+        )
+    if tile_ranks < 1 or world % tile_ranks != 0:
+        raise ValueError(
+            f"tile_ranks {tile_ranks} must divide world size {world}"
+        )
+    if world == 1:
+        return CollectiveCost(0.0, 0.0, 0)
+
+    off_diag = send_bytes.copy()
+    np.fill_diagonal(off_diag, 0.0)
+    per_rank = np.maximum(off_diag.sum(axis=1), off_diag.sum(axis=0))
+
+    link = cluster.link
+    steps = (tile_ranks - 1) + (world // tile_ranks - 1)
+    # Intra-tile aggregation moves 1/tile_ranks of the payload an extra hop
+    # but turns the exchange into few, large messages — effective bandwidth
+    # lands between NCCL's all-to-all and a well-pipelined ring (geometric
+    # mean: the aggregated exchange is still all-to-all-shaped).
+    byte_overhead = 1.0 + 1.0 / tile_ranks
+    effective_bw = float(
+        np.sqrt(link.a2a_bytes_per_us * link.ring_bytes_per_us)
+    )
+    time = per_rank.max() * byte_overhead / effective_bw + steps * (
+        link.latency_us + link.per_message_us
+    )
+    return CollectiveCost(
+        time_us=float(time),
+        wire_bytes=float(off_diag.sum() * byte_overhead),
+        messages=int((off_diag > 0).sum()),
+        bottleneck_rank=int(per_rank.argmax()),
+    )
+
+
+def _validate_group(cluster: ClusterSpec, group_size: int, nbytes: float) -> None:
+    if not 1 <= group_size <= cluster.world_size:
+        raise ValueError(
+            f"group_size {group_size} out of range for world {cluster.world_size}"
+        )
+    if nbytes < 0:
+        raise ValueError(f"bytes must be non-negative, got {nbytes}")

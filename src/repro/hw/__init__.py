@@ -1,0 +1,32 @@
+"""Hardware models: GPUs, interconnect links, and cluster topologies.
+
+These are *rate* models, not cycle-accurate simulators: each device exposes
+the throughputs and latencies that the kernel- and communication-level cost
+models in :mod:`repro.kernels` and :mod:`repro.comm` consume.  The presets
+mirror the two testbeds of the COMET paper: an 8xH800 NVLink node and an
+8xL20 PCIe node.
+"""
+
+from repro.hw.gpu import GpuSpec
+from repro.hw.link import LinkSpec
+from repro.hw.cluster import ClusterSpec
+from repro.hw.multinode import IB_400G, TwoTierCluster, h800_pod
+from repro.hw.presets import (
+    H800,
+    L20,
+    h800_node,
+    l20_node,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "GpuSpec",
+    "H800",
+    "IB_400G",
+    "L20",
+    "LinkSpec",
+    "TwoTierCluster",
+    "h800_node",
+    "h800_pod",
+    "l20_node",
+]

@@ -1,0 +1,47 @@
+"""GPU kernel models: tiling, GEMM costs, fused kernels, block assignment.
+
+The compute side of the reproduction.  :mod:`repro.kernels.gemm` prices
+(Group)GEMMs with a tile/wave model; :mod:`repro.kernels.fused` simulates
+COMET's thread-block-specialised fused kernels at tile granularity; and
+:mod:`repro.kernels.assignment` implements the adaptive `nc` selection of
+paper §3.2.2 (offline profile -> runtime lookup).
+"""
+
+from repro.kernels.tiling import TileShape, num_tiles_1d, gemm_tile_count, group_gemm_tile_count
+from repro.kernels.gemm import (
+    GemmCost,
+    activation_time_us,
+    gemm_time_us,
+    group_gemm_time_us,
+    tile_time_us,
+)
+from repro.kernels.fused import (
+    FusedKernelResult,
+    simulate_layer0_fused,
+    simulate_layer1_fused,
+)
+from repro.kernels.assignment import (
+    AssignmentProfile,
+    KernelVariant,
+    profile_division_points,
+    select_division_point,
+)
+
+__all__ = [
+    "AssignmentProfile",
+    "FusedKernelResult",
+    "GemmCost",
+    "KernelVariant",
+    "TileShape",
+    "activation_time_us",
+    "gemm_tile_count",
+    "gemm_time_us",
+    "group_gemm_tile_count",
+    "group_gemm_time_us",
+    "num_tiles_1d",
+    "profile_division_points",
+    "select_division_point",
+    "simulate_layer0_fused",
+    "simulate_layer1_fused",
+    "tile_time_us",
+]

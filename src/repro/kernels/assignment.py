@@ -1,0 +1,214 @@
+"""Adaptive workload assignment (paper §3.2.2).
+
+COMET ships multiple pre-compiled fused-kernel variants, each with a
+distinct communication/computation thread-block division point ``nc``.
+Before deployment, each (layer, shape, parallelism, hardware) setup is
+profiled and the optimal variant recorded as metadata; at runtime the
+stored metadata selects the kernel.  This module implements that loop
+against the fused-kernel simulator: :func:`profile_division_points` is
+the offline profiler, :class:`AssignmentProfile` the metadata store, and
+:func:`select_division_point` the runtime lookup (with nearest-bucket
+fallback for shapes never profiled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = [
+    "AssignmentProfile",
+    "KernelVariant",
+    "ProfileKey",
+    "default_variants",
+    "profile_division_points",
+    "select_division_point",
+]
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """One pre-compiled fused kernel with a fixed division point."""
+
+    nc: int
+
+    def __post_init__(self) -> None:
+        if self.nc < 0:
+            raise ValueError(f"nc must be non-negative, got {self.nc}")
+
+
+def default_variants(num_sms: int, step: int = 4, min_nc: int = 2) -> list[KernelVariant]:
+    """The variant library: division points from ``min_nc`` up to ~60% of SMs.
+
+    Compiling one kernel per possible ``nc`` would be wasteful; like the
+    real system, the library quantises the division point.
+    """
+    if num_sms <= 2:
+        raise ValueError(f"num_sms too small to split, got {num_sms}")
+    max_nc = max(min_nc, int(num_sms * 0.6))
+    return [KernelVariant(nc) for nc in range(min_nc, max_nc + 1, step)]
+
+
+@dataclass(frozen=True, order=True)
+class ProfileKey:
+    """Lookup key for profiled metadata.
+
+    ``m_bucket`` is the token count rounded up to a power of two — shapes
+    vary at runtime (MoE routing is dynamic) and bucketing keeps the
+    metadata table small while staying close to optimal.
+    """
+
+    layer: int  # 0 or 1
+    tp_size: int
+    ep_size: int
+    m_bucket: int
+
+    @staticmethod
+    def bucket_tokens(tokens: int) -> int:
+        if tokens <= 0:
+            return 1
+        bucket = 1
+        while bucket < tokens:
+            bucket *= 2
+        return bucket
+
+    @classmethod
+    def make(cls, layer: int, tp_size: int, ep_size: int, tokens: int) -> "ProfileKey":
+        if layer not in (0, 1):
+            raise ValueError(f"layer must be 0 or 1, got {layer}")
+        return cls(
+            layer=layer,
+            tp_size=tp_size,
+            ep_size=ep_size,
+            m_bucket=cls.bucket_tokens(tokens),
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Durations measured for each candidate division point."""
+
+    durations_us: dict[int, float]  # nc -> duration
+    best_nc: int
+
+    @property
+    def best_duration_us(self) -> float:
+        return self.durations_us[self.best_nc]
+
+    def curve(self) -> list[tuple[int, float]]:
+        """(nc, duration) pairs sorted by nc — Figure 8's plotted series."""
+        return sorted(self.durations_us.items())
+
+
+def profile_division_points(
+    simulate: Callable[[int], float],
+    variants: Iterable[KernelVariant],
+) -> SweepResult:
+    """Offline profiling: time every variant, remember the best.
+
+    ``simulate`` maps a division point ``nc`` to a duration (µs); variants
+    whose simulation raises ``ValueError`` (e.g. ``nc`` too large for the
+    SM budget) are skipped, mirroring variants that fail to launch.
+    """
+    durations: dict[int, float] = {}
+    for variant in variants:
+        try:
+            durations[variant.nc] = float(simulate(variant.nc))
+        except ValueError:
+            continue
+    if not durations:
+        raise ValueError("no viable division point among the variants")
+    best_nc = min(durations, key=lambda nc: (durations[nc], nc))
+    return SweepResult(durations_us=durations, best_nc=best_nc)
+
+
+@dataclass
+class AssignmentProfile:
+    """Metadata store mapping profiled setups to their optimal variants.
+
+    The paper's §3.2.2 workflow persists this metadata before deployment
+    and consults it at runtime; :meth:`save` / :meth:`load` provide that
+    round-trip as a JSON file.
+    """
+
+    entries: dict[ProfileKey, SweepResult] = field(default_factory=dict)
+
+    def record(self, key: ProfileKey, sweep: SweepResult) -> None:
+        self.entries[key] = sweep
+
+    def __contains__(self, key: ProfileKey) -> bool:
+        return key in self.entries
+
+    def lookup(self, key: ProfileKey) -> SweepResult | None:
+        return self.entries.get(key)
+
+    def save(self, path: str) -> None:
+        """Persist the profiled metadata to a JSON file."""
+        import json
+
+        payload = [
+            {
+                "layer": key.layer,
+                "tp_size": key.tp_size,
+                "ep_size": key.ep_size,
+                "m_bucket": key.m_bucket,
+                "best_nc": sweep.best_nc,
+                "durations_us": {str(nc): d for nc, d in sweep.durations_us.items()},
+            }
+            for key, sweep in sorted(self.entries.items())
+        ]
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "AssignmentProfile":
+        """Restore profiled metadata written by :meth:`save`."""
+        import json
+
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        profile = cls()
+        for entry in payload:
+            key = ProfileKey(
+                layer=int(entry["layer"]),
+                tp_size=int(entry["tp_size"]),
+                ep_size=int(entry["ep_size"]),
+                m_bucket=int(entry["m_bucket"]),
+            )
+            durations = {
+                int(nc): float(d) for nc, d in entry["durations_us"].items()
+            }
+            best_nc = int(entry["best_nc"])
+            if best_nc not in durations:
+                raise ValueError(f"corrupt profile entry for {key}")
+            profile.record(
+                key, SweepResult(durations_us=durations, best_nc=best_nc)
+            )
+        return profile
+
+
+def select_division_point(
+    profile: AssignmentProfile,
+    key: ProfileKey,
+    fallback_nc: int = 16,
+) -> int:
+    """Runtime selection of ``nc`` for a (possibly unprofiled) setup.
+
+    Exact hit first; otherwise the nearest profiled ``m_bucket`` with the
+    same layer and parallelism; otherwise ``fallback_nc`` (a conservative
+    default for cold starts).
+    """
+    hit = profile.lookup(key)
+    if hit is not None:
+        return hit.best_nc
+    candidates = [
+        (abs(entry_key.m_bucket - key.m_bucket), entry_key)
+        for entry_key in profile.entries
+        if entry_key.layer == key.layer
+        and entry_key.tp_size == key.tp_size
+        and entry_key.ep_size == key.ep_size
+    ]
+    if candidates:
+        _, nearest = min(candidates)
+        return profile.entries[nearest].best_nc
+    return fallback_nc

@@ -1,0 +1,212 @@
+"""Cross-rank fabric contention for layer0 token fetches.
+
+The default fused-kernel model treats each rank's ingress independently:
+its communication blocks pull remote tokens at their aggregate rate,
+capped by the rank's own link.  That is accurate under balanced routing
+(every rank's pull schedule is symmetric) but optimistic under skew: when
+several ranks simultaneously pull from the same *source* — e.g. the rank
+owning tokens of a hot expert — that source's egress link is shared.
+
+This module simulates all ranks' fetch streams jointly as a fluid flow
+problem: each rank walks its source-major run list (the rescheduled fetch
+order of Figure 5); at any instant the active flows split bandwidth by
+progressive filling (max-min fairness) subject to each destination's
+ingress cap and each source's egress cap.  Rates are piecewise constant
+between run completions, so the simulation is event-driven and exact for
+the fluid model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FetchRun", "FabricTimeline", "simulate_fetch_fabric"]
+
+
+@dataclass(frozen=True)
+class FetchRun:
+    """One contiguous fetch segment: ``tokens`` pulled from ``src``."""
+
+    src: int
+    tokens: int
+
+    def __post_init__(self) -> None:
+        if self.tokens < 0:
+            raise ValueError("tokens must be non-negative")
+
+
+@dataclass(frozen=True)
+class FabricTimeline:
+    """Per-rank arrival curve: cumulative tokens fetched over time.
+
+    ``times``/``counts`` are breakpoints of a piecewise-linear function
+    (counts non-decreasing, starting at 0).
+    """
+
+    times: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.times.shape != self.counts.shape:
+            raise ValueError("times and counts must align")
+
+    def arrival_time(self, fetch_index: int) -> float:
+        """Time at which the ``fetch_index``-th token (0-based) arrives."""
+        if fetch_index < 0:
+            return 0.0
+        target = fetch_index + 1
+        if self.counts.size == 0 or target > self.counts[-1] + 1e-6:
+            raise ValueError(
+                f"fetch index {fetch_index} beyond the "
+                f"{int(self.counts[-1]) if self.counts.size else 0} fetched tokens"
+            )
+        idx = int(np.searchsorted(self.counts, target, side="left"))
+        if idx >= self.counts.size:
+            # Float accumulation left the last count a hair below target.
+            return float(self.times[-1])
+        if idx == 0:
+            return float(self.times[0])
+        c0, c1 = self.counts[idx - 1], self.counts[idx]
+        t0, t1 = self.times[idx - 1], self.times[idx]
+        if c1 == c0:
+            return float(t1)
+        return float(t0 + (t1 - t0) * (target - c0) / (c1 - c0))
+
+    @property
+    def finish_time(self) -> float:
+        return float(self.times[-1]) if self.times.size else 0.0
+
+
+def _max_min_rates(
+    active: list[tuple[int, int]],  # (dst, src) flows
+    ingress: np.ndarray,
+    egress: np.ndarray,
+) -> dict[tuple[int, int], float]:
+    """Progressive filling: raise all unfrozen flows until a port saturates."""
+    rates = {flow: 0.0 for flow in active}
+    frozen: set[tuple[int, int]] = set()
+    ingress_left = ingress.astype(np.float64).copy()
+    egress_left = egress.astype(np.float64).copy()
+    while len(frozen) < len(active):
+        unfrozen = [f for f in active if f not in frozen]
+        # Tightest port constrains the common increment.
+        increments = []
+        for port_kind, capacities in (("dst", ingress_left), ("src", egress_left)):
+            for port in range(len(capacities)):
+                users = [
+                    f
+                    for f in unfrozen
+                    if (f[0] if port_kind == "dst" else f[1]) == port
+                ]
+                if users:
+                    increments.append((capacities[port] / len(users), port_kind, port))
+        if not increments:
+            break
+        delta, kind, port = min(increments)
+        for flow in unfrozen:
+            rates[flow] += delta
+            ingress_left[flow[0]] -= delta
+            egress_left[flow[1]] -= delta
+        # Freeze every flow on a now-saturated port.
+        for flow in list(unfrozen):
+            if ingress_left[flow[0]] <= 1e-12 or egress_left[flow[1]] <= 1e-12:
+                frozen.add(flow)
+    return rates
+
+
+def simulate_fetch_fabric(
+    runs_per_rank: list[list[FetchRun]],
+    token_bytes: int,
+    ingress_bytes_per_us: np.ndarray,
+    egress_bytes_per_us: np.ndarray,
+    latency_us: float = 0.0,
+) -> list[FabricTimeline]:
+    """Jointly simulate every rank's fetch stream over the shared fabric.
+
+    Args:
+        runs_per_rank: each rank's source-major fetch schedule.
+        token_bytes: wire size per token.
+        ingress_bytes_per_us: per-rank pull capacity (its comm blocks /
+            link, i.e. the single-rank model's aggregate rate).
+        egress_bytes_per_us: per-rank serve capacity.
+        latency_us: initial pipeline-fill latency applied to every rank.
+
+    Returns:
+        One :class:`FabricTimeline` per rank.
+    """
+    world = len(runs_per_rank)
+    if ingress_bytes_per_us.shape != (world,) or egress_bytes_per_us.shape != (world,):
+        raise ValueError("capacity arrays must have one entry per rank")
+    if token_bytes <= 0:
+        raise ValueError("token_bytes must be positive")
+
+    position = [0] * world  # current run index per rank
+    remaining = [
+        float(runs[0].tokens * token_bytes) if runs else 0.0
+        for runs in runs_per_rank
+    ]
+    # Skip leading empty runs.
+    for rank in range(world):
+        while (
+            position[rank] < len(runs_per_rank[rank])
+            and runs_per_rank[rank][position[rank]].tokens == 0
+        ):
+            position[rank] += 1
+        if position[rank] < len(runs_per_rank[rank]):
+            remaining[rank] = float(
+                runs_per_rank[rank][position[rank]].tokens * token_bytes
+            )
+
+    now = latency_us
+    timeline_times: list[list[float]] = [[latency_us] for _ in range(world)]
+    timeline_counts: list[list[float]] = [[0.0] for _ in range(world)]
+    fetched_tokens = [0.0] * world
+
+    def active_flows() -> list[tuple[int, int]]:
+        flows = []
+        for rank in range(world):
+            if position[rank] < len(runs_per_rank[rank]):
+                flows.append((rank, runs_per_rank[rank][position[rank]].src))
+        return flows
+
+    for _ in range(10_000_000):  # safety bound; each step retires >= 1 run
+        flows = active_flows()
+        if not flows:
+            break
+        rates = _max_min_rates(flows, ingress_bytes_per_us, egress_bytes_per_us)
+        # Time until the first active run drains at current rates.
+        dt = min(
+            remaining[dst] / rates[(dst, src)]
+            for dst, src in flows
+            if rates[(dst, src)] > 0
+        )
+        now += dt
+        for dst, src in flows:
+            moved = rates[(dst, src)] * dt
+            remaining[dst] -= moved
+            fetched_tokens[dst] += moved / token_bytes
+            timeline_times[dst].append(now)
+            timeline_counts[dst].append(fetched_tokens[dst])
+            if remaining[dst] <= 1e-9:
+                position[dst] += 1
+                while (
+                    position[dst] < len(runs_per_rank[dst])
+                    and runs_per_rank[dst][position[dst]].tokens == 0
+                ):
+                    position[dst] += 1
+                if position[dst] < len(runs_per_rank[dst]):
+                    remaining[dst] = float(
+                        runs_per_rank[dst][position[dst]].tokens * token_bytes
+                    )
+    else:
+        raise RuntimeError("fabric simulation failed to converge")
+
+    return [
+        FabricTimeline(
+            times=np.asarray(timeline_times[rank]),
+            counts=np.asarray(timeline_counts[rank]),
+        )
+        for rank in range(world)
+    ]

@@ -1,0 +1,100 @@
+"""GEMM tile geometry.
+
+High-performance GEMM kernels process the output in fixed-size tiles
+(128x128 in CUTLASS's Hopper defaults and in the paper's Figure 2); a tile
+is the atomic unit of both scheduling and data dependency.  Partial tiles
+(fewer rows/columns than the tile shape) still occupy a full tile slot —
+this padding waste is exactly the "t1 + t2 > t" efficiency loss the paper
+attributes to coarse-grained chunking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TileShape",
+    "gemm_tile_count",
+    "group_gemm_tile_count",
+    "num_tiles_1d",
+    "row_tiles_per_expert",
+]
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """Output-tile shape of a GEMM kernel.
+
+    Attributes:
+        tm: tile rows (token dimension).
+        tn: tile columns (the paper's ``TN``, Figure 6).
+    """
+
+    tm: int = 128
+    tn: int = 128
+
+    def __post_init__(self) -> None:
+        if self.tm <= 0 or self.tn <= 0:
+            raise ValueError(f"tile dims must be positive, got {self.tm}x{self.tn}")
+
+    def flops(self, k: int) -> float:
+        """Multiply-add FLOPs to produce one full output tile."""
+        if k <= 0:
+            raise ValueError(f"reduction dim must be positive, got {k}")
+        return 2.0 * self.tm * self.tn * k
+
+    def io_bytes(self, k: int, dtype_bytes: int = 2, panel_reuse: float = 8.0) -> float:
+        """Effective global-memory traffic for one tile.
+
+        A and B panels are shared by every tile in the same output row /
+        column of a wave, so with swizzled rasterisation each panel is
+        fetched from HBM roughly once per ``panel_reuse`` tiles (L2 hit
+        for the rest); the output tile is written once.
+        """
+        if panel_reuse < 1.0:
+            raise ValueError(f"panel_reuse must be >= 1, got {panel_reuse}")
+        panel_bytes = dtype_bytes * (self.tm * k + k * self.tn) / panel_reuse
+        return panel_bytes + dtype_bytes * self.tm * self.tn
+
+
+DEFAULT_TILE = TileShape()
+
+
+def num_tiles_1d(extent: int, tile_extent: int) -> int:
+    """Tiles covering ``extent`` (ceil division; zero extent needs no tile)."""
+    if extent < 0:
+        raise ValueError(f"extent must be non-negative, got {extent}")
+    if tile_extent <= 0:
+        raise ValueError(f"tile_extent must be positive, got {tile_extent}")
+    return -(-extent // tile_extent)
+
+
+def gemm_tile_count(rows: int, cols: int, tile: TileShape = DEFAULT_TILE) -> int:
+    """Output tiles of a ``rows x cols`` GEMM."""
+    return num_tiles_1d(rows, tile.tm) * num_tiles_1d(cols, tile.tn)
+
+
+def row_tiles_per_expert(
+    expert_rows: np.ndarray, tile: TileShape = DEFAULT_TILE
+) -> np.ndarray:
+    """Row-tile count for each expert of a GroupGEMM.
+
+    Each expert's rows are tiled separately (experts cannot share a tile:
+    they multiply different weights), so per-expert remainders each waste
+    part of a tile — the GroupGEMM analogue of chunking loss.
+    """
+    expert_rows = np.asarray(expert_rows)
+    if np.any(expert_rows < 0):
+        raise ValueError("expert row counts must be non-negative")
+    return -(-expert_rows // tile.tm)
+
+
+def group_gemm_tile_count(
+    expert_rows: np.ndarray, cols: int, tile: TileShape = DEFAULT_TILE
+) -> int:
+    """Total output tiles of a GroupGEMM over per-expert row counts."""
+    return int(row_tiles_per_expert(expert_rows, tile).sum()) * num_tiles_1d(
+        cols, tile.tn
+    )

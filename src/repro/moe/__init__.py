@@ -1,0 +1,43 @@
+"""MoE model semantics: configs, gating, routing, experts, reference math.
+
+Everything in this package is *functional* (numpy arrays in, numpy arrays
+out) and time-free.  It defines what an MoE layer computes; the packages
+:mod:`repro.kernels` and :mod:`repro.systems` define how long each
+execution schedule of this computation takes.  The reference forward pass
+here is the gold standard every scheduled execution is checked against.
+"""
+
+from repro.moe.config import MoEConfig, MIXTRAL_8X7B, QWEN2_MOE, PHI35_MOE, PAPER_MODELS
+from repro.moe.gate import TopKGate, GateOutput
+from repro.moe.routing import (
+    RoutingPlan,
+    balanced_fractions,
+    imbalanced_fractions,
+    routing_from_fractions,
+    token_owner_ranks,
+)
+from repro.moe.experts import ExpertWeights, silu
+from repro.moe.losses import LoadMetrics, load_balancing_loss, load_metrics, router_z_loss
+from repro.moe.reference import reference_moe_forward
+
+__all__ = [
+    "LoadMetrics",
+    "load_balancing_loss",
+    "load_metrics",
+    "router_z_loss",
+    "ExpertWeights",
+    "GateOutput",
+    "MIXTRAL_8X7B",
+    "MoEConfig",
+    "PAPER_MODELS",
+    "PHI35_MOE",
+    "QWEN2_MOE",
+    "RoutingPlan",
+    "TopKGate",
+    "balanced_fractions",
+    "imbalanced_fractions",
+    "reference_moe_forward",
+    "routing_from_fractions",
+    "silu",
+    "token_owner_ranks",
+]

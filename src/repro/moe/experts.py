@@ -1,0 +1,91 @@
+"""Expert weights and the elementwise activation between the two GEMMs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ExpertWeights", "silu"]
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation, the FFN nonlinearity in the paper's models."""
+    return x / (1.0 + np.exp(-x))
+
+
+@dataclass(frozen=True)
+class ExpertWeights:
+    """Weights for all experts of one MoE layer.
+
+    Attributes:
+        w0: ``(E, N, K)`` — layer0 GEMM weights (paper Figure 2: N x K).
+        w1: ``(E, K, N)`` — layer1 GEMM weights (K x N).
+    """
+
+    w0: np.ndarray
+    w1: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.w0.ndim != 3 or self.w1.ndim != 3:
+            raise ValueError("w0/w1 must be (E, N, K) and (E, K, N)")
+        e0, n0, k0 = self.w0.shape
+        e1, k1, n1 = self.w1.shape
+        if e0 != e1 or n0 != n1 or k0 != k1:
+            raise ValueError(
+                f"inconsistent expert shapes: w0 {self.w0.shape}, w1 {self.w1.shape}"
+            )
+
+    @classmethod
+    def init(
+        cls,
+        num_experts: int,
+        hidden_size: int,
+        ffn_size: int,
+        rng: np.random.Generator | None = None,
+        dtype=np.float32,
+    ) -> "ExpertWeights":
+        """Random initialisation with 1/sqrt(fan-in) scaling."""
+        rng = rng or np.random.default_rng(0)
+        w0 = rng.normal(
+            0.0, 1.0 / np.sqrt(hidden_size), size=(num_experts, hidden_size, ffn_size)
+        ).astype(dtype)
+        w1 = rng.normal(
+            0.0, 1.0 / np.sqrt(ffn_size), size=(num_experts, ffn_size, hidden_size)
+        ).astype(dtype)
+        return cls(w0=w0, w1=w1)
+
+    @property
+    def num_experts(self) -> int:
+        return self.w0.shape[0]
+
+    @property
+    def hidden_size(self) -> int:
+        return self.w0.shape[1]
+
+    @property
+    def ffn_size(self) -> int:
+        return self.w0.shape[2]
+
+    def tp_shard(self, tp_rank: int, tp_size: int) -> "ExpertWeights":
+        """Tensor-parallel shard along the FFN (K) dimension.
+
+        Layer0 is column-parallel (each rank holds ``K/tp`` output columns),
+        layer1 is row-parallel (matching ``K/tp`` input rows); summing the
+        layer1 partial outputs across the TP group reconstructs the full
+        expert output.  This is Megatron's MLP sharding, which the paper's
+        hybrid TP x EP strategy applies to every expert.
+        """
+        if not 0 <= tp_rank < tp_size:
+            raise ValueError(f"tp_rank {tp_rank} out of range for tp_size {tp_size}")
+        if self.ffn_size % tp_size != 0:
+            raise ValueError(
+                f"ffn_size {self.ffn_size} not divisible by tp_size {tp_size}"
+            )
+        shard = self.ffn_size // tp_size
+        sl = slice(tp_rank * shard, (tp_rank + 1) * shard)
+        return ExpertWeights(w0=self.w0[:, :, sl], w1=self.w1[:, sl, :])
+
+    def select(self, expert_ids) -> "ExpertWeights":
+        """Subset of experts (expert-parallel placement helper)."""
+        return ExpertWeights(w0=self.w0[expert_ids], w1=self.w1[expert_ids])

@@ -1,0 +1,100 @@
+"""Softmax top-k gate (Shazeer et al. style, as used by Mixtral).
+
+The gate is a single ``N x E`` linear layer followed by a softmax; each
+token is routed to its ``topk`` highest-probability experts and the
+selected probabilities are renormalised to sum to one per token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GateOutput", "TopKGate"]
+
+
+@dataclass(frozen=True)
+class GateOutput:
+    """Routing decision for a batch of tokens.
+
+    Attributes:
+        experts: ``(M, topk)`` int array — chosen expert ids per token, in
+            decreasing gate-probability order.
+        weights: ``(M, topk)`` float array — renormalised combine weights
+            (each row sums to 1).
+        probs: ``(M, E)`` full softmax distribution (kept for analysis and
+            for auxiliary losses in training use cases).
+    """
+
+    experts: np.ndarray
+    weights: np.ndarray
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.experts.shape != self.weights.shape:
+            raise ValueError("experts and weights must have identical shapes")
+        if self.experts.ndim != 2:
+            raise ValueError(f"expected (M, topk) arrays, got shape {self.experts.shape}")
+
+    @property
+    def num_tokens(self) -> int:
+        return self.experts.shape[0]
+
+    @property
+    def topk(self) -> int:
+        return self.experts.shape[1]
+
+
+class TopKGate:
+    """Dense linear gate with top-k selection.
+
+    Args:
+        hidden_size: token embedding size N.
+        num_experts: E.
+        topk: experts per token.
+        rng: numpy Generator used to initialise the gate weight.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_experts: int,
+        topk: int,
+        rng: np.random.Generator | None = None,
+    ):
+        if not 1 <= topk <= num_experts:
+            raise ValueError(f"topk must lie in [1, {num_experts}], got {topk}")
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.num_experts = num_experts
+        self.topk = topk
+        scale = 1.0 / np.sqrt(hidden_size)
+        self.weight = rng.normal(0.0, scale, size=(hidden_size, num_experts)).astype(
+            np.float32
+        )
+
+    def __call__(self, x: np.ndarray) -> GateOutput:
+        """Route a batch ``x`` of shape ``(M, N)``."""
+        if x.ndim != 2 or x.shape[1] != self.hidden_size:
+            raise ValueError(
+                f"expected (M, {self.hidden_size}) input, got shape {x.shape}"
+            )
+        logits = x.astype(np.float32) @ self.weight
+        probs = softmax(logits, axis=1)
+        # argpartition gives the topk set; sort it by probability descending
+        # so expert order is deterministic.
+        top_unsorted = np.argpartition(probs, -self.topk, axis=1)[:, -self.topk:]
+        row_idx = np.arange(x.shape[0])[:, None]
+        order = np.argsort(-probs[row_idx, top_unsorted], axis=1, kind="stable")
+        experts = np.take_along_axis(top_unsorted, order, axis=1)
+        raw = probs[row_idx, experts]
+        weights = raw / raw.sum(axis=1, keepdims=True)
+        return GateOutput(experts=experts, weights=weights.astype(np.float32), probs=probs)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)

@@ -1,0 +1,94 @@
+"""Auxiliary gating losses and load metrics for MoE training.
+
+COMET runs inside production *training* jobs, where the gate is trained
+with auxiliary objectives that directly shape the expert-load
+distributions this repository's Figure 14 experiments sweep:
+
+* :func:`load_balancing_loss` — the switch-transformer auxiliary loss
+  ``E * sum_e f_e * P_e`` (fraction of tokens routed to expert e times
+  its mean gate probability); minimised at the uniform distribution.
+* :func:`router_z_loss` — penalises large gate logits for numerical
+  stability.
+* :func:`load_metrics` — the observable quantities (fraction std — the
+  paper's ``std`` knob —, max/mean ratio, entropy) used to characterise
+  a routing plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.moe.gate import GateOutput
+from repro.moe.routing import RoutingPlan
+
+__all__ = ["LoadMetrics", "load_balancing_loss", "load_metrics", "router_z_loss"]
+
+
+def load_balancing_loss(gate_output: GateOutput, num_experts: int) -> float:
+    """Switch-style auxiliary loss: ``E * sum_e f_e * P_e``.
+
+    ``f_e`` is the fraction of routed (token, slot) assignments hitting
+    expert ``e``; ``P_e`` the mean softmax probability mass on ``e``.
+    The loss is 1.0 for a perfectly uniform router and grows as routing
+    concentrates.
+    """
+    if num_experts <= 0:
+        raise ValueError(f"num_experts must be positive, got {num_experts}")
+    if gate_output.num_tokens == 0:
+        return 0.0
+    assignments = np.bincount(
+        gate_output.experts.ravel(), minlength=num_experts
+    ).astype(np.float64)
+    f = assignments / assignments.sum()
+    p = gate_output.probs.mean(axis=0).astype(np.float64)
+    return float(num_experts * np.sum(f * p))
+
+
+def router_z_loss(logits: np.ndarray) -> float:
+    """``mean(logsumexp(logits)^2)`` — ST-MoE's router z-loss."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (M, E), got shape {logits.shape}")
+    if logits.shape[0] == 0:
+        return 0.0
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1)) + logits.max(axis=1)
+    return float(np.mean(lse**2))
+
+
+@dataclass(frozen=True)
+class LoadMetrics:
+    """Observable load statistics of one routing plan.
+
+    Attributes:
+        fraction_std: std of per-expert token fractions — the paper's
+            Figure 14 ``std``.
+        max_over_mean: most-loaded expert's tokens over the mean (the
+            straggler factor that paces an EP layer).
+        entropy: Shannon entropy of the fraction distribution (nats);
+            ``log(E)`` when uniform.
+        empty_experts: experts that received zero tokens.
+    """
+
+    fraction_std: float
+    max_over_mean: float
+    entropy: float
+    empty_experts: int
+
+
+def load_metrics(plan: RoutingPlan) -> LoadMetrics:
+    """Summarise a routing plan's expert-load distribution."""
+    counts = plan.expert_counts.astype(np.float64)
+    total = counts.sum()
+    if total == 0:
+        return LoadMetrics(0.0, 0.0, 0.0, plan.num_experts)
+    fractions = counts / total
+    positive = fractions[fractions > 0]
+    entropy = float(-(positive * np.log(positive)).sum())
+    return LoadMetrics(
+        fraction_std=float(fractions.std()),
+        max_over_mean=float(counts.max() / counts.mean()),
+        entropy=entropy,
+        empty_experts=int((counts == 0).sum()),
+    )

@@ -1,0 +1,62 @@
+"""Gold-standard MoE layer forward pass.
+
+Deliberately simple and obviously correct (dispatch -> expert FFN ->
+weighted combine, one expert at a time).  Every scheduled execution in
+:mod:`repro.systems` — including COMET's heavily rescheduled one — must
+reproduce this function's output; the test suite enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.moe.experts import ExpertWeights, silu
+from repro.moe.routing import RoutingPlan
+
+__all__ = ["reference_moe_forward"]
+
+
+def reference_moe_forward(
+    x: np.ndarray,
+    plan: RoutingPlan,
+    weights: ExpertWeights,
+    activation: Callable[[np.ndarray], np.ndarray] = silu,
+) -> np.ndarray:
+    """Compute one MoE layer: ``out[t] = sum_k w[t,k] * FFN_{e(t,k)}(x[t])``.
+
+    Args:
+        x: ``(M, N)`` token activations.
+        plan: routing decisions for the batch.
+        weights: expert weights, ``num_experts`` matching ``plan``.
+        activation: elementwise nonlinearity between the two GEMMs.
+
+    Returns:
+        ``(M, N)`` combined expert outputs (float32).
+    """
+    if x.ndim != 2:
+        raise ValueError(f"x must be (M, N), got shape {x.shape}")
+    if x.shape[0] != plan.num_tokens:
+        raise ValueError(
+            f"plan covers {plan.num_tokens} tokens but x has {x.shape[0]} rows"
+        )
+    if x.shape[1] != weights.hidden_size:
+        raise ValueError(
+            f"x hidden size {x.shape[1]} != expert hidden size {weights.hidden_size}"
+        )
+    if plan.num_experts != weights.num_experts:
+        raise ValueError(
+            f"plan has {plan.num_experts} experts, weights have {weights.num_experts}"
+        )
+
+    out = np.zeros_like(x, dtype=np.float32)
+    for expert in range(plan.num_experts):
+        token_ids, slots = plan.tokens_for_expert(expert)
+        if token_ids.size == 0:
+            continue
+        hidden = x[token_ids].astype(np.float32) @ weights.w0[expert]
+        expert_out = activation(hidden) @ weights.w1[expert]
+        combine = plan.weights[token_ids, slots].astype(np.float32)[:, None]
+        np.add.at(out, token_ids, combine * expert_out)
+    return out

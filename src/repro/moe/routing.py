@@ -1,0 +1,245 @@
+"""Routing plans and workload generators.
+
+A :class:`RoutingPlan` is the bridge between the functional layer and the
+timing layer: it records which experts each token visits (and with what
+combine weight), and can summarise itself into the per-(source rank,
+expert) token counts that drive both communication volume and GroupGEMM
+shapes.
+
+The generators below produce plans with controlled expert-load imbalance:
+the paper's Figure 14 sweeps the standard deviation of the token fraction
+received by each expert (``std = 0`` means perfectly uniform; their
+production training jobs average ``std = 0.032``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.moe.gate import GateOutput
+
+__all__ = [
+    "RoutingPlan",
+    "balanced_fractions",
+    "imbalanced_fractions",
+    "routing_from_fractions",
+    "token_owner_ranks",
+]
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """Token-to-expert assignment for one MoE layer invocation.
+
+    Attributes:
+        experts: ``(M, topk)`` int array; each row holds ``topk`` *distinct*
+            expert ids.
+        weights: ``(M, topk)`` float array of combine weights (rows sum to 1).
+        num_experts: total number of experts E (>= max id + 1).
+    """
+
+    experts: np.ndarray
+    weights: np.ndarray
+    num_experts: int
+
+    def __post_init__(self) -> None:
+        if self.experts.shape != self.weights.shape or self.experts.ndim != 2:
+            raise ValueError("experts/weights must be matching (M, topk) arrays")
+        if self.experts.size and (
+            self.experts.min() < 0 or self.experts.max() >= self.num_experts
+        ):
+            raise ValueError("expert id out of range")
+        # Distinctness per row is a structural invariant of top-k routing.
+        m, k = self.experts.shape
+        if k > 1 and m:
+            sorted_rows = np.sort(self.experts, axis=1)
+            if np.any(sorted_rows[:, 1:] == sorted_rows[:, :-1]):
+                raise ValueError("a token was routed to the same expert twice")
+
+    @classmethod
+    def from_gate(cls, gate_output: GateOutput, num_experts: int) -> "RoutingPlan":
+        return cls(
+            experts=gate_output.experts,
+            weights=gate_output.weights,
+            num_experts=num_experts,
+        )
+
+    @property
+    def num_tokens(self) -> int:
+        return self.experts.shape[0]
+
+    @property
+    def topk(self) -> int:
+        return self.experts.shape[1]
+
+    @property
+    def total_routed(self) -> int:
+        """Number of (token, expert) pairs = M * topk."""
+        return self.experts.size
+
+    @cached_property
+    def expert_counts(self) -> np.ndarray:
+        """``(E,)`` tokens received per expert."""
+        return np.bincount(self.experts.ravel(), minlength=self.num_experts)
+
+    def tokens_for_expert(self, expert: int) -> tuple[np.ndarray, np.ndarray]:
+        """Token ids routed to ``expert`` and the top-k slot used.
+
+        Returns ``(token_ids, slots)`` sorted by token id — this is the
+        canonical (unscheduled) dispatch order.
+        """
+        if not 0 <= expert < self.num_experts:
+            raise ValueError(f"expert {expert} out of range")
+        token_ids, slots = np.nonzero(self.experts == expert)
+        return token_ids, slots
+
+    def counts_by_rank(self, owner: np.ndarray) -> np.ndarray:
+        """``(W, E)`` matrix: tokens sent from each source rank to each expert.
+
+        ``owner[i]`` is the rank holding token ``i`` before dispatch.
+        """
+        if owner.shape != (self.num_tokens,):
+            raise ValueError(
+                f"owner must have shape ({self.num_tokens},), got {owner.shape}"
+            )
+        world = int(owner.max()) + 1 if owner.size else 0
+        counts = np.zeros((world, self.num_experts), dtype=np.int64)
+        flat_experts = self.experts.ravel()
+        flat_owner = np.repeat(owner, self.topk)
+        np.add.at(counts, (flat_owner, flat_experts), 1)
+        return counts
+
+    def fractions(self) -> np.ndarray:
+        """Fraction of routed tokens landing on each expert."""
+        total = self.total_routed
+        if total == 0:
+            return np.zeros(self.num_experts)
+        return self.expert_counts / total
+
+    def load_std(self) -> float:
+        """Std of the per-expert token fractions (the paper's ``std``)."""
+        return float(self.fractions().std())
+
+
+def token_owner_ranks(num_tokens: int, world_size: int) -> np.ndarray:
+    """Contiguous block distribution of tokens over ranks.
+
+    Matches the paper's setup where each device holds ``M/W`` tokens before
+    dispatch; uneven remainders go to the leading ranks.
+    """
+    if world_size <= 0:
+        raise ValueError(f"world_size must be positive, got {world_size}")
+    if num_tokens < 0:
+        raise ValueError(f"num_tokens must be non-negative, got {num_tokens}")
+    sizes = np.full(world_size, num_tokens // world_size, dtype=np.int64)
+    sizes[: num_tokens % world_size] += 1
+    return np.repeat(np.arange(world_size), sizes)
+
+
+def balanced_fractions(num_experts: int) -> np.ndarray:
+    """Uniform expert popularity (the paper's ``std = 0`` case)."""
+    if num_experts <= 0:
+        raise ValueError(f"num_experts must be positive, got {num_experts}")
+    return np.full(num_experts, 1.0 / num_experts)
+
+
+def imbalanced_fractions(
+    num_experts: int,
+    std: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Expert popularity fractions with a target standard deviation.
+
+    Uses a softmax-temperature family: ``f(tau) = softmax(tau * d)`` for a
+    random direction ``d``.  At ``tau = 0`` the distribution is uniform;
+    as ``tau`` grows it concentrates on ``argmax(d)``, so the family
+    sweeps the full std range ``[0, sqrt(E-1)/E)`` and a bisection on
+    ``tau`` can hit any achievable target — including the paper's
+    production value 0.032 and its Figure 14 sweep up to 0.05.
+    """
+    if num_experts <= 0:
+        raise ValueError(f"num_experts must be positive, got {num_experts}")
+    if std < 0:
+        raise ValueError(f"std must be non-negative, got {std}")
+    if std == 0:
+        return balanced_fractions(num_experts)
+    max_std = np.sqrt(num_experts - 1) / num_experts  # all mass on one expert
+    if std >= max_std:
+        raise ValueError(
+            f"std {std} unreachable for E={num_experts} (max {max_std:.4f})"
+        )
+    rng = rng or np.random.default_rng(0)
+    direction = rng.normal(size=num_experts)
+    direction -= direction.mean()
+    norm = direction.std()
+    if norm < 1e-12:  # pathological draw; fall back to a fixed ramp
+        direction = np.linspace(-1.0, 1.0, num_experts)
+        direction -= direction.mean()
+        norm = direction.std()
+    direction /= norm
+
+    def realised(tau: float) -> tuple[float, np.ndarray]:
+        logits = tau * direction
+        logits -= logits.max()
+        f = np.exp(logits)
+        f /= f.sum()
+        return float(f.std()), f
+
+    lo, hi = 0.0, 1.0
+    achieved_hi, _ = realised(hi)
+    while achieved_hi < std:
+        hi *= 2.0
+        achieved_hi, _ = realised(hi)
+        if hi > 1e6:
+            raise RuntimeError(f"cannot reach std={std} for E={num_experts}")
+    fractions = balanced_fractions(num_experts)
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        achieved, fractions = realised(mid)
+        if abs(achieved - std) <= 1e-10:
+            break
+        if achieved < std:
+            lo = mid
+        else:
+            hi = mid
+    return fractions
+
+
+def routing_from_fractions(
+    num_tokens: int,
+    topk: int,
+    fractions: np.ndarray,
+    rng: np.random.Generator | None = None,
+) -> RoutingPlan:
+    """Sample a routing plan whose expert loads follow ``fractions``.
+
+    Each token draws ``topk`` *distinct* experts via the Gumbel-top-k
+    trick, which yields marginal selection frequencies proportional to the
+    requested popularity while never assigning a token to the same expert
+    twice (the structural invariant of top-k gating).
+    """
+    fractions = np.asarray(fractions, dtype=np.float64)
+    num_experts = fractions.shape[0]
+    if not 1 <= topk <= num_experts:
+        raise ValueError(f"topk must lie in [1, {num_experts}], got {topk}")
+    if np.any(fractions < 0) or abs(fractions.sum() - 1.0) > 1e-6:
+        raise ValueError("fractions must be non-negative and sum to 1")
+    rng = rng or np.random.default_rng(0)
+
+    log_p = np.where(fractions > 0, np.log(np.maximum(fractions, 1e-300)), -np.inf)
+    gumbel = rng.gumbel(size=(num_tokens, num_experts))
+    keys = log_p[None, :] + gumbel
+    top_unsorted = np.argpartition(-keys, topk - 1, axis=1)[:, :topk]
+    row_idx = np.arange(num_tokens)[:, None]
+    order = np.argsort(-keys[row_idx, top_unsorted], axis=1, kind="stable")
+    experts = np.take_along_axis(top_unsorted, order, axis=1)
+
+    # Combine weights: proportional to popularity of the chosen experts with
+    # mild noise, renormalised per token — mimics a softmax gate's output.
+    raw = fractions[experts] * rng.uniform(0.5, 1.5, size=experts.shape)
+    raw = np.maximum(raw, 1e-9)
+    weights = (raw / raw.sum(axis=1, keepdims=True)).astype(np.float32)
+    return RoutingPlan(experts=experts, weights=weights, num_experts=num_experts)

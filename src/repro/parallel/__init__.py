@@ -1,0 +1,13 @@
+"""Parallelisation strategies: tensor parallel x expert parallel hybrids.
+
+Implements the paper's two MoE parallelisation axes (§2.1): expert
+parallelism distributes whole experts over EP groups; tensor parallelism
+shards every expert's FFN dimension over the ranks of a TP group.  A
+:class:`ParallelStrategy` fixes ``W = TP x EP`` and provides the rank /
+expert / token geometry every scheduler in :mod:`repro.systems` consumes.
+"""
+
+from repro.parallel.strategy import ParallelStrategy
+from repro.parallel.placement import ExpertPlacement
+
+__all__ = ["ExpertPlacement", "ParallelStrategy"]

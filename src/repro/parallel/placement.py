@@ -1,0 +1,178 @@
+"""Expert placement and communication-volume geometry.
+
+Binds a :class:`~repro.parallel.strategy.ParallelStrategy` to a concrete
+expert count and derives, for any routing plan, the quantities every
+scheduler needs:
+
+* GroupGEMM row counts per rank (the local M dimension of the paper's
+  shared tensor);
+* the (source rank, destination rank) matrix of routed token copies that
+  determines dispatch/combine traffic;
+* per-(source rank, expert) counts used by COMET's sort-by-source-rank
+  rescheduling.
+
+Granularity convention: communication and GEMM rows are both counted per
+(token, expert) pair — the shared tensor's global size is ``(M * topk, N)``
+(paper Figure 4), i.e. a token routed to two experts of the same remote
+rank is carried twice.  This mirrors Megatron's permute-then-all2all
+dispatcher and keeps every system's volume identical, so systems differ
+only in *scheduling*, which is what the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.moe.routing import RoutingPlan
+from repro.parallel.strategy import ParallelStrategy
+
+__all__ = ["ExpertPlacement", "RankWorkload"]
+
+
+@dataclass(frozen=True)
+class RankWorkload:
+    """Per-rank view of one MoE layer invocation.
+
+    Attributes:
+        rank: which rank this describes.
+        expert_rows: ``(E_local,)`` GroupGEMM rows per *local* expert, in
+            local expert order.
+        local_experts: the global ids of this rank's experts.
+        recv_pairs_by_src: ``(W,)`` routed pairs arriving from each source
+            rank (``recv_pairs_by_src[rank]`` is the locally owned part).
+        send_pairs_by_dst: ``(W,)`` routed pairs this rank's tokens
+            contribute to each destination rank.
+        pairs_by_src_expert: ``(W, E_local)`` pairs from each source rank
+            to each local expert — the input to sort-by-source-rank
+            rescheduling.
+    """
+
+    rank: int
+    expert_rows: np.ndarray
+    local_experts: tuple[int, ...]
+    recv_pairs_by_src: np.ndarray
+    send_pairs_by_dst: np.ndarray
+    pairs_by_src_expert: np.ndarray
+
+    @property
+    def total_rows(self) -> int:
+        """Total GroupGEMM rows on this rank (local M of the shared tensor)."""
+        return int(self.expert_rows.sum())
+
+    @property
+    def remote_recv_pairs(self) -> int:
+        """Pairs that must be fetched over the interconnect."""
+        return int(self.recv_pairs_by_src.sum() - self.recv_pairs_by_src[self.rank])
+
+    @property
+    def local_recv_pairs(self) -> int:
+        """Pairs already resident on this rank before dispatch."""
+        return int(self.recv_pairs_by_src[self.rank])
+
+
+@dataclass(frozen=True)
+class ExpertPlacement:
+    """Experts bound to EP groups under a fixed strategy."""
+
+    strategy: ParallelStrategy
+    num_experts: int
+
+    def __post_init__(self) -> None:
+        if self.num_experts % self.strategy.ep_size != 0:
+            raise ValueError(
+                f"{self.num_experts} experts not divisible by "
+                f"ep_size {self.strategy.ep_size}"
+            )
+
+    @property
+    def world_size(self) -> int:
+        return self.strategy.world_size
+
+    @property
+    def experts_per_rank(self) -> int:
+        """Local expert count (every rank of an EP group hosts the same set)."""
+        return self.num_experts // self.strategy.ep_size
+
+    def ranks_hosting_expert(self, expert: int) -> list[int]:
+        """All ranks holding (a TP shard of) ``expert``."""
+        group = self.strategy.ep_group_of_expert(expert, self.num_experts)
+        return self.strategy.ranks_in_ep_group(group)
+
+    def experts_of_rank(self, rank: int) -> list[int]:
+        return self.strategy.experts_of_rank(rank, self.num_experts)
+
+    # -- plan-dependent geometry ---------------------------------------------
+    def pair_matrix(self, plan: RoutingPlan, owner: np.ndarray) -> np.ndarray:
+        """``(W, W)`` routed-pair copies from source rank to destination rank.
+
+        Entry ``[s, d]`` counts (token, expert) pairs whose token lives on
+        rank ``s`` and whose expert has a shard on rank ``d``; under TP > 1
+        each pair fans out to all TP ranks of the expert's group.
+        """
+        self._check_plan(plan, owner)
+        world = self.world_size
+        src_expert = plan.counts_by_rank(owner)  # (W, E)
+        if src_expert.shape[0] < world:
+            padded = np.zeros((world, plan.num_experts), dtype=np.int64)
+            padded[: src_expert.shape[0]] = src_expert
+            src_expert = padded
+        matrix = np.zeros((world, world), dtype=np.int64)
+        for expert in range(self.num_experts):
+            for dst in self.ranks_hosting_expert(expert):
+                matrix[:, dst] += src_expert[:, expert]
+        return matrix
+
+    def rank_workload(
+        self, plan: RoutingPlan, owner: np.ndarray, rank: int
+    ) -> RankWorkload:
+        """Assemble the per-rank workload view (see :class:`RankWorkload`)."""
+        self._check_plan(plan, owner)
+        self.strategy._validate_rank(rank)
+        world = self.world_size
+        src_expert = plan.counts_by_rank(owner)
+        if src_expert.shape[0] < world:
+            padded = np.zeros((world, plan.num_experts), dtype=np.int64)
+            padded[: src_expert.shape[0]] = src_expert
+            src_expert = padded
+
+        local_experts = tuple(self.experts_of_rank(rank))
+        pairs_by_src_expert = src_expert[:, list(local_experts)]
+        expert_rows = pairs_by_src_expert.sum(axis=0)
+        recv_by_src = pairs_by_src_expert.sum(axis=1)
+
+        send_by_dst = np.zeros(world, dtype=np.int64)
+        for expert in range(self.num_experts):
+            for dst in self.ranks_hosting_expert(expert):
+                send_by_dst[dst] += src_expert[rank, expert]
+
+        return RankWorkload(
+            rank=rank,
+            expert_rows=expert_rows.astype(np.int64),
+            local_experts=local_experts,
+            recv_pairs_by_src=recv_by_src.astype(np.int64),
+            send_pairs_by_dst=send_by_dst,
+            pairs_by_src_expert=pairs_by_src_expert.astype(np.int64),
+        )
+
+    def all_rank_workloads(
+        self, plan: RoutingPlan, owner: np.ndarray
+    ) -> list[RankWorkload]:
+        return [
+            self.rank_workload(plan, owner, rank) for rank in range(self.world_size)
+        ]
+
+    def _check_plan(self, plan: RoutingPlan, owner: np.ndarray) -> None:
+        if plan.num_experts != self.num_experts:
+            raise ValueError(
+                f"plan has {plan.num_experts} experts, placement expects "
+                f"{self.num_experts}"
+            )
+        if owner.shape != (plan.num_tokens,):
+            raise ValueError(
+                f"owner must have shape ({plan.num_tokens},), got {owner.shape}"
+            )
+        if owner.size and int(owner.max()) >= self.world_size:
+            raise ValueError("owner rank out of range for this placement")

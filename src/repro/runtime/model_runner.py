@@ -1,0 +1,137 @@
+"""End-to-end model execution: attention + MoE layers (paper Figure 9).
+
+The attention (non-MoE) part is identical across all mechanisms — the
+hatched region of Figure 9 — and data parallelism is applied to it when
+``TP < W`` (data-parallel size ``W / TP``), exactly as Megatron-LM does.
+
+Token convention: ``total_tokens`` is the paper's ``M`` — the total token
+count across the world, matching Figure 10's "total input token length".
+The MoE layer (spanning the whole world through expert parallelism)
+processes all ``M`` tokens; each of the ``W / TP`` data-parallel replicas
+runs attention over its ``M * TP / W`` share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cluster import ClusterSpec
+from repro.moe.config import MoEConfig
+from repro.parallel.strategy import ParallelStrategy
+from repro.runtime.workload import MoELayerWorkload, make_workload
+from repro.systems.base import LayerTiming, MoESystem
+
+__all__ = ["ModelTiming", "attention_time_us", "run_model"]
+
+# Kernels per attention block: LN, QKV, attention, projection, residual...
+_ATTENTION_KERNELS = 8
+
+
+def attention_time_us(
+    config: MoEConfig,
+    cluster: ClusterSpec,
+    tp_size: int,
+    tokens: int,
+) -> float:
+    """One attention block over ``tokens`` tokens, sharded ``tp_size`` ways.
+
+    Identical across MoE mechanisms: projections + scaled-dot-product
+    attention on the tensor-parallel group, a ring all-reduce of the
+    output, and the bandwidth-bound elementwise glue (LayerNorm,
+    residual, softmax).
+    """
+    if tokens <= 0:
+        raise ValueError(f"tokens must be positive, got {tokens}")
+    if tp_size <= 0:
+        raise ValueError(f"tp_size must be positive, got {tp_size}")
+    gpu = cluster.gpu
+    n = config.hidden_size
+
+    proj_flops = 8.0 * tokens * n * n  # Q, K, V, O projections
+    score_flops = 4.0 * tokens * tokens * n  # QK^T and PV
+    compute = (proj_flops + score_flops) / tp_size / gpu.flops_per_us
+
+    elementwise_bytes = 6.0 * tokens * n * config.dtype_bytes
+    memory = elementwise_bytes / gpu.hbm_bytes_per_us
+
+    comm = 0.0
+    if tp_size > 1:
+        # Ring all-reduce of the (tokens x N) output: 2 (tp-1)/tp volumes.
+        link = cluster.link
+        bytes_total = tokens * n * config.dtype_bytes
+        volume = 2.0 * (tp_size - 1) / tp_size * bytes_total
+        comm = volume / link.ring_bytes_per_us + 2 * (tp_size - 1) * link.latency_us
+
+    host = _ATTENTION_KERNELS * gpu.kernel_launch_us
+    return compute + memory + comm + host
+
+
+@dataclass(frozen=True)
+class ModelTiming:
+    """End-to-end forward timing of one MoE model under one system."""
+
+    model: str
+    system: str
+    num_layers: int
+    attention_us: float  # per transformer layer (identical across systems)
+    moe: LayerTiming
+
+    @property
+    def layer_us(self) -> float:
+        """One transformer layer: attention + MoE."""
+        return self.attention_us + self.moe.total_us
+
+    @property
+    def total_us(self) -> float:
+        return self.num_layers * self.layer_us
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1000.0
+
+    @property
+    def moe_fraction(self) -> float:
+        """Share of end-to-end time spent in MoE layers (Figure 1a)."""
+        return self.moe.total_us / self.layer_us
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of end-to-end time spent in exposed MoE communication."""
+        return self.moe.exposed_comm_us / self.layer_us
+
+
+def run_model(
+    system: MoESystem,
+    config: MoEConfig,
+    cluster: ClusterSpec,
+    strategy: ParallelStrategy,
+    total_tokens: int,
+    imbalance_std: float = 0.0,
+    seed: int = 0,
+    workload: MoELayerWorkload | None = None,
+) -> ModelTiming:
+    """Time a full forward pass of ``config`` under ``system``.
+
+    Args:
+        total_tokens: the paper's ``M`` — total input token length across
+            the world (Figure 10's convention).
+        workload: pre-built MoE workload (otherwise synthesised with
+            ``imbalance_std`` / ``seed``).
+    """
+    dp_size = strategy.ep_size  # W / TP
+    if workload is None:
+        workload = make_workload(
+            config, cluster, strategy, total_tokens, imbalance_std, seed
+        )
+    tokens_per_dp = max(1, workload.total_tokens // dp_size)
+    moe = system.time_layer(workload)
+    attention = attention_time_us(
+        config, cluster, strategy.tp_size, tokens_per_dp
+    )
+    return ModelTiming(
+        model=config.name,
+        system=system.name,
+        num_layers=config.num_layers,
+        attention_us=attention,
+        moe=moe,
+    )

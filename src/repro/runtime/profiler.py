@@ -1,0 +1,49 @@
+"""Overlap analysis: the quantities behind the paper's Figure 11."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.systems.base import LayerTiming
+
+__all__ = ["OverlapReport", "overlap_report"]
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Communication-hiding summary for one system on one workload."""
+
+    system: str
+    total_us: float
+    comm_us: float
+    exposed_comm_us: float
+    comp_us: float
+
+    @property
+    def hidden_comm_fraction(self) -> float:
+        if self.comm_us <= 0:
+            return 1.0
+        return 1.0 - self.exposed_comm_us / self.comm_us
+
+    @property
+    def comm_share(self) -> float:
+        """Exposed communication as a share of the layer's wall clock."""
+        if self.total_us <= 0:
+            return 0.0
+        return self.exposed_comm_us / self.total_us
+
+
+def overlap_report(timings: Mapping[str, LayerTiming]) -> list[OverlapReport]:
+    """Summarise a ``compare_systems`` result, slowest system first."""
+    reports = [
+        OverlapReport(
+            system=name,
+            total_us=t.total_us,
+            comm_us=t.comm_us,
+            exposed_comm_us=t.exposed_comm_us,
+            comp_us=t.comp_us,
+        )
+        for name, t in timings.items()
+    ]
+    return sorted(reports, key=lambda r: -r.total_us)

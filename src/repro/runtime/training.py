@@ -1,0 +1,151 @@
+"""Training-step timing: forward + backward + gradient sync + optimizer.
+
+COMET was built for (and deployed in) large-scale MoE *training* — the
+paper's production clusters save millions of GPU hours.  This module
+extends the forward-only model runner to one full training step:
+
+* **forward** — attention + MoE layer, as in :mod:`repro.runtime.model_runner`;
+* **backward** — the MoE backward runs the same two pipelines in reverse
+  with the same communication volumes but roughly twice the GEMM work
+  (dgrad + wgrad).  Each system times it through
+  :meth:`~repro.systems.base.MoESystem.backward_variant`, so COMET's
+  fine-grained overlap (and its re-profiled division points) applies to
+  the backward pass exactly as in the deployed system.  Attention
+  backward is the customary 2x forward.
+* **gradient synchronisation** — data-parallel all-reduce of the
+  *non-expert* parameters (expert weights are not DP-replicated under
+  expert parallelism); identical across systems.
+* **optimizer** — Adam update over the rank's resident parameters,
+  HBM-bound; identical across systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cluster import ClusterSpec
+from repro.moe.config import MoEConfig
+from repro.parallel.strategy import ParallelStrategy
+from repro.runtime.model_runner import attention_time_us
+from repro.runtime.workload import MoELayerWorkload, make_workload
+from repro.systems.base import LayerTiming, MoESystem
+
+__all__ = ["TrainStepTiming", "run_training_step"]
+
+# Adam in mixed precision touches roughly: BF16 param + grad, FP32 master
+# param, two FP32 moments — reads and writes — per parameter.
+_OPTIMIZER_BYTES_PER_PARAM = 2 + 2 + 3 * 2 * 4
+
+
+@dataclass(frozen=True)
+class TrainStepTiming:
+    """One training step of an MoE model under one system (µs)."""
+
+    model: str
+    system: str
+    num_layers: int
+    attention_fwd_us: float
+    attention_bwd_us: float
+    moe_fwd: LayerTiming
+    moe_bwd: LayerTiming
+    grad_sync_us: float
+    optimizer_us: float
+
+    @property
+    def layer_us(self) -> float:
+        """Forward + backward of one transformer layer."""
+        return (
+            self.attention_fwd_us
+            + self.attention_bwd_us
+            + self.moe_fwd.total_us
+            + self.moe_bwd.total_us
+        )
+
+    @property
+    def step_us(self) -> float:
+        return self.num_layers * self.layer_us + self.grad_sync_us + self.optimizer_us
+
+    @property
+    def step_ms(self) -> float:
+        return self.step_us / 1000.0
+
+    @property
+    def moe_fraction(self) -> float:
+        """Share of the step spent in MoE layers (fwd + bwd)."""
+        moe = self.num_layers * (self.moe_fwd.total_us + self.moe_bwd.total_us)
+        return moe / self.step_us
+
+
+def _expert_params_per_rank(config: MoEConfig, strategy: ParallelStrategy) -> float:
+    """Expert parameters resident on one rank (EP subset, TP shard)."""
+    local_experts = config.num_experts / strategy.ep_size
+    per_expert = 2.0 * config.hidden_size * config.ffn_size / strategy.tp_size
+    return local_experts * per_expert
+
+
+def _dense_params_per_rank(config: MoEConfig, strategy: ParallelStrategy) -> float:
+    """Attention + gate parameters on one rank (TP-sharded)."""
+    attention = 4.0 * config.hidden_size * config.hidden_size / strategy.tp_size
+    gate = config.hidden_size * config.num_experts
+    return attention + gate
+
+
+def _grad_sync_us(config: MoEConfig, cluster: ClusterSpec, strategy: ParallelStrategy) -> float:
+    """DP ring all-reduce of the dense (non-expert) gradients.
+
+    Expert weights have no DP replicas under expert parallelism, so only
+    the attention/gate gradients synchronise; volume is 2 (W-1)/W of the
+    gradient bytes over the ring tier.
+    """
+    dp = strategy.ep_size  # W / TP
+    if dp <= 1:
+        return 0.0
+    grad_bytes = (
+        config.num_layers
+        * _dense_params_per_rank(config, strategy)
+        * config.dtype_bytes
+    )
+    link = cluster.link
+    volume = 2.0 * (dp - 1) / dp * grad_bytes
+    return volume / link.ring_bytes_per_us + 2 * (dp - 1) * link.latency_us
+
+
+def _optimizer_us(config: MoEConfig, cluster: ClusterSpec, strategy: ParallelStrategy) -> float:
+    """Adam update over all resident parameters (HBM-bound)."""
+    params = config.num_layers * (
+        _expert_params_per_rank(config, strategy)
+        + _dense_params_per_rank(config, strategy)
+    )
+    return params * _OPTIMIZER_BYTES_PER_PARAM / cluster.gpu.hbm_bytes_per_us
+
+
+def run_training_step(
+    system: MoESystem,
+    config: MoEConfig,
+    cluster: ClusterSpec,
+    strategy: ParallelStrategy,
+    total_tokens: int,
+    imbalance_std: float = 0.0,
+    seed: int = 0,
+    workload: MoELayerWorkload | None = None,
+) -> TrainStepTiming:
+    """Time one full training step (fwd + bwd + sync + optimizer)."""
+    if workload is None:
+        workload = make_workload(
+            config, cluster, strategy, total_tokens, imbalance_std, seed
+        )
+    moe_fwd = system.time_layer(workload)
+    moe_bwd = system.backward_variant().time_layer(workload)
+    tokens_per_dp = max(1, workload.total_tokens // strategy.ep_size)
+    attention_fwd = attention_time_us(config, cluster, strategy.tp_size, tokens_per_dp)
+    return TrainStepTiming(
+        model=config.name,
+        system=system.name,
+        num_layers=config.num_layers,
+        attention_fwd_us=attention_fwd,
+        attention_bwd_us=2.0 * attention_fwd,
+        moe_fwd=moe_fwd,
+        moe_bwd=moe_bwd,
+        grad_sync_us=_grad_sync_us(config, cluster, strategy),
+        optimizer_us=_optimizer_us(config, cluster, strategy),
+    )

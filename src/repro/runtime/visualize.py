@@ -1,0 +1,87 @@
+"""ASCII rendering of layer timings and overlap structure.
+
+Terminal-friendly visualisation of what the paper's Figure 11 plots:
+stacked segment bars per system (exposed communication vs computation),
+plus a two-lane overlap view for a single system showing how much of the
+standalone communication disappears under compute.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.systems.base import LayerTiming
+
+__all__ = ["render_breakdown_bars", "render_overlap_lanes"]
+
+# Segment glyphs, in breakdown order.
+_SEGMENT_GLYPHS = {
+    "gating": "g",
+    "layer0-comm": "<",
+    "layer0-comp": "#",
+    "activation": "a",
+    "layer1-comp": "#",
+    "layer1-comm": ">",
+}
+
+
+def render_breakdown_bars(
+    timings: Mapping[str, LayerTiming],
+    width: int = 72,
+) -> str:
+    """One stacked bar per system, scaled to the slowest system.
+
+    Glyphs: ``g`` gating+host, ``<``/``>`` exposed layer0/layer1
+    communication, ``#`` expert computation, ``a`` activation.
+    """
+    if not timings:
+        raise ValueError("no timings to render")
+    if width < 10:
+        raise ValueError(f"width too small: {width}")
+    slowest = max(t.total_us for t in timings.values())
+    if slowest <= 0:
+        raise ValueError("timings must have positive totals")
+
+    lines = []
+    for name, timing in sorted(timings.items(), key=lambda kv: -kv[1].total_us):
+        bar = []
+        for segment, value in timing.breakdown().items():
+            cells = int(round(width * value / slowest))
+            bar.append(_SEGMENT_GLYPHS[segment] * cells)
+        lines.append(
+            f"{name:>18s} |{''.join(bar):<{width}s}| {timing.total_us / 1000:7.3f} ms"
+        )
+    legend = (
+        f"{'':>18s}  g=gating/host  <=l0 comm  #=compute  a=act  >=l1 comm"
+    )
+    return "\n".join(lines + [legend])
+
+
+def render_overlap_lanes(timing: LayerTiming, width: int = 72) -> str:
+    """Two lanes for one system: compute lane vs communication lane.
+
+    The communication lane shows the standalone duration with its hidden
+    portion dimmed (``.``) and only the exposed portion solid (``!``) —
+    the paper's "latency concealment" picture.
+    """
+    if width < 10:
+        raise ValueError(f"width too small: {width}")
+    scale_us = max(timing.total_us, timing.comm_us)
+    if scale_us <= 0:
+        raise ValueError("timing must have positive duration")
+
+    def cells(value: float) -> int:
+        return int(round(width * value / scale_us))
+
+    comp_cells = cells(timing.comp_us + timing.gate_us + timing.activation_us)
+    comp_lane = "#" * comp_cells
+    hidden = max(0.0, timing.comm_us - timing.exposed_comm_us)
+    comm_lane = "." * cells(hidden) + "!" * cells(timing.exposed_comm_us)
+    return "\n".join(
+        [
+            f"{timing.system}: {timing.total_us / 1000:.3f} ms, "
+            f"{100 * timing.hidden_comm_fraction:.1f}% of communication hidden",
+            f"  compute |{comp_lane:<{width}s}|",
+            f"  comm    |{comm_lane:<{width}s}|  (.=hidden  !=exposed)",
+        ]
+    )

@@ -1,0 +1,243 @@
+"""One MoE layer invocation: model + cluster + parallelism + routing.
+
+:class:`MoELayerWorkload` is the unit every system's scheduler consumes;
+:class:`WorkloadGeometry` pre-computes the per-rank quantities (GroupGEMM
+rows, traffic matrices, intra-/cross-group splits, unique-token counts)
+that the schedulers share, so each system only encodes *scheduling*
+decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.hw.cluster import ClusterSpec
+from repro.moe.config import MoEConfig
+from repro.moe.routing import (
+    RoutingPlan,
+    balanced_fractions,
+    imbalanced_fractions,
+    routing_from_fractions,
+    token_owner_ranks,
+)
+from repro.parallel.placement import ExpertPlacement, RankWorkload
+from repro.parallel.strategy import ParallelStrategy
+
+__all__ = ["MoELayerWorkload", "WorkloadGeometry", "make_workload"]
+
+
+@dataclass(frozen=True)
+class MoELayerWorkload:
+    """Everything needed to time (and numerically execute) one MoE layer.
+
+    Attributes:
+        config: model shapes (N, K, E, topk, dtype).
+        cluster: hardware.
+        strategy: TP x EP decomposition; ``strategy.world_size`` must equal
+            ``cluster.world_size``.
+        plan: routing of all ``M`` tokens (``M`` is the *total* token count
+            across devices, each device owning ``M / W`` — the convention
+            of the paper's Figure 10).
+        owner: ``(M,)`` pre-dispatch token placement.
+    """
+
+    config: MoEConfig
+    cluster: ClusterSpec
+    strategy: ParallelStrategy
+    plan: RoutingPlan
+    owner: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.strategy.world_size != self.cluster.world_size:
+            raise ValueError(
+                f"strategy world {self.strategy.world_size} != cluster world "
+                f"{self.cluster.world_size}"
+            )
+        self.strategy.validate_model(self.config.num_experts, self.config.ffn_size)
+        if self.plan.num_experts != self.config.num_experts:
+            raise ValueError("routing plan expert count does not match the model")
+        if self.owner.shape != (self.plan.num_tokens,):
+            raise ValueError("owner array must cover every routed token")
+
+    @property
+    def total_tokens(self) -> int:
+        return self.plan.num_tokens
+
+    @property
+    def world_size(self) -> int:
+        return self.cluster.world_size
+
+    @property
+    def tokens_per_rank(self) -> int:
+        return self.total_tokens // self.world_size
+
+    @cached_property
+    def geometry(self) -> "WorkloadGeometry":
+        return WorkloadGeometry(self)
+
+
+class WorkloadGeometry:
+    """Derived per-rank quantities shared by every scheduler."""
+
+    def __init__(self, workload: MoELayerWorkload):
+        self.workload = workload
+        self.placement = ExpertPlacement(
+            workload.strategy, workload.config.num_experts
+        )
+        self._rank_workloads = self.placement.all_rank_workloads(
+            workload.plan, workload.owner
+        )
+
+    # -- per-rank structure -------------------------------------------------
+    def rank_workload(self, rank: int) -> RankWorkload:
+        return self._rank_workloads[rank]
+
+    @cached_property
+    def rows_per_rank(self) -> np.ndarray:
+        """GroupGEMM rows (routed pairs resident) per rank."""
+        return np.array([w.total_rows for w in self._rank_workloads], dtype=np.int64)
+
+    @property
+    def bottleneck_rank(self) -> int:
+        """Rank with the most GroupGEMM rows — it paces the layer."""
+        return int(self.rows_per_rank.argmax())
+
+    # -- traffic ------------------------------------------------------------
+    @cached_property
+    def pair_matrix(self) -> np.ndarray:
+        """``(W, W)`` routed-pair copies (source rank -> destination rank)."""
+        return self.placement.pair_matrix(self.workload.plan, self.workload.owner)
+
+    @cached_property
+    def dispatch_bytes_matrix(self) -> np.ndarray:
+        """Dispatch traffic in bytes; combine traffic is its transpose."""
+        return self.pair_matrix * self.workload.config.token_bytes
+
+    def split_intra_cross(self, matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a (W, W) traffic matrix into intra-TP-group and cross-group.
+
+        Intra-group traffic moves between ranks of one TP group (ring
+        collective shaped); cross-group traffic is the EP all-to-all.
+        """
+        strategy = self.workload.strategy
+        world = strategy.world_size
+        intra = np.zeros_like(matrix)
+        for src in range(world):
+            for dst in strategy.tp_group_of(src):
+                intra[src, dst] = matrix[src, dst]
+        return intra, matrix - intra
+
+    @cached_property
+    def baseline_dispatch_route(self) -> tuple[np.ndarray, np.ndarray]:
+        """Kernel-level dispatch route: (cross_pair_matrix, entered_pairs).
+
+        Megatron-style dispatchers do not fan a routed pair out to every
+        TP rank over the all-to-all: the pair crosses EP groups *once* to
+        its TP-peer entry rank (``rank_of(group, tp_rank(owner))``) and is
+        then replicated inside the group by an all-gather.
+
+        Returns:
+            cross_pair_matrix: ``(W, W)`` pairs moved by the EP all-to-all
+                from owner rank to entry rank (diagonal = already local).
+            entered_pairs: ``(W,)`` pairs entering each rank, i.e. each
+                rank's contribution to its TP-group all-gather.
+        """
+        workload = self.workload
+        strategy = workload.strategy
+        world = strategy.world_size
+        src_expert = workload.plan.counts_by_rank(workload.owner)
+        if src_expert.shape[0] < world:
+            padded = np.zeros((world, workload.plan.num_experts), dtype=np.int64)
+            padded[: src_expert.shape[0]] = src_expert
+            src_expert = padded
+        cross = np.zeros((world, world), dtype=np.int64)
+        entered = np.zeros(world, dtype=np.int64)
+        for expert in range(workload.plan.num_experts):
+            group = strategy.ep_group_of_expert(expert, workload.plan.num_experts)
+            for src in range(world):
+                pairs = int(src_expert[src, expert])
+                if pairs == 0:
+                    continue
+                entry = strategy.rank_of(group, strategy.tp_rank(src))
+                cross[src, entry] += pairs
+                entered[entry] += pairs
+        return cross, entered
+
+    # -- layer1 combine structure --------------------------------------------
+    @cached_property
+    def unique_tokens_per_rank(self) -> np.ndarray:
+        """Tokens with at least one expert copy on each rank.
+
+        This is the row count the layer1 combine sends after the local
+        top-k partial reduction merged same-token copies.
+        """
+        plan = self.workload.plan
+        strategy = self.workload.strategy
+        per_group = self.placement.experts_per_rank
+        token_groups = plan.experts // per_group  # (M, topk) EP-group ids
+        counts = np.zeros(strategy.world_size, dtype=np.int64)
+        for group in range(strategy.ep_size):
+            present = (token_groups == group).any(axis=1)
+            for rank in strategy.ranks_in_ep_group(group):
+                counts[rank] = int(present.sum())
+        return counts
+
+    def combine_row_split(self, rank: int) -> tuple[int, int, int]:
+        """(local, remote_bulk, remote_fine) reduced-row counts sent by ``rank``.
+
+        * local — token owners on this very rank (plain HBM writes);
+        * remote_bulk — owners inside this rank's TP group (contiguous,
+          reduce-scatter-shaped messages);
+        * remote_fine — owners in other EP groups (token-granular
+          scattered all-to-all messages).
+        """
+        workload = self.workload
+        plan = workload.plan
+        strategy = workload.strategy
+        per_group = self.placement.experts_per_rank
+        group = strategy.ep_rank(rank)
+        present = (plan.experts // per_group == group).any(axis=1)
+        owners = workload.owner[present]
+        tp_group = set(strategy.tp_group_of(rank))
+        local = int((owners == rank).sum())
+        bulk = int(np.isin(owners, [r for r in tp_group if r != rank]).sum())
+        fine = int(owners.size - local - bulk)
+        return local, bulk, fine
+
+
+def make_workload(
+    config: MoEConfig,
+    cluster: ClusterSpec,
+    strategy: ParallelStrategy,
+    total_tokens: int,
+    imbalance_std: float = 0.0,
+    seed: int = 0,
+) -> MoELayerWorkload:
+    """Synthesise a workload with controlled expert-load imbalance.
+
+    ``imbalance_std`` is the paper's Figure 14 knob: the standard
+    deviation of per-expert token fractions (0 = uniform; their production
+    average is 0.032).
+    """
+    if total_tokens % cluster.world_size != 0:
+        raise ValueError(
+            f"total_tokens {total_tokens} must divide evenly over "
+            f"{cluster.world_size} ranks"
+        )
+    rng = np.random.default_rng(seed)
+    if imbalance_std > 0:
+        fractions = imbalanced_fractions(config.num_experts, imbalance_std, rng)
+    else:
+        fractions = balanced_fractions(config.num_experts)
+    plan = routing_from_fractions(total_tokens, config.topk, fractions, rng)
+    owner = token_owner_ranks(total_tokens, cluster.world_size)
+    return MoELayerWorkload(
+        config=config,
+        cluster=cluster,
+        strategy=strategy,
+        plan=plan,
+        owner=owner,
+    )

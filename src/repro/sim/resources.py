@@ -1,0 +1,137 @@
+"""Shared resources for the DES kernel: capacity tokens and channels.
+
+:class:`Resource` models a fixed number of interchangeable slots (e.g. the
+SMs of a GPU, or DMA engines); :class:`Store` is an unbounded-or-bounded
+FIFO channel used for producer/consumer handoff (e.g. tiles ready for the
+top-k reducer).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Store"]
+
+
+class _Request(Event):
+    """Pending acquisition of one resource slot.
+
+    Usable as a context manager so that ``with resource.request() as req``
+    always releases the slot, even on exceptions.
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        if not self.triggered:
+            self.resource._waiting.remove(self)
+
+
+class Resource:
+    """A fixed-capacity pool of anonymous slots with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[_Request] = set()
+        self._waiting: deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Request one slot; the returned event fires when granted."""
+        return _Request(self)
+
+    def release(self, request: _Request) -> None:
+        """Return a previously granted slot and wake the next waiter."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        elif not request.triggered:
+            request.cancel()
+        # Releasing an already-released request is a no-op, which keeps the
+        # context-manager protocol simple.
+
+    def _do_request(self, request: _Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.add(request)
+            request.succeed()
+        else:
+            self._waiting.append(request)
+
+    def _grant_next(self) -> None:
+        if self._waiting and len(self._users) < self.capacity:
+            request = self._waiting.popleft()
+            self._users.add(request)
+            request.succeed()
+
+
+class Store:
+    """FIFO channel of Python objects with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; fires once accepted (immediately if not full)."""
+        event = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; fires with the item once one is available."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            self._getters.popleft().succeed(self.items.popleft())
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()
+            self._serve_getters()

@@ -1,0 +1,174 @@
+"""Timeline tracing for simulated kernels.
+
+Every simulated activity (a GEMM tile, a token transfer, a collective) can
+record a :class:`TraceEvent`; the :class:`Tracer` aggregates them, computes
+per-lane utilisation, and exports Chrome ``chrome://tracing`` / Perfetto
+JSON so simulated kernel timelines can be inspected visually.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One closed interval of activity on a named lane.
+
+    Attributes:
+        name: human-readable activity label (e.g. ``"tile e0 (0,3)"``).
+        category: activity class used for aggregation (``"comp"``,
+            ``"comm"``, ``"host"``, ...).
+        lane: execution lane, e.g. ``"rank0/sm"`` or ``"rank0/comm_block3"``.
+        start: start time (µs).
+        end: end time (µs).
+        args: extra metadata carried into the Chrome trace.
+    """
+
+    name: str
+    category: str
+    lane: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"trace event ends before it starts: {self}")
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records and derives timeline statistics."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.enabled = True
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        lane: str,
+        start: float,
+        end: float,
+        **args,
+    ) -> None:
+        """Append one interval to the trace (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(name, category, lane, start, end, args))
+
+    def lanes(self) -> list[str]:
+        """Sorted list of distinct lanes observed."""
+        return sorted({e.lane for e in self.events})
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all events; (0, 0) if empty."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    def busy_time(
+        self,
+        lane: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> float:
+        """Total *union* busy time of matching events (overlaps merged).
+
+        Events on the same lane are merged before summing so concurrent
+        records do not double count; across different lanes, busy time adds
+        (two busy lanes = 2x lane-time), which matches how GPU utilisation
+        per-SM is accounted.
+        """
+        by_lane: dict[str, list[tuple[float, float]]] = {}
+        for e in self.events:
+            if lane is not None and e.lane != lane:
+                continue
+            if category is not None and e.category != category:
+                continue
+            by_lane.setdefault(e.lane, []).append((e.start, e.end))
+        total = 0.0
+        for intervals in by_lane.values():
+            total += _union_length(intervals)
+        return total
+
+    def category_breakdown(self) -> dict[str, float]:
+        """Union busy time per category (summed over lanes)."""
+        categories = sorted({e.category for e in self.events})
+        return {c: self.busy_time(category=c) for c in categories}
+
+    def to_chrome_trace(self) -> dict:
+        """Render as a Chrome Trace Event Format object (``X`` phases)."""
+        lane_ids = {lane: i for i, lane in enumerate(self.lanes())}
+        trace_events = []
+        for lane, tid in lane_ids.items():
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        for e in self.events:
+            trace_events.append(
+                {
+                    "name": e.name,
+                    "cat": e.category,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": lane_ids[e.lane],
+                    "ts": e.start,
+                    "dur": e.duration,
+                    "args": e.args,
+                }
+            )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def save_chrome_trace(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+    def merge(self, other: "Tracer", lane_prefix: str = "") -> None:
+        """Absorb another tracer's events, optionally prefixing lanes."""
+        for e in other.events:
+            self.events.append(
+                TraceEvent(
+                    e.name,
+                    e.category,
+                    lane_prefix + e.lane,
+                    e.start,
+                    e.end,
+                    e.args,
+                )
+            )
+
+
+def _union_length(intervals: Iterable[tuple[float, float]]) -> float:
+    """Length of the union of closed intervals."""
+    ordered = sorted(intervals)
+    total = 0.0
+    current_start: Optional[float] = None
+    current_end = 0.0
+    for start, end in ordered:
+        if current_start is None or start > current_end:
+            if current_start is not None:
+                total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_start is not None:
+        total += current_end - current_start
+    return total

@@ -1,0 +1,39 @@
+"""The five MoE execution systems of the paper's evaluation.
+
+Every system consumes the same :class:`~repro.runtime.workload.MoELayerWorkload`
+and produces a :class:`~repro.systems.base.LayerTiming`; they differ only
+in *scheduling*: whether and how communication overlaps computation, what
+granularity they pipeline at, and how much host-side work they generate.
+
+* :class:`MegatronCutlass` — serialized NCCL collectives + CUTLASS
+  GroupGEMM, no overlap (paper baseline a).
+* :class:`MegatronTE` — same schedule via TransformerEngine (baseline b).
+* :class:`FasterMoE` — degree-2 chunked pipeline, expert parallel only
+  (baseline c).
+* :class:`Tutel` — adaptive pipeline degree with 2D-hierarchical
+  all-to-all (baseline d).
+* :class:`Comet` — the paper's system: shared-tensor rescheduling +
+  thread-block-specialised fused kernels with adaptive `nc`.
+"""
+
+from repro.systems.base import LayerTiming, MoESystem, UnsupportedWorkload
+from repro.systems.megatron import MegatronCutlass, MegatronTE
+from repro.systems.fastermoe import FasterMoE
+from repro.systems.tutel import Tutel
+from repro.systems.comet import Comet
+
+ALL_SYSTEMS = (MegatronTE, MegatronCutlass, FasterMoE, Tutel, Comet)
+BASELINE_SYSTEMS = (MegatronTE, MegatronCutlass, FasterMoE, Tutel)
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "BASELINE_SYSTEMS",
+    "Comet",
+    "FasterMoE",
+    "LayerTiming",
+    "MegatronCutlass",
+    "MegatronTE",
+    "MoESystem",
+    "Tutel",
+    "UnsupportedWorkload",
+]

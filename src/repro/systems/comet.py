@@ -1,0 +1,396 @@
+"""COMET: fine-grained communication-computation overlapping (the paper).
+
+The layer executes as two thread-block-specialised fused kernels plus the
+gate:
+
+* **fused kernel 0** — token dispatch + layer0 GroupGEMM.  The shared
+  tensor (dispatch output / GEMM input) is decomposed along M (resolved
+  by :func:`repro.tensor.dependency.resolve_decomposition`) and its rows
+  rescheduled so each expert's locally resident tokens come first,
+  sorted by source rank (Figure 5); compute row-blocks unblock as their
+  tokens stream in through the ``nc`` communication blocks.
+* **fused kernel 1** — layer1 GroupGEMM + top-k reduce + combine.  The
+  shared tensor is decomposed along N and the GroupGEMM iterates
+  column-major (Figure 6) so the reducer starts after the first ``TN``
+  columns.
+
+``nc`` is chosen per (layer, parallelism, token bucket, hardware) by the
+adaptive workload assignment: an offline profile over the pre-compiled
+variant library, consulted at runtime (§3.2.2).
+
+Constructor flags expose the paper's design choices for ablation:
+``reschedule=False`` keeps shared tensors in token order / expert-major
+order; ``specialized=False`` emulates vertical fusion (communication in
+the GEMM prologue/epilogue); ``fixed_nc`` disables adaptivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.assignment import (
+    AssignmentProfile,
+    ProfileKey,
+    default_variants,
+    profile_division_points,
+    select_division_point,
+)
+from repro.kernels.fused import (
+    FusedKernelResult,
+    Layer1CommWork,
+    simulate_layer0_fused,
+    simulate_layer0_vertical,
+    simulate_layer1_fused,
+    simulate_layer1_vertical,
+)
+from repro.moe.experts import ExpertWeights
+from repro.runtime.workload import MoELayerWorkload
+from repro.systems.base import LayerTiming, MoESystem
+from repro.tensor.dependency import resolve_decomposition
+from repro.tensor.reschedule import (
+    POLICY_COLUMN_MAJOR,
+    POLICY_EXPERT_MAJOR,
+    POLICY_SORTED,
+    POLICY_TOKEN_ORDER,
+    build_layer0_schedule,
+    build_layer1_schedule,
+    layer0_rescheduled_forward,
+    layer1_columnwise_forward,
+)
+from repro.tensor.shared_tensor import layer0_shared_tensor, layer1_shared_tensor
+
+__all__ = ["Comet"]
+
+
+@dataclass(frozen=True)
+class _LayerSim:
+    """Aggregated fused-kernel outcome across ranks."""
+
+    duration_us: float
+    comp_us: float
+    comm_us: float
+    exposed_us: float
+    nc: int
+
+
+class Comet(MoESystem):
+    """The COMET MoE system."""
+
+    name = "Comet"
+
+    # Host side: gate kernel + two fused kernels.
+    NUM_KERNELS = 3
+
+    def __init__(
+        self,
+        reschedule: bool = True,
+        adaptive: bool = True,
+        fixed_nc: int | None = None,
+        specialized: bool = True,
+        gemm_scale: float = 1.0,
+        fabric_contention: bool = False,
+    ):
+        super().__init__(gemm_scale=gemm_scale)
+        self.reschedule = reschedule
+        self.adaptive = adaptive
+        self.fixed_nc = fixed_nc
+        self.specialized = specialized
+        # High-fidelity layer0 mode: token arrivals computed by the joint
+        # fabric simulation (shared source egress) instead of the
+        # independent per-rank ingress model.
+        self.fabric_contention = fabric_contention
+        # Profiled metadata per (cluster, model): ProfileKey -> SweepResult.
+        self._profiles: dict[tuple[str, str], AssignmentProfile] = {}
+
+    def backward_variant(self) -> "Comet":
+        """Backward copy: doubled GEMM work, fresh assignment metadata.
+
+        The optimal division point moves when the compute side doubles,
+        so the backward pass gets its own profile cache rather than
+        inheriting forward optima.
+        """
+        variant = Comet(
+            reschedule=self.reschedule,
+            adaptive=self.adaptive,
+            fixed_nc=self.fixed_nc,
+            specialized=self.specialized,
+            gemm_scale=self.gemm_scale * 2.0,
+            fabric_contention=self.fabric_contention,
+        )
+        return variant
+
+    # -- timing ----------------------------------------------------------------
+    def time_layer(self, workload: MoELayerWorkload) -> LayerTiming:
+        self.check_supported(workload)
+        l0 = self._simulate_layer0(workload)
+        l1 = self._simulate_layer1(workload)
+        host = self.NUM_KERNELS * workload.cluster.gpu.kernel_launch_us
+        return LayerTiming(
+            system=self.name,
+            gate_us=self.gate_time_us(workload),
+            layer0_comm_us=l0.comm_us,
+            layer0_comp_us=l0.comp_us,
+            activation_us=self.activation_us(workload),
+            layer1_comp_us=l1.comp_us,
+            layer1_comm_us=l1.comm_us,
+            host_us=host,
+            exposed_layer0_comm_us=min(l0.exposed_us, l0.comm_us),
+            exposed_layer1_comm_us=min(l1.exposed_us, l1.comm_us),
+        )
+
+    def division_point(self, workload: MoELayerWorkload, layer: int) -> int:
+        """The ``nc`` COMET would use for this workload and layer."""
+        if workload.world_size == 1:
+            return 0
+        if self.fixed_nc is not None:
+            return self.fixed_nc
+        if not self.adaptive:
+            return max(2, workload.cluster.link.blocks_to_saturate())
+        return self._adaptive_nc(workload, layer)
+
+    # -- layer simulations -------------------------------------------------------
+    def _simulate_layer0(self, workload: MoELayerWorkload) -> _LayerSim:
+        config = workload.config
+        geometry = workload.geometry
+        # Dependency resolving: layer0 decomposes along M (tokens).
+        tensor = layer0_shared_tensor(
+            workload.plan.total_routed, config.hidden_size
+        )
+        assert resolve_decomposition(tensor) == "M"
+
+        nc = self.division_point(workload, layer=0)
+        cols = config.ffn_size // workload.strategy.tp_size
+        policy = POLICY_SORTED if self.reschedule else POLICY_TOKEN_ORDER
+        arrival_fns = (
+            self._fabric_arrivals(workload, nc)
+            if self.fabric_contention and workload.world_size > 1
+            else [None] * workload.world_size
+        )
+        results = []
+        for rank in range(workload.world_size):
+            rank_workload = geometry.rank_workload(rank)
+            schedule = build_layer0_schedule(
+                rank_workload.pairs_by_src_expert, rank, policy=policy
+            )
+            results.append(
+                self._run_layer0_kernel(
+                    workload, schedule, cols, nc, arrival_fn=arrival_fns[rank]
+                )
+            )
+        return self._aggregate(results, nc)
+
+    def _fabric_arrivals(self, workload: MoELayerWorkload, nc: int):
+        """Joint fetch-fabric simulation: per-rank arrival curves."""
+        from repro.kernels.fabric import FetchRun, simulate_fetch_fabric
+        from repro.kernels.fused import _comm_rate
+
+        geometry = workload.geometry
+        cluster = workload.cluster
+        world = workload.world_size
+        token_bytes = workload.config.token_bytes
+        runs = []
+        for rank in range(world):
+            pairs = geometry.rank_workload(rank).pairs_by_src_expert
+            ring = [(rank + d) % world for d in range(1, world)]
+            runs.append(
+                [FetchRun(src=src, tokens=int(pairs[src].sum())) for src in ring]
+            )
+        ingress = np.full(
+            world, _comm_rate(cluster.link, nc, token_bytes), dtype=np.float64
+        )
+        egress = np.full(world, cluster.link.bytes_per_us, dtype=np.float64)
+        timelines = simulate_fetch_fabric(
+            runs, token_bytes, ingress, egress, latency_us=cluster.link.latency_us
+        )
+        return [timeline.arrival_time for timeline in timelines]
+
+    def _run_layer0_kernel(
+        self, workload, schedule, cols, nc, arrival_fn=None
+    ) -> FusedKernelResult:
+        config = workload.config
+        cluster = workload.cluster
+        if self.specialized:
+            return simulate_layer0_fused(
+                cluster.gpu,
+                cluster.link,
+                schedule,
+                token_bytes=config.token_bytes,
+                k=config.hidden_size,
+                cols=cols,
+                nc=nc if schedule.num_remote else 0,
+                dtype_bytes=config.dtype_bytes,
+                compute_scale=self.gemm_scale,
+                arrival_fn=arrival_fn if schedule.num_remote else None,
+            )
+        return simulate_layer0_vertical(
+            cluster.gpu,
+            cluster.link,
+            schedule,
+            token_bytes=config.token_bytes,
+            k=config.hidden_size,
+            cols=cols,
+            dtype_bytes=config.dtype_bytes,
+            compute_scale=self.gemm_scale,
+        )
+
+    def _simulate_layer1(self, workload: MoELayerWorkload) -> _LayerSim:
+        config = workload.config
+        geometry = workload.geometry
+        tensor = layer1_shared_tensor(
+            workload.plan.total_routed, config.hidden_size
+        )
+        assert resolve_decomposition(tensor) == "N"
+
+        nc = self.division_point(workload, layer=1)
+        k = config.ffn_size // workload.strategy.tp_size
+        policy = POLICY_COLUMN_MAJOR if self.reschedule else POLICY_EXPERT_MAJOR
+        results = []
+        any_remote = False
+        for rank in range(workload.world_size):
+            rank_workload = geometry.rank_workload(rank)
+            schedule = build_layer1_schedule(
+                rank_workload.expert_rows, cols=config.hidden_size, policy=policy
+            )
+            comm = self._layer1_comm_work(workload, rank)
+            any_remote = any_remote or (
+                comm.remote_bulk_rows + comm.remote_fine_rows > 0
+            )
+            results.append(
+                self._run_layer1_kernel(workload, schedule, comm, k, nc)
+            )
+        sim = self._aggregate(results, nc)
+        if not any_remote:
+            # Single-GPU (or fully local) layer: the top-k reduce is local
+            # work; the paper's accounting charges it to computation, and
+            # no GPU-to-GPU communication exists to expose or hide.
+            return _LayerSim(
+                duration_us=sim.duration_us,
+                comp_us=sim.duration_us,
+                comm_us=0.0,
+                exposed_us=0.0,
+                nc=nc,
+            )
+        return sim
+
+    def _layer1_comm_work(self, workload: MoELayerWorkload, rank: int) -> Layer1CommWork:
+        geometry = workload.geometry
+        local, bulk, fine = geometry.combine_row_split(rank)
+        return Layer1CommWork(
+            reduce_rows=int(geometry.rows_per_rank[rank]),
+            local_rows=local,
+            remote_bulk_rows=bulk,
+            remote_fine_rows=fine,
+            row_bytes=workload.config.token_bytes,
+        )
+
+    def _run_layer1_kernel(self, workload, schedule, comm, k, nc) -> FusedKernelResult:
+        config = workload.config
+        cluster = workload.cluster
+        needs_comm = comm.remote_bulk_rows + comm.remote_fine_rows > 0
+        if self.specialized:
+            return simulate_layer1_fused(
+                cluster.gpu,
+                cluster.link,
+                schedule,
+                comm,
+                k=k,
+                cols=config.hidden_size,
+                nc=nc if needs_comm else max(1, nc),
+                dtype_bytes=config.dtype_bytes,
+                compute_scale=self.gemm_scale,
+            )
+        return simulate_layer1_vertical(
+            cluster.gpu,
+            cluster.link,
+            schedule,
+            comm,
+            k=k,
+            cols=config.hidden_size,
+            dtype_bytes=config.dtype_bytes,
+            compute_scale=self.gemm_scale,
+        )
+
+    @staticmethod
+    def _aggregate(results: list[FusedKernelResult], nc: int) -> _LayerSim:
+        """The layer finishes when the slowest rank's fused kernel does."""
+        slowest = max(results, key=lambda r: r.duration_us)
+        return _LayerSim(
+            duration_us=slowest.duration_us,
+            comp_us=slowest.comp_standalone_us,
+            comm_us=slowest.comm_standalone_us,
+            exposed_us=slowest.bubble_us,
+            nc=nc,
+        )
+
+    # -- adaptive assignment -------------------------------------------------------
+    def _adaptive_nc(self, workload: MoELayerWorkload, layer: int) -> int:
+        cluster = workload.cluster
+        strategy = workload.strategy
+        cache_key = (cluster.name, workload.config.name)
+        profile = self._profiles.setdefault(cache_key, AssignmentProfile())
+        key = ProfileKey.make(
+            layer, strategy.tp_size, strategy.ep_size, workload.total_tokens
+        )
+        if key not in profile:
+            profile.record(key, self._profile_layer(workload, layer))
+        return select_division_point(profile, key)
+
+    def _profile_layer(self, workload: MoELayerWorkload, layer: int):
+        """Offline profiling pass: sweep the variant library on the
+        bottleneck rank (the rank that paces the layer)."""
+        config = workload.config
+        geometry = workload.geometry
+        rank = geometry.bottleneck_rank
+        rank_workload = geometry.rank_workload(rank)
+        variants = default_variants(workload.cluster.gpu.num_sms)
+
+        if layer == 0:
+            schedule = build_layer0_schedule(
+                rank_workload.pairs_by_src_expert,
+                rank,
+                policy=POLICY_SORTED if self.reschedule else POLICY_TOKEN_ORDER,
+            )
+            cols = config.ffn_size // workload.strategy.tp_size
+
+            def simulate(nc: int) -> float:
+                return self._run_layer0_kernel(workload, schedule, cols, nc).duration_us
+
+        else:
+            schedule = build_layer1_schedule(
+                rank_workload.expert_rows,
+                cols=config.hidden_size,
+                policy=POLICY_COLUMN_MAJOR if self.reschedule else POLICY_EXPERT_MAJOR,
+            )
+            comm = self._layer1_comm_work(workload, rank)
+            k = config.ffn_size // workload.strategy.tp_size
+
+            def simulate(nc: int) -> float:
+                return self._run_layer1_kernel(workload, schedule, comm, k, nc).duration_us
+
+        return profile_division_points(simulate, variants)
+
+    # -- numerics ------------------------------------------------------------------
+    def execute(
+        self,
+        x: np.ndarray,
+        workload: MoELayerWorkload,
+        weights: ExpertWeights,
+    ) -> np.ndarray:
+        """Execute the layer's math in COMET's rescheduled order.
+
+        Layer0 runs with rows sorted by source rank; layer1 runs
+        column-block by column-block with immediate top-k combination.
+        Rescheduling is a pure reordering, so the result must match the
+        reference forward (the test suite enforces this).
+        """
+        self.check_supported(workload)
+        if not self.reschedule:
+            from repro.moe.reference import reference_moe_forward
+
+            return reference_moe_forward(x, workload.plan, weights)
+        expert_acts = layer0_rescheduled_forward(
+            x, workload.plan, weights, workload.owner, local_rank=0
+        )
+        return layer1_columnwise_forward(expert_acts, workload.plan, weights)

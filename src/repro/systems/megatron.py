@@ -1,0 +1,119 @@
+"""Megatron-LM baselines: serialized communication and computation.
+
+Both variants execute the MoE layer as a strict sequence of kernels on
+one stream — gate, permute, dispatch collectives, GroupGEMM, activation,
+GroupGEMM, combine collectives, unpermute — with no overlap whatsoever
+(paper baselines (a) and (b)).  They differ only in the GEMM backend:
+
+* ``Megatron-Cutlass`` calls the grouped-GEMM CUTLASS extension;
+* ``Megatron-TE`` goes through TransformerEngine, whose Python API layer
+  adds per-call host overhead (the paper observes TE slightly slower in
+  some cases for exactly this reason).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.workload import MoELayerWorkload
+from repro.systems.base import LayerTiming, MoESystem
+
+__all__ = ["MegatronCutlass", "MegatronTE"]
+
+# Kernels a Megatron MoE layer launches per layer: gate, routing-map
+# build, permute, dispatch A2A (+AG), two grouped GEMMs, activation,
+# combine A2A (+RS), unpermute, final scale/reduce.
+_MEGATRON_KERNELS = 10
+
+
+class MegatronCutlass(MoESystem):
+    """Megatron-LM with CUTLASS grouped GEMM experts (no overlap)."""
+
+    name = "Megatron-Cutlass"
+
+    def time_layer(self, workload: MoELayerWorkload) -> LayerTiming:
+        self.check_supported(workload)
+        launch = workload.cluster.gpu.kernel_launch_us
+        l0_comm = self.dispatch_comm_us(workload)
+        l1_comm = self.combine_comm_us(workload)
+        # Permutation before dispatch and un-permutation after combine are
+        # local data movement, charged to computation (Figure 11's rule).
+        permute = self.permute_us(workload, passes=2.0)
+        l0_comp = self.group_gemm_us(workload, layer=0) + permute / 2
+        l1_comp = self.group_gemm_us(workload, layer=1) + permute / 2
+        return LayerTiming(
+            system=self.name,
+            gate_us=self.gate_time_us(workload),
+            layer0_comm_us=l0_comm,
+            layer0_comp_us=l0_comp,
+            activation_us=self.activation_us(workload),
+            layer1_comp_us=l1_comp,
+            layer1_comm_us=l1_comm,
+            host_us=_MEGATRON_KERNELS * launch,
+            exposed_layer0_comm_us=l0_comm,  # nothing is hidden
+            exposed_layer1_comm_us=l1_comm,
+        )
+
+
+class MegatronTE(MoESystem):
+    """Megatron-LM with TransformerEngine experts (no overlap).
+
+    The schedule is identical to :class:`MegatronCutlass`, but TE has no
+    grouped GEMM: each expert runs as a separate ``Linear`` module call,
+    so every expert pays its own kernel ramp and wave quantisation, and
+    the Python module wrapper adds host time per call.  Both effects grow
+    with the local expert count — the paper's Qwen2 observation.
+    """
+
+    name = "Megatron-TE"
+
+    # Per-layer Python/API overhead of TransformerEngine module dispatch.
+    TE_API_OVERHEAD_US = 18.0
+    # Host-side cost of one TE module call (param/descriptor checks).
+    TE_PER_EXPERT_US = 2.5
+
+    def time_layer(self, workload: MoELayerWorkload) -> LayerTiming:
+        self.check_supported(workload)
+        launch = workload.cluster.gpu.kernel_launch_us
+        l0_comm = self.dispatch_comm_us(workload)
+        l1_comm = self.combine_comm_us(workload)
+        permute = self.permute_us(workload, passes=2.0)
+        l0_comp = self._looped_expert_gemm_us(workload, layer=0) + permute / 2
+        l1_comp = self._looped_expert_gemm_us(workload, layer=1) + permute / 2
+        local_experts = workload.config.num_experts // workload.strategy.ep_size
+        host = (
+            _MEGATRON_KERNELS * launch
+            + self.TE_API_OVERHEAD_US
+            + 2 * self.TE_PER_EXPERT_US * local_experts  # both FFN layers
+        )
+        return LayerTiming(
+            system=self.name,
+            gate_us=self.gate_time_us(workload),
+            layer0_comm_us=l0_comm,
+            layer0_comp_us=l0_comp,
+            activation_us=self.activation_us(workload),
+            layer1_comp_us=l1_comp,
+            layer1_comm_us=l1_comm,
+            host_us=host,
+            exposed_layer0_comm_us=l0_comm,
+            exposed_layer1_comm_us=l1_comm,
+        )
+
+    def _looped_expert_gemm_us(self, workload: MoELayerWorkload, layer: int) -> float:
+        """Sum of per-expert GEMMs (no grouping) on the bottleneck rank."""
+        from repro.kernels.gemm import gemm_time_us
+
+        config = workload.config
+        geometry = workload.geometry
+        expert_rows = geometry.rank_workload(geometry.bottleneck_rank).expert_rows
+        tp = workload.strategy.tp_size
+        if layer == 0:
+            cols, k = config.ffn_size // tp, config.hidden_size
+        else:
+            cols, k = config.hidden_size, config.ffn_size // tp
+        gpu = workload.cluster.gpu
+        return self.gemm_scale * float(
+            sum(
+                gemm_time_us(gpu, int(rows), cols, k, dtype_bytes=config.dtype_bytes).time_us
+                for rows in expert_rows
+                if rows > 0
+            )
+        )

@@ -1,0 +1,54 @@
+"""Shared-tensor machinery — the paper's core abstraction (§3.1).
+
+A *shared tensor* is the buffer linking a producer operator to a consumer
+operator inside one of the MoE layer's two pipelines.  This package
+provides:
+
+* :mod:`repro.tensor.shared_tensor` — operator access-pattern descriptors
+  and the :class:`SharedTensor` itself;
+* :mod:`repro.tensor.dependency` — dependency resolving: find the
+  dimension along which the consumer's accesses are independent, hence
+  along which the tensor may be decomposed for fine-grained overlap;
+* :mod:`repro.tensor.reschedule` — the two rescheduling policies
+  (sort-tokens-by-source-rank for layer0, column-major GroupGEMM order
+  for layer1) as schedule objects the fused-kernel simulator executes,
+  plus numpy executors that run the *actual math* in rescheduled order so
+  tests can prove schedule equivalence with the reference forward.
+"""
+
+from repro.tensor.shared_tensor import (
+    AccessSpec,
+    OpKind,
+    SharedTensor,
+    all2all_dispatch,
+    group_gemm_consumer,
+    group_gemm_producer,
+    topk_combine_consumer,
+)
+from repro.tensor.dependency import DependencyError, resolve_decomposition
+from repro.tensor.reschedule import (
+    Layer0Schedule,
+    Layer1Schedule,
+    build_layer0_schedule,
+    build_layer1_schedule,
+    layer0_rescheduled_forward,
+    layer1_columnwise_forward,
+)
+
+__all__ = [
+    "AccessSpec",
+    "DependencyError",
+    "Layer0Schedule",
+    "Layer1Schedule",
+    "OpKind",
+    "SharedTensor",
+    "all2all_dispatch",
+    "build_layer0_schedule",
+    "build_layer1_schedule",
+    "group_gemm_consumer",
+    "group_gemm_producer",
+    "layer0_rescheduled_forward",
+    "layer1_columnwise_forward",
+    "resolve_decomposition",
+    "topk_combine_consumer",
+]

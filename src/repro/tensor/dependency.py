@@ -1,0 +1,40 @@
+"""Dependency resolving: choose the decomposition dimension (paper §3.1.1).
+
+Overlap is possible only along a dimension where the *consumer* operates
+on independent data; when both dimensions qualify the token dimension M is
+preferred because tokens are the unit of data movement (finer pipelining
+against communication).  When neither qualifies the pipeline cannot be
+decomposed and fine-grained overlap is impossible — surfaced as
+:class:`DependencyError` rather than silently falling back.
+"""
+
+from __future__ import annotations
+
+from repro.tensor.shared_tensor import DIM_M, DIM_N, SharedTensor
+
+__all__ = ["DependencyError", "resolve_decomposition"]
+
+
+class DependencyError(ValueError):
+    """No dimension of the shared tensor admits independent decomposition."""
+
+
+def resolve_decomposition(shared: SharedTensor) -> str:
+    """Return the dimension (``"M"`` or ``"N"``) to decompose ``shared`` along.
+
+    The producer must also be able to *materialise* data along the chosen
+    dimension independently; all communication and GEMM producers in MoE
+    can (they write rows/tiles), so the consumer's independence set is the
+    binding constraint — exactly the analysis of the paper's Figure 4.
+    """
+    candidates = shared.consumer.independent_dims & shared.producer.independent_dims
+    if not candidates:
+        raise DependencyError(
+            f"no independent dimension between producer "
+            f"{shared.producer.name!r} and consumer {shared.consumer.name!r}"
+        )
+    if DIM_M in candidates:
+        return DIM_M
+    if DIM_N in candidates:
+        return DIM_N
+    raise DependencyError(f"unrecognised candidate dims {sorted(candidates)}")

@@ -1,0 +1,320 @@
+"""Rescheduling of decomposed shared tensors (paper §3.1.2).
+
+Two products live here:
+
+1. **Schedule objects** consumed by the fused-kernel timing simulator:
+   :class:`Layer0Schedule` captures, per GEMM row-block, the position in
+   the remote-fetch sequence of the last token that block depends on
+   (sort-by-source-rank makes these positions early or absent);
+   :class:`Layer1Schedule` captures the tile iteration order of the
+   layer1 GroupGEMM (column-major lets the top-k reducer start after the
+   first ``TN`` columns).
+
+2. **Numeric executors** that run the real math in the rescheduled order.
+   Rescheduling must be a pure reordering — these functions exist so the
+   test suite can assert bit-level (up to float addition order)
+   equivalence with :func:`repro.moe.reference.reference_moe_forward`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.moe.experts import ExpertWeights, silu
+from repro.moe.routing import RoutingPlan
+
+__all__ = [
+    "Layer0Schedule",
+    "Layer1Schedule",
+    "build_layer0_schedule",
+    "build_layer1_schedule",
+    "layer0_rescheduled_forward",
+    "layer1_columnwise_forward",
+]
+
+POLICY_SORTED = "sorted_by_source"
+POLICY_TOKEN_ORDER = "token_order"  # ablation: no rescheduling
+POLICY_COLUMN_MAJOR = "column_major"
+POLICY_EXPERT_MAJOR = "expert_major"  # ablation: no rescheduling
+
+
+# ---------------------------------------------------------------------------
+# Timing-side schedules
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Layer0Schedule:
+    """Row-block readiness structure of the rescheduled layer0 tensor.
+
+    Attributes:
+        rowblock_expert: ``(B,)`` local-expert index owning each row block.
+        rowblock_rows: ``(B,)`` rows actually present in each block
+            (the last block of an expert may be partial).
+        rowblock_last_fetch: ``(B,)`` index into the remote-token fetch
+            sequence of the latest-arriving token the block needs;
+            ``-1`` marks blocks made entirely of local tokens.
+        num_remote: total remote tokens to fetch.
+        num_local: tokens already resident before the kernel starts.
+        tile_tm: row-tile extent used to form the blocks.
+        policy: which rescheduling policy produced this schedule.
+    """
+
+    rowblock_expert: np.ndarray
+    rowblock_rows: np.ndarray
+    rowblock_last_fetch: np.ndarray
+    num_remote: int
+    num_local: int
+    tile_tm: int
+    policy: str
+
+    @property
+    def num_rowblocks(self) -> int:
+        return len(self.rowblock_expert)
+
+    @property
+    def total_rows(self) -> int:
+        return int(self.rowblock_rows.sum())
+
+
+def build_layer0_schedule(
+    pairs_by_src_expert: np.ndarray,
+    rank: int,
+    tile_tm: int = 128,
+    policy: str = POLICY_SORTED,
+    rng: np.random.Generator | None = None,
+) -> Layer0Schedule:
+    """Build the layer0 row-block schedule for one rank.
+
+    Args:
+        pairs_by_src_expert: ``(W, E_local)`` routed pairs from each source
+            rank to each local expert (from
+            :meth:`repro.parallel.placement.ExpertPlacement.rank_workload`).
+        rank: this rank's id (identifies the local row of the matrix).
+        tile_tm: GEMM row-tile extent.
+        policy: ``"sorted_by_source"`` (COMET §3.1.2) or ``"token_order"``
+            (the unsorted ablation, where each expert's rows interleave
+            source ranks in arrival-agnostic token order).
+        rng: used only by the ``token_order`` policy to realise one
+            representative interleaving.
+
+    The remote-fetch sequence is source-major in ring order starting after
+    ``rank`` (nearest sources first), expert-minor within a source — the
+    order COMET's communication blocks pull tokens so that the earliest
+    compute tiles unblock soonest.
+    """
+    pairs = np.asarray(pairs_by_src_expert, dtype=np.int64)
+    if pairs.ndim != 2:
+        raise ValueError(f"pairs_by_src_expert must be (W, E_local), got {pairs.shape}")
+    world, num_local_experts = pairs.shape
+    if not 0 <= rank < world:
+        raise ValueError(f"rank {rank} out of range for world {world}")
+    if policy not in (POLICY_SORTED, POLICY_TOKEN_ORDER):
+        raise ValueError(f"unknown layer0 policy {policy!r}")
+
+    # Ring order of remote sources: rank+1, rank+2, ..., rank-1 (mod W).
+    remote_srcs = [(rank + d) % world for d in range(1, world)]
+    num_local = int(pairs[rank].sum())
+    num_remote = int(pairs.sum() - num_local)
+
+    # fetch_pos[src, e] = fetch index of the *first* token of run (src, e).
+    run_lengths = np.array(
+        [pairs[src, e] for src in remote_srcs for e in range(num_local_experts)],
+        dtype=np.int64,
+    )
+    run_starts = np.concatenate(([0], np.cumsum(run_lengths)[:-1]))
+    fetch_start = {}
+    idx = 0
+    for src in remote_srcs:
+        for e in range(num_local_experts):
+            fetch_start[(src, e)] = int(run_starts[idx])
+            idx += 1
+
+    rb_expert: list[int] = []
+    rb_rows: list[int] = []
+    rb_last: list[int] = []
+
+    if rng is None:
+        rng = np.random.default_rng(1234)
+
+    for e in range(num_local_experts):
+        rows_e = int(pairs[:, e].sum())
+        if rows_e == 0:
+            continue
+        # Per-row fetch position within this expert: -1 for local rows.
+        if policy == POLICY_SORTED:
+            positions = np.empty(rows_e, dtype=np.int64)
+            cursor = 0
+            positions[cursor : cursor + pairs[rank, e]] = -1
+            cursor += int(pairs[rank, e])
+            for src in remote_srcs:
+                n = int(pairs[src, e])
+                if n:
+                    base = fetch_start[(src, e)]
+                    positions[cursor : cursor + n] = np.arange(base, base + n)
+                    cursor += n
+        else:
+            # token_order ablation: the same rows, randomly interleaved, so
+            # nearly every block touches a late-arriving token.
+            positions_sorted = np.empty(rows_e, dtype=np.int64)
+            cursor = 0
+            positions_sorted[cursor : cursor + pairs[rank, e]] = -1
+            cursor += int(pairs[rank, e])
+            for src in remote_srcs:
+                n = int(pairs[src, e])
+                if n:
+                    base = fetch_start[(src, e)]
+                    positions_sorted[cursor : cursor + n] = np.arange(base, base + n)
+                    cursor += n
+            positions = rng.permutation(positions_sorted)
+
+        for start in range(0, rows_e, tile_tm):
+            block = positions[start : start + tile_tm]
+            rb_expert.append(e)
+            rb_rows.append(len(block))
+            rb_last.append(int(block.max()))
+
+    return Layer0Schedule(
+        rowblock_expert=np.asarray(rb_expert, dtype=np.int64),
+        rowblock_rows=np.asarray(rb_rows, dtype=np.int64),
+        rowblock_last_fetch=np.asarray(rb_last, dtype=np.int64),
+        num_remote=num_remote,
+        num_local=num_local,
+        tile_tm=tile_tm,
+        policy=policy,
+    )
+
+
+@dataclass(frozen=True)
+class Layer1Schedule:
+    """Tile iteration order of the layer1 GroupGEMM.
+
+    The tile stream is what the ``np`` compute blocks drain; the top-k
+    reducer can handle column ``j`` only after *every* expert's tiles of
+    column ``j`` are done (paper Figure 6).
+    """
+
+    row_tiles_per_expert: np.ndarray
+    col_tiles: int
+    policy: str
+
+    def __post_init__(self) -> None:
+        if self.col_tiles <= 0:
+            raise ValueError(f"col_tiles must be positive, got {self.col_tiles}")
+        if self.policy not in (POLICY_COLUMN_MAJOR, POLICY_EXPERT_MAJOR):
+            raise ValueError(f"unknown layer1 policy {self.policy!r}")
+
+    @property
+    def total_row_tiles(self) -> int:
+        return int(np.asarray(self.row_tiles_per_expert).sum())
+
+    @property
+    def total_tiles(self) -> int:
+        return self.total_row_tiles * self.col_tiles
+
+    def column_completion_ordinals(self) -> np.ndarray:
+        """For each column, the 1-based ordinal of its last tile in the stream.
+
+        * column-major (COMET): column ``j``'s tiles are the ``j``-th
+          contiguous group, finishing at ordinal ``(j + 1) * R``;
+        * expert-major (ablation): column ``j``'s last tile belongs to the
+          final row tile, at ordinal ``(R - 1) * C + j + 1``.
+        """
+        rows = self.total_row_tiles
+        cols = self.col_tiles
+        j = np.arange(cols, dtype=np.int64)
+        if self.policy == POLICY_COLUMN_MAJOR:
+            return (j + 1) * rows
+        return (rows - 1) * cols + j + 1
+
+
+def build_layer1_schedule(
+    expert_rows: np.ndarray,
+    cols: int,
+    tile_tm: int = 128,
+    tile_tn: int = 128,
+    policy: str = POLICY_COLUMN_MAJOR,
+) -> Layer1Schedule:
+    """Tile schedule for a layer1 GroupGEMM of ``expert_rows`` x ``cols``."""
+    expert_rows = np.asarray(expert_rows, dtype=np.int64)
+    if np.any(expert_rows < 0):
+        raise ValueError("expert row counts must be non-negative")
+    if cols <= 0:
+        raise ValueError(f"cols must be positive, got {cols}")
+    row_tiles = -(-expert_rows // tile_tm)
+    col_tiles = -(-cols // tile_tn)
+    return Layer1Schedule(
+        row_tiles_per_expert=row_tiles,
+        col_tiles=int(col_tiles),
+        policy=policy,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Numeric executors (schedule-equivalence checks)
+# ---------------------------------------------------------------------------
+
+
+def layer0_rescheduled_forward(
+    x: np.ndarray,
+    plan: RoutingPlan,
+    weights: ExpertWeights,
+    owner: np.ndarray,
+    local_rank: int = 0,
+    activation: Callable[[np.ndarray], np.ndarray] = silu,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Run layer0 (GEMM + activation) with rows sorted by source rank.
+
+    Returns, per expert, ``(token_ids, slots, activated_hidden)`` with rows
+    ordered local-rank-first then by ring distance — the COMET shared
+    tensor layout of Figure 5.  The math per row is identical to the
+    reference; only row order differs.
+    """
+    results = []
+    world = int(owner.max()) + 1 if owner.size else 1
+    ring_distance = (owner - local_rank) % world
+    for expert in range(plan.num_experts):
+        token_ids, slots = plan.tokens_for_expert(expert)
+        if token_ids.size == 0:
+            results.append(
+                (token_ids, slots, np.zeros((0, weights.ffn_size), dtype=np.float32))
+            )
+            continue
+        order = np.lexsort((token_ids, ring_distance[token_ids]))
+        token_ids = token_ids[order]
+        slots = slots[order]
+        hidden = x[token_ids].astype(np.float32) @ weights.w0[expert]
+        results.append((token_ids, slots, activation(hidden)))
+    return results
+
+
+def layer1_columnwise_forward(
+    expert_acts: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    plan: RoutingPlan,
+    weights: ExpertWeights,
+    col_block: int = 128,
+) -> np.ndarray:
+    """Run layer1 GEMM + top-k combine column-block by column-block.
+
+    Iterates output columns in blocks of ``col_block`` (the ``TN`` of
+    Figure 6): for each block, every expert's GEMM slice is computed and
+    immediately reduced into the output — the consumer starts long before
+    any single expert has produced its full output.  Must equal the
+    reference combine up to float addition order.
+    """
+    hidden_size = weights.hidden_size
+    out = np.zeros((plan.num_tokens, hidden_size), dtype=np.float32)
+    if col_block <= 0:
+        raise ValueError(f"col_block must be positive, got {col_block}")
+    for col_start in range(0, hidden_size, col_block):
+        cols = slice(col_start, min(col_start + col_block, hidden_size))
+        for expert, (token_ids, slots, acts) in enumerate(expert_acts):
+            if token_ids.size == 0:
+                continue
+            partial = acts @ weights.w1[expert][:, cols]
+            combine = plan.weights[token_ids, slots].astype(np.float32)[:, None]
+            np.add.at(out[:, cols], token_ids, combine * partial)
+    return out

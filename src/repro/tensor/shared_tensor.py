@@ -1,0 +1,168 @@
+"""Shared tensors and operator access patterns.
+
+The paper's Figure 4 models each half of an MoE layer as a producer and a
+consumer joined by a shared buffer of global shape ``(M * topk, N)``:
+
+* layer0: ``All2All/AllGather`` (producer) -> shared tensor -> ``GEMM``
+  (consumer, tensor is the GEMM's input matrix);
+* layer1: ``GEMM`` (producer) -> shared tensor -> ``TopK-reduce +
+  All2All/ReduceScatter`` (consumer).
+
+Whether the pipeline can be overlapped at fine granularity depends on the
+dimensions along which the *consumer* treats the data as independent;
+:class:`AccessSpec` records exactly that, per operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "AccessSpec",
+    "OpKind",
+    "SharedTensor",
+    "all2all_dispatch",
+    "group_gemm_consumer",
+    "group_gemm_producer",
+    "topk_combine_consumer",
+]
+
+# Canonical dimension names of the shared tensor (paper Figure 4).
+DIM_M = "M"  # token dimension (global extent M * topk)
+DIM_N = "N"  # embedding / feature dimension
+
+
+class OpKind(Enum):
+    """Operator classes appearing around MoE shared tensors."""
+
+    COMMUNICATION = "communication"
+    GEMM = "gemm"
+    REDUCTION_COMM = "reduction+communication"
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """How one operator touches a shared tensor.
+
+    Attributes:
+        name: operator label for diagnostics.
+        kind: operator class.
+        independent_dims: dimensions along which the operator's accesses
+            to distinct indices are data-independent — i.e. the tensor may
+            be split there without changing this operator's result.
+        coupled_dims: dimensions along which accesses interact (e.g. a
+            GEMM's reduction dimension, a top-k reduce's token dimension).
+    """
+
+    name: str
+    kind: OpKind
+    independent_dims: frozenset[str]
+    coupled_dims: frozenset[str]
+
+    def __post_init__(self) -> None:
+        overlap = self.independent_dims & self.coupled_dims
+        if overlap:
+            raise ValueError(
+                f"dims {sorted(overlap)} cannot be both independent and coupled"
+            )
+        unknown = (self.independent_dims | self.coupled_dims) - {DIM_M, DIM_N}
+        if unknown:
+            raise ValueError(f"unknown dims {sorted(unknown)}; use {DIM_M!r}/{DIM_N!r}")
+
+
+@dataclass(frozen=True)
+class SharedTensor:
+    """A producer/consumer buffer of global shape ``(m_extent, n_extent)``.
+
+    ``m_extent`` is ``M * topk`` routed rows; ``n_extent`` is the embedding
+    width visible to the consumer (``N`` for layer0's GEMM input, ``N`` for
+    layer1's pre-reduction output).
+    """
+
+    m_extent: int
+    n_extent: int
+    producer: AccessSpec
+    consumer: AccessSpec
+
+    def __post_init__(self) -> None:
+        if self.m_extent < 0 or self.n_extent <= 0:
+            raise ValueError(
+                f"invalid shared tensor extents ({self.m_extent}, {self.n_extent})"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.m_extent, self.n_extent)
+
+
+# -- canonical operator specs (paper Figure 4) --------------------------------
+
+def all2all_dispatch() -> AccessSpec:
+    """Token dispatch: writes each row independently, full row width."""
+    return AccessSpec(
+        name="All2All/AllGather dispatch",
+        kind=OpKind.COMMUNICATION,
+        independent_dims=frozenset({DIM_M, DIM_N}),
+        coupled_dims=frozenset(),
+    )
+
+
+def group_gemm_consumer() -> AccessSpec:
+    """GroupGEMM reading the shared tensor as its input matrix.
+
+    Rows (tokens) are independent; the N dimension is the GEMM's reduction
+    dimension, so splitting it would change partial products — the exact
+    reason the paper decomposes layer0 along M only (§3.1.1).
+    """
+    return AccessSpec(
+        name="GroupGEMM (input)",
+        kind=OpKind.GEMM,
+        independent_dims=frozenset({DIM_M}),
+        coupled_dims=frozenset({DIM_N}),
+    )
+
+
+def group_gemm_producer() -> AccessSpec:
+    """GroupGEMM writing the shared tensor as its output (tile at a time)."""
+    return AccessSpec(
+        name="GroupGEMM (output)",
+        kind=OpKind.GEMM,
+        independent_dims=frozenset({DIM_M, DIM_N}),
+        coupled_dims=frozenset(),
+    )
+
+
+def topk_combine_consumer() -> AccessSpec:
+    """Top-k reduction + combine communication.
+
+    Reduces *across rows* (a token's top-k expert copies), so M is
+    coupled; each embedding column is reduced independently, so N is free
+    — the paper's layer1 decomposition dimension.
+    """
+    return AccessSpec(
+        name="TopK-reduce + All2All/ReduceScatter",
+        kind=OpKind.REDUCTION_COMM,
+        independent_dims=frozenset({DIM_N}),
+        coupled_dims=frozenset({DIM_M}),
+    )
+
+
+def layer0_shared_tensor(m_extent: int, n_extent: int) -> SharedTensor:
+    """The dispatch -> GEMM shared tensor of MoE layer0."""
+    return SharedTensor(
+        m_extent=m_extent,
+        n_extent=n_extent,
+        producer=all2all_dispatch(),
+        consumer=group_gemm_consumer(),
+    )
+
+
+def layer1_shared_tensor(m_extent: int, n_extent: int) -> SharedTensor:
+    """The GEMM -> top-k-combine shared tensor of MoE layer1."""
+    return SharedTensor(
+        m_extent=m_extent,
+        n_extent=n_extent,
+        producer=group_gemm_producer(),
+        consumer=topk_combine_consumer(),
+    )

@@ -1,0 +1,78 @@
+"""Tests for assignment-metadata persistence (paper §3.2.2's workflow)."""
+
+import pytest
+
+from repro.hw import h800_node
+from repro.kernels.assignment import (
+    AssignmentProfile,
+    ProfileKey,
+    default_variants,
+    profile_division_points,
+    select_division_point,
+)
+from repro.moe import MIXTRAL_8X7B
+from repro.parallel import ParallelStrategy
+from repro.runtime import make_workload
+from repro.systems import Comet
+
+
+class TestProfileRoundTrip:
+    def make_profile(self) -> AssignmentProfile:
+        profile = AssignmentProfile()
+        for layer, target in ((0, 20), (1, 30)):
+            sweep = profile_division_points(
+                lambda nc, t=target: (nc - t) ** 2 + 5.0,
+                default_variants(132),
+            )
+            profile.record(ProfileKey.make(layer, 1, 8, 8192), sweep)
+        return profile
+
+    def test_save_load_roundtrip(self, tmp_path):
+        profile = self.make_profile()
+        path = tmp_path / "metadata.json"
+        profile.save(str(path))
+        restored = AssignmentProfile.load(str(path))
+        assert restored.entries.keys() == profile.entries.keys()
+        for key in profile.entries:
+            assert restored.entries[key].best_nc == profile.entries[key].best_nc
+            assert (
+                restored.entries[key].durations_us
+                == profile.entries[key].durations_us
+            )
+
+    def test_selection_identical_after_reload(self, tmp_path):
+        profile = self.make_profile()
+        path = tmp_path / "metadata.json"
+        profile.save(str(path))
+        restored = AssignmentProfile.load(str(path))
+        for layer in (0, 1):
+            key = ProfileKey.make(layer, 1, 8, 8192)
+            assert select_division_point(profile, key) == select_division_point(
+                restored, key
+            )
+
+    def test_corrupt_entry_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '[{"layer": 0, "tp_size": 1, "ep_size": 8, "m_bucket": 8192,'
+            ' "best_nc": 99, "durations_us": {"4": 1.0}}]'
+        )
+        with pytest.raises(ValueError):
+            AssignmentProfile.load(str(path))
+
+    def test_comet_profiles_survive_persistence(self, tmp_path):
+        """The deployment loop: profile online, persist, reload, and get
+        identical runtime decisions."""
+        system = Comet()
+        workload = make_workload(
+            MIXTRAL_8X7B, h800_node(), ParallelStrategy(1, 8), 8192
+        )
+        nc_before = system.division_point(workload, layer=1)
+        cache_key = next(iter(system._profiles))
+        path = tmp_path / "deploy.json"
+        system._profiles[cache_key].save(str(path))
+
+        fresh = Comet()
+        fresh._profiles[cache_key] = AssignmentProfile.load(str(path))
+        nc_after = fresh.division_point(workload, layer=1)
+        assert nc_after == nc_before

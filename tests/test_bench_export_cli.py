@@ -1,0 +1,103 @@
+"""Tests for result export, the table formatter, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, table3_memory
+from repro.bench.export import result_to_json, rows_to_csv, save_json
+from repro.cli import main
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [(1, 2.5), (10, 3.25)])
+        lines = text.splitlines()
+        assert lines[0].endswith("bbb")
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(1.23456,)])
+        assert "1.235" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+
+class TestExport:
+    def test_table3_roundtrip(self, tmp_path):
+        result = table3_memory()
+        path = tmp_path / "table3.json"
+        save_json(result, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["buffers_mb"]["Mixtral-8x7B/4096"] == 32.0
+
+    def test_numpy_values_serialised(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Dummy:
+            array: np.ndarray
+            scalar: np.int64
+
+        text = result_to_json(Dummy(array=np.arange(3), scalar=np.int64(7)))
+        loaded = json.loads(text)
+        assert loaded == {"array": [0, 1, 2], "scalar": 7}
+
+    def test_tuple_keys_flattened(self):
+        text = result_to_json({("a", 1): 2.0})
+        assert json.loads(text) == {"a/1": 2.0}
+
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv(["m", "v"], [("x", 1), ("y", 2)])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "m,v"
+        assert lines[1] == "x,1"
+
+    def test_rows_to_csv_validates_width(self):
+        with pytest.raises(ValueError):
+            rows_to_csv(["a"], [(1, 2)])
+
+
+class TestCli:
+    def test_figure_table3(self, capsys):
+        assert main(["figure", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "NVSHMEM buffer" in out
+        assert "32.000" in out
+
+    def test_figure_json_export(self, capsys, tmp_path):
+        path = tmp_path / "t3.json"
+        assert main(["figure", "table3", "--json", str(path)]) == 0
+        assert json.loads(path.read_text())["buffers_mb"]["Qwen2-MoE-2.7B/8192"] == 32.0
+
+    def test_layer_command(self, capsys):
+        assert main(["layer", "--tokens", "2048", "--model", "mixtral"]) == 0
+        out = capsys.readouterr().out
+        assert "Comet" in out
+        assert "communication hidden" in out
+
+    def test_sweep_nc_command(self, capsys):
+        assert main(["sweep-nc", "--tokens", "4096", "--tp", "1", "--ep", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "<- optimal" in out
+
+    def test_sweep_nc_unknown_strategy(self, capsys):
+        # TP=3 never appears in the power-of-two sweep.
+        assert main(["sweep-nc", "--tokens", "4096", "--tp", "3", "--ep", "2"]) == 1
+
+    def test_trace_command(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--tokens", "2048", "--out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "not-a-figure"])

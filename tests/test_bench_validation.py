@@ -1,0 +1,28 @@
+"""The claim validator must pass every claim on the calibrated model."""
+
+from repro.bench.validation import Claim, format_claims, validate_all
+
+
+class TestValidation:
+    def test_all_claims_pass_quick(self):
+        claims = validate_all(quick=True)
+        failed = [c for c in claims if not c.passed]
+        assert not failed, format_claims(claims)
+
+    def test_claim_coverage(self):
+        """Every evaluation artefact of the paper is represented."""
+        claims = validate_all(quick=True)
+        sources = {c.source for c in claims}
+        for figure in ("Fig. 1a", "Fig. 8", "Fig. 10", "Fig. 11", "Fig. 12",
+                       "Fig. 13", "Fig. 14 left", "Fig. 14 right"):
+            assert any(figure in s for s in sources), figure
+        assert any("Table 3" in s for s in sources)
+
+    def test_format_lists_verdicts(self):
+        claims = [
+            Claim("a", "Fig. 1", "desc", True, "ok"),
+            Claim("b", "Fig. 2", "desc", False, "bad"),
+        ]
+        text = format_claims(claims)
+        assert "PASS" in text and "FAIL" in text
+        assert "1/2 claims reproduced" in text

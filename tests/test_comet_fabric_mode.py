@@ -1,0 +1,59 @@
+"""Tests for COMET's fabric-contention (joint-arrival) mode."""
+
+import pytest
+
+from repro.hw import h800_node
+from repro.moe import MIXTRAL_8X7B
+from repro.parallel import ParallelStrategy
+from repro.runtime import make_workload
+from repro.systems import Comet
+
+
+def workload(tokens=8192, std=0.0, seed=0):
+    return make_workload(
+        MIXTRAL_8X7B, h800_node(), ParallelStrategy(1, 8), tokens,
+        imbalance_std=std, seed=seed,
+    )
+
+
+class TestFabricMode:
+    def test_balanced_close_to_independent_model(self):
+        """Symmetric traffic: contention changes (almost) nothing."""
+        w = workload(std=0.0)
+        independent = Comet().time_layer(w).total_us
+        contended = Comet(fabric_contention=True).time_layer(w).total_us
+        assert contended == pytest.approx(independent, rel=0.05)
+
+    def test_contention_never_speeds_up(self):
+        """Sharing egress can only delay arrivals."""
+        for std, seed in ((0.0, 0), (0.032, 1), (0.05, 2)):
+            w = workload(std=std, seed=seed)
+            independent = Comet().time_layer(w)
+            contended = Comet(fabric_contention=True).time_layer(w)
+            assert (
+                contended.total_us >= independent.total_us - 1e-6
+            ), (std, seed)
+
+    def test_skew_widens_the_gap(self):
+        """Under imbalance the hot rank's egress is oversubscribed, so the
+        contention model diverges more from the independent one."""
+        gap_balanced = self._gap(workload(std=0.0, seed=3))
+        gap_skewed = self._gap(workload(std=0.05, seed=3))
+        assert gap_skewed >= gap_balanced - 1e-9
+
+    @staticmethod
+    def _gap(w) -> float:
+        independent = Comet().time_layer(w).total_us
+        contended = Comet(fabric_contention=True).time_layer(w).total_us
+        return (contended - independent) / independent
+
+    def test_backward_variant_preserves_mode(self):
+        system = Comet(fabric_contention=True)
+        assert system.backward_variant().fabric_contention is True
+
+    def test_single_gpu_skips_fabric(self):
+        w = make_workload(
+            MIXTRAL_8X7B, h800_node(1), ParallelStrategy(1, 1), 1024
+        )
+        timing = Comet(fabric_contention=True).time_layer(w)
+        assert timing.comm_us == 0.0

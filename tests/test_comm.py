@@ -1,0 +1,212 @@
+"""Unit tests for collectives and the simulated NVSHMEM heap."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    SymmetricHeap,
+    all_gather_cost,
+    all_to_all_cost,
+    hierarchical_all_to_all_cost,
+    reduce_scatter_cost,
+)
+from repro.hw import h800_node, l20_node
+from repro.moe import MIXTRAL_8X7B
+
+
+def uniform_matrix(world: int, nbytes: float) -> np.ndarray:
+    m = np.full((world, world), nbytes)
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+class TestAllToAll:
+    def test_zero_traffic(self):
+        cluster = h800_node()
+        cost = all_to_all_cost(cluster, np.zeros((8, 8)))
+        assert cost.wire_bytes == 0.0
+        assert cost.messages == 0
+
+    def test_time_scales_with_volume(self):
+        cluster = h800_node()
+        t1 = all_to_all_cost(cluster, uniform_matrix(8, 1e6)).time_us
+        t2 = all_to_all_cost(cluster, uniform_matrix(8, 2e6)).time_us
+        assert t2 > t1
+
+    def test_diagonal_ignored(self):
+        cluster = h800_node()
+        m = uniform_matrix(8, 1e6)
+        m_with_diag = m.copy()
+        np.fill_diagonal(m_with_diag, 5e9)
+        assert (
+            all_to_all_cost(cluster, m).time_us
+            == all_to_all_cost(cluster, m_with_diag).time_us
+        )
+
+    def test_chunk_fraction_scales_bytes_not_latency(self):
+        cluster = h800_node()
+        full = all_to_all_cost(cluster, uniform_matrix(8, 1e7))
+        half = all_to_all_cost(cluster, uniform_matrix(8, 1e7), chunk_fraction=0.5)
+        assert half.wire_bytes == pytest.approx(full.wire_bytes / 2)
+        # Latency terms do not shrink, so half-chunk is more than half-time.
+        assert half.time_us > full.time_us / 2
+
+    def test_bottleneck_rank_identified(self):
+        cluster = h800_node()
+        m = uniform_matrix(8, 1e5)
+        m[3, :] *= 10
+        cost = all_to_all_cost(cluster, m)
+        assert cost.bottleneck_rank == 3
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            all_to_all_cost(h800_node(), np.zeros((4, 4)))
+
+    def test_bad_chunk_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            all_to_all_cost(h800_node(), np.zeros((8, 8)), chunk_fraction=0.0)
+
+    def test_l20_slower_than_h800(self):
+        m = uniform_matrix(8, 1e7)
+        assert (
+            all_to_all_cost(l20_node(), m).time_us
+            > all_to_all_cost(h800_node(), m).time_us
+        )
+
+
+class TestRingCollectives:
+    def test_group_of_one_is_free(self):
+        assert all_gather_cost(h800_node(), 1e6, 1).time_us == 0.0
+
+    def test_reduce_scatter_mirrors_all_gather(self):
+        cluster = h800_node()
+        assert (
+            reduce_scatter_cost(cluster, 1e6, 4).time_us
+            == all_gather_cost(cluster, 1e6, 4).time_us
+        )
+
+    def test_time_grows_with_group(self):
+        cluster = h800_node()
+        assert (
+            all_gather_cost(cluster, 1e6, 8).time_us
+            > all_gather_cost(cluster, 1e6, 2).time_us
+        )
+
+    def test_ring_beats_a2a_for_same_received_volume(self):
+        """Ring collectives use the fast path; that ordering is what lets
+        Megatron's TP collectives stay cheaper per byte than its EP
+        all-to-all."""
+        cluster = h800_node()
+        world = 8
+        per_peer = 1e6
+        a2a = all_to_all_cost(cluster, uniform_matrix(world, per_peer))
+        ring = all_gather_cost(cluster, per_peer, world)
+        assert ring.time_us < a2a.time_us
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ValueError):
+            all_gather_cost(h800_node(), 1e6, 9)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            all_gather_cost(h800_node(), -1.0, 4)
+
+
+class TestHierarchicalAllToAll:
+    def test_beats_plain_a2a_on_latency_bound_traffic(self):
+        """Tutel's 2D algorithm wins when messages are small (its design
+        point); for huge messages the extra hop can lose."""
+        cluster = h800_node()
+        small = uniform_matrix(8, 2e4)
+        assert (
+            hierarchical_all_to_all_cost(cluster, small).time_us
+            < all_to_all_cost(cluster, small).time_us
+        )
+
+    def test_byte_overhead_accounted(self):
+        cluster = h800_node()
+        m = uniform_matrix(8, 1e6)
+        plain = all_to_all_cost(cluster, m)
+        hier = hierarchical_all_to_all_cost(cluster, m, tile_ranks=2)
+        assert hier.wire_bytes == pytest.approx(plain.wire_bytes * 1.5)
+
+    def test_tile_ranks_must_divide_world(self):
+        with pytest.raises(ValueError):
+            hierarchical_all_to_all_cost(h800_node(), np.zeros((8, 8)), tile_ranks=3)
+
+    def test_single_rank_free(self):
+        cluster = h800_node(1)
+        assert (
+            hierarchical_all_to_all_cost(cluster, np.zeros((1, 1)), 1).time_us == 0.0
+        )
+
+
+class TestSymmetricHeap:
+    def test_malloc_is_symmetric(self):
+        heap = SymmetricHeap(h800_node())
+        heap.malloc("buf", 1024)
+        assert heap.bytes_per_rank == 1024
+        assert heap.total_bytes == 1024 * 8
+
+    def test_alignment(self):
+        heap = SymmetricHeap(h800_node(), alignment=512)
+        buf = heap.malloc("buf", 100)
+        assert buf.nbytes == 512
+
+    def test_offsets_disjoint(self):
+        heap = SymmetricHeap(h800_node())
+        a = heap.malloc("a", 1024)
+        b = heap.malloc("b", 2048)
+        assert b.offset >= a.offset + a.nbytes
+
+    def test_duplicate_name_rejected(self):
+        heap = SymmetricHeap(h800_node())
+        heap.malloc("a", 1024)
+        with pytest.raises(ValueError):
+            heap.malloc("a", 1024)
+
+    def test_free(self):
+        heap = SymmetricHeap(h800_node())
+        heap.malloc("a", 1024)
+        heap.free("a")
+        assert heap.bytes_per_rank == 0
+        with pytest.raises(KeyError):
+            heap.free("a")
+
+    def test_table3_mixtral_buffer(self):
+        """Paper Table 3: Mixtral @ M=4096 needs 32 MB per device."""
+        heap = SymmetricHeap(h800_node())
+        buf = heap.malloc("comm", MIXTRAL_8X7B.nvshmem_buffer_bytes(4096))
+        assert buf.mbytes == pytest.approx(32.0)
+
+    def test_remote_token_op_slower_than_local(self):
+        heap = SymmetricHeap(h800_node())
+        token = MIXTRAL_8X7B.token_bytes
+        assert heap.token_op_us(token, remote=True) > heap.token_op_us(
+            token, remote=False
+        )
+
+    def test_stream_time_saturates(self):
+        heap = SymmetricHeap(h800_node())
+        t8 = heap.stream_time_us(1e8, num_blocks=8)
+        t16 = heap.stream_time_us(1e8, num_blocks=16)
+        t64 = heap.stream_time_us(1e8, num_blocks=64)
+        assert t16 < t8
+        # Once the link saturates, more blocks stop helping (up to the
+        # per-message initiation term, which keeps shrinking).
+        assert t64 == pytest.approx(
+            heap.stream_time_us(1e8, num_blocks=128), rel=1e-5
+        )
+
+    def test_stream_time_zero_bytes(self):
+        heap = SymmetricHeap(h800_node())
+        assert heap.stream_time_us(0.0, num_blocks=4) == 0.0
+
+    def test_invalid_inputs(self):
+        heap = SymmetricHeap(h800_node())
+        with pytest.raises(ValueError):
+            heap.malloc("x", 0)
+        with pytest.raises(ValueError):
+            heap.token_op_us(0, remote=True)
+        with pytest.raises(ValueError):
+            heap.stream_time_us(10.0, num_blocks=0)

@@ -1,0 +1,163 @@
+"""Failure/degradation injection: the simulator under hostile conditions.
+
+A systems model earns trust by behaving sensibly when its environment is
+degraded: a crippled interconnect must push every system toward
+comm-bound behaviour (and shrink COMET's ability to hide), a tiny GPU
+must stretch compute, extreme routing skew must not break invariants,
+and empty experts must cost nothing.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.hw import ClusterSpec, GpuSpec, LinkSpec, h800_node
+from repro.hw.presets import H800, NVLINK_H800
+from repro.moe import MIXTRAL_8X7B, RoutingPlan
+from repro.parallel import ParallelStrategy
+from repro.runtime import MoELayerWorkload, make_workload
+from repro.systems import Comet, MegatronCutlass
+
+
+def cluster_with(link: LinkSpec | None = None, gpu: GpuSpec | None = None) -> ClusterSpec:
+    base = h800_node()
+    return ClusterSpec(
+        name="degraded",
+        gpu=gpu or base.gpu,
+        link=link or base.link,
+        world_size=8,
+    )
+
+
+def workload_on(cluster: ClusterSpec, tokens: int = 8192, **kw) -> MoELayerWorkload:
+    return make_workload(
+        MIXTRAL_8X7B, cluster, ParallelStrategy(1, 8), tokens, **kw
+    )
+
+
+class TestDegradedLink:
+    def test_slow_link_slows_everyone(self):
+        slow = dataclasses.replace(NVLINK_H800, gbps=5.0, per_block_gbps=0.5)
+        fast_w = workload_on(h800_node())
+        slow_w = workload_on(cluster_with(link=slow))
+        for system_cls in (MegatronCutlass, Comet):
+            assert (
+                system_cls().time_layer(slow_w).total_us
+                > system_cls().time_layer(fast_w).total_us
+            )
+
+    def test_comm_bound_regime_shrinks_hiding(self):
+        """When communication dwarfs compute, even COMET cannot hide it."""
+        crippled = dataclasses.replace(NVLINK_H800, gbps=2.0, per_block_gbps=0.2)
+        workload = workload_on(cluster_with(link=crippled))
+        timing = Comet().time_layer(workload)
+        assert timing.hidden_comm_fraction < 0.6
+        assert timing.exposed_comm_us > timing.comp_us
+
+    def test_comet_advantage_narrows_on_slow_fabric(self):
+        """The paper's L20 observation, pushed to the extreme."""
+        crippled = dataclasses.replace(
+            NVLINK_H800, gbps=2.0, per_block_gbps=0.2, a2a_efficiency=0.9
+        )
+        slow_w = workload_on(cluster_with(link=crippled))
+        fast_w = workload_on(h800_node())
+        speedup_slow = (
+            MegatronCutlass().time_layer(slow_w).total_us
+            / Comet().time_layer(slow_w).total_us
+        )
+        speedup_fast = (
+            MegatronCutlass().time_layer(fast_w).total_us
+            / Comet().time_layer(fast_w).total_us
+        )
+        assert speedup_slow < speedup_fast
+
+    def test_high_latency_link(self):
+        laggy = dataclasses.replace(NVLINK_H800, latency_us=500.0)
+        workload = workload_on(cluster_with(link=laggy))
+        timing = Comet().time_layer(workload)
+        # Latency is unavoidable: at least one round of it is exposed.
+        assert timing.total_us > 500.0
+
+
+class TestDegradedGpu:
+    def test_few_sms_stretch_compute(self):
+        tiny = dataclasses.replace(H800, num_sms=16)
+        workload = workload_on(cluster_with(gpu=tiny))
+        baseline = workload_on(h800_node())
+        assert (
+            Comet().time_layer(workload).comp_us
+            > Comet().time_layer(baseline).comp_us
+        )
+
+    def test_division_point_respects_tiny_budget(self):
+        tiny = dataclasses.replace(H800, num_sms=16)
+        workload = workload_on(cluster_with(gpu=tiny))
+        nc = Comet().division_point(workload, layer=1)
+        assert 0 < nc < 16
+
+    def test_compute_starved_gpu_hides_everything(self):
+        """A very weak GPU makes compute dominate; communication vanishes
+        under it."""
+        weak = dataclasses.replace(H800, tensor_tflops=30.0)
+        workload = workload_on(cluster_with(gpu=weak))
+        timing = Comet().time_layer(workload)
+        # Only the unavoidable tail (link latency + last column drain)
+        # stays exposed.
+        assert timing.hidden_comm_fraction > 0.9
+
+
+class TestExtremeRouting:
+    def test_all_tokens_one_expert(self):
+        """Worst-case skew: everything lands on a single expert/rank."""
+        cluster = h800_node()
+        tokens = 4096
+        experts = np.zeros((tokens, 2), dtype=np.int64)
+        experts[:, 1] = 1  # top-2 must be distinct
+        plan = RoutingPlan(
+            experts=experts,
+            weights=np.full((tokens, 2), 0.5, dtype=np.float32),
+            num_experts=8,
+        )
+        from repro.moe import token_owner_ranks
+
+        workload = MoELayerWorkload(
+            config=MIXTRAL_8X7B,
+            cluster=cluster,
+            strategy=ParallelStrategy(1, 8),
+            plan=plan,
+            owner=token_owner_ranks(tokens, 8),
+        )
+        balanced = workload_on(cluster, tokens=tokens)
+        for system_cls in (MegatronCutlass, Comet):
+            skew_time = system_cls().time_layer(workload).total_us
+            balanced_time = system_cls().time_layer(balanced).total_us
+            assert skew_time > 1.5 * balanced_time
+
+    def test_empty_experts_cost_nothing_extra(self):
+        """Experts that receive no tokens add no GroupGEMM tiles."""
+        cluster = h800_node()
+        tokens = 1024
+        rng = np.random.default_rng(0)
+        # Route only to experts 0..3; experts 4..7 stay empty.
+        first = rng.integers(0, 4, size=tokens)
+        second = (first + 1 + rng.integers(0, 3, size=tokens)) % 4
+        experts = np.stack([first, second], axis=1).astype(np.int64)
+        plan = RoutingPlan(
+            experts=experts,
+            weights=np.full((tokens, 2), 0.5, dtype=np.float32),
+            num_experts=8,
+        )
+        from repro.moe import token_owner_ranks
+
+        workload = MoELayerWorkload(
+            config=MIXTRAL_8X7B,
+            cluster=cluster,
+            strategy=ParallelStrategy(1, 8),
+            plan=plan,
+            owner=token_owner_ranks(tokens, 8),
+        )
+        timing = Comet().time_layer(workload)
+        assert np.isfinite(timing.total_us)
+        geometry = workload.geometry
+        assert geometry.rows_per_rank[4:].sum() == 0

@@ -1,0 +1,118 @@
+"""Unit tests for GPU, link, and cluster hardware models."""
+
+import pytest
+
+from repro.hw import H800, L20, ClusterSpec, GpuSpec, LinkSpec, h800_node, l20_node
+
+
+class TestGpuSpec:
+    def test_h800_preset_shape(self):
+        assert H800.num_sms == 132
+        assert H800.tensor_tflops == pytest.approx(989.0)
+
+    def test_l20_preset_shape(self):
+        assert L20.num_sms == 92
+
+    def test_flops_per_us_applies_efficiency(self):
+        gpu = GpuSpec("x", num_sms=100, tensor_tflops=100.0, mma_efficiency=0.5)
+        assert gpu.flops_per_us == pytest.approx(100e12 * 0.5 / 1e6)
+
+    def test_per_sm_rate(self):
+        gpu = GpuSpec("x", num_sms=10, tensor_tflops=10.0, mma_efficiency=1.0)
+        assert gpu.flops_per_sm_us == pytest.approx(gpu.flops_per_us / 10)
+
+    def test_gemm_flop_time_scales_inverse_with_sms(self):
+        t_full = H800.gemm_flop_time_us(1e12)
+        t_half = H800.gemm_flop_time_us(1e12, num_sms=H800.num_sms // 2)
+        assert t_half == pytest.approx(2 * t_full)
+
+    def test_invalid_sms_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", num_sms=0, tensor_tflops=1.0)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", num_sms=1, tensor_tflops=1.0, mma_efficiency=1.5)
+
+    def test_zero_sms_query_rejected(self):
+        with pytest.raises(ValueError):
+            H800.gemm_flop_time_us(1.0, num_sms=0)
+
+
+class TestLinkSpec:
+    def test_transfer_time_alpha_beta(self):
+        link = LinkSpec("l", gbps=1.0, latency_us=2.0, per_message_us=0.5)
+        # 1 GB/s = 1000 bytes/us; 1000 bytes should take 1us + overheads.
+        assert link.transfer_us(1000.0) == pytest.approx(2.0 + 0.5 + 1.0)
+
+    def test_transfer_multiple_messages(self):
+        link = LinkSpec("l", gbps=1.0, latency_us=0.0, per_message_us=1.0)
+        assert link.transfer_us(0.0, messages=5) == pytest.approx(5.0)
+
+    def test_effective_bandwidth_caps_at_link(self):
+        link = LinkSpec("l", gbps=10.0, per_block_gbps=4.0)
+        assert link.effective_bandwidth(1) == pytest.approx(4e3)
+        assert link.effective_bandwidth(2) == pytest.approx(8e3)
+        assert link.effective_bandwidth(100) == pytest.approx(10e3)
+
+    def test_effective_bandwidth_zero_blocks(self):
+        link = LinkSpec("l", gbps=10.0)
+        assert link.effective_bandwidth(0) == 0.0
+
+    def test_blocks_to_saturate(self):
+        link = LinkSpec("l", gbps=10.0, per_block_gbps=4.0)
+        assert link.blocks_to_saturate() == 3
+
+    def test_blocks_to_saturate_exact_division(self):
+        link = LinkSpec("l", gbps=8.0, per_block_gbps=4.0)
+        assert link.blocks_to_saturate() == 2
+
+    def test_block_message_rate_penalises_small_messages(self):
+        link = LinkSpec("l", gbps=100.0, per_message_us=0.1, per_block_gbps=8.0)
+        small = link.block_message_bytes_per_us(256)
+        large = link.block_message_bytes_per_us(65536)
+        assert small < large <= link.block_bytes_per_us
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec("l", gbps=1.0).transfer_us(-1.0)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec("l", gbps=1.0, a2a_efficiency=0.0)
+
+    def test_collective_tiers_ordered(self):
+        # Fine-grained cap >= ring >= all-to-all on both preset links.
+        for cluster in (h800_node(), l20_node()):
+            link = cluster.link
+            assert link.bytes_per_us >= link.ring_bytes_per_us >= link.a2a_bytes_per_us
+
+
+class TestClusterSpec:
+    def test_presets(self):
+        assert h800_node().world_size == 8
+        assert l20_node().world_size == 8
+        assert h800_node(4).world_size == 4
+
+    def test_total_sms(self):
+        assert h800_node().total_sms == 8 * 132
+
+    def test_p2p_local_uses_hbm(self):
+        cluster = h800_node()
+        local = cluster.p2p_time_us(0, 0, 1e6)
+        remote = cluster.p2p_time_us(0, 1, 1e6)
+        assert local < remote
+
+    def test_p2p_rank_validation(self):
+        with pytest.raises(ValueError):
+            h800_node().p2p_time_us(0, 9, 10.0)
+
+    def test_world_size_positive(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("c", H800, h800_node().link, world_size=0)
+
+    def test_l20_is_slower_fabric(self):
+        assert l20_node().link.gbps < h800_node().link.gbps
+
+    def test_with_world_size(self):
+        assert h800_node().with_world_size(16).world_size == 16

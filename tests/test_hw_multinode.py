@@ -1,0 +1,114 @@
+"""Tests for the two-tier multi-node topology model."""
+
+import pytest
+
+from repro.hw import h800_node
+from repro.hw.multinode import IB_400G, TwoTierCluster, h800_pod
+from repro.hw.presets import H800, NVLINK_H800
+
+
+class TestTopology:
+    def test_pod_shape(self):
+        pod = h800_pod(4)
+        assert pod.world_size == 32
+        assert pod.node_of(0) == 0
+        assert pod.node_of(8) == 1
+        assert pod.same_node(0, 7)
+        assert not pod.same_node(7, 8)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            h800_pod(2).node_of(16)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            TwoTierCluster("x", H800, NVLINK_H800, IB_400G, nodes=0, gpus_per_node=8)
+
+    def test_fabric_sanity_check(self):
+        with pytest.raises(ValueError):
+            TwoTierCluster(
+                "x", H800, intra_link=IB_400G, inter_link=NVLINK_H800,
+                nodes=2, gpus_per_node=8,
+            )
+
+    def test_uniform_locality(self):
+        # 2 nodes x 8: 7 of 15 remote peers are intra-node.
+        assert h800_pod(2).uniform_locality() == pytest.approx(7 / 15)
+        assert h800_pod(1).uniform_locality() == pytest.approx(1.0)
+
+
+class TestEffectiveCluster:
+    def test_locality_one_recovers_nvlink(self):
+        effective = h800_pod(2).effective_cluster(locality=1.0)
+        assert effective.link.gbps == pytest.approx(NVLINK_H800.gbps)
+        assert effective.link.latency_us == pytest.approx(NVLINK_H800.latency_us)
+
+    def test_locality_zero_recovers_fabric(self):
+        effective = h800_pod(2).effective_cluster(locality=0.0)
+        assert effective.link.gbps == pytest.approx(IB_400G.gbps)
+
+    def test_blend_between_tiers(self):
+        effective = h800_pod(2).effective_cluster()
+        assert IB_400G.gbps < effective.link.gbps < NVLINK_H800.gbps
+        assert (
+            NVLINK_H800.latency_us
+            < effective.link.latency_us
+            < IB_400G.latency_us
+        )
+
+    def test_more_nodes_lower_effective_bandwidth(self):
+        """With more nodes, less traffic stays on NVLink."""
+        two = h800_pod(2).effective_cluster().link.gbps
+        eight = h800_pod(8).effective_cluster().link.gbps
+        assert eight < two
+
+    def test_invalid_locality(self):
+        with pytest.raises(ValueError):
+            h800_pod(2).effective_cluster(locality=1.5)
+
+    def test_single_node_slice(self):
+        node = h800_pod(4).single_node()
+        assert node.world_size == 8
+        assert node.link.gbps == NVLINK_H800.gbps
+
+
+class TestMultiNodeExecution:
+    """The whole system stack runs unchanged on the flattened pod."""
+
+    def test_comet_still_wins_across_nodes(self):
+        from repro.moe import MIXTRAL_8X7B
+        from repro.parallel import ParallelStrategy
+        from repro.runtime import make_workload
+        from repro.systems import Comet, MegatronCutlass
+
+        pod = h800_pod(2)
+        cluster = pod.effective_cluster()
+        workload = make_workload(
+            MIXTRAL_8X7B.with_experts(16, 2), cluster,
+            ParallelStrategy(1, 16), total_tokens=16384,
+        )
+        comet = Comet().time_layer(workload)
+        megatron = MegatronCutlass().time_layer(workload)
+        assert comet.total_us < megatron.total_us
+
+    def test_cross_node_layer_slower_than_single_node(self):
+        """Same per-GPU workload, slower fabric: the pod's MoE layer must
+        take longer than the single node's."""
+        from repro.moe import MIXTRAL_8X7B
+        from repro.parallel import ParallelStrategy
+        from repro.runtime import make_workload
+        from repro.systems import Comet
+
+        pod = h800_pod(2)
+        pod_workload = make_workload(
+            MIXTRAL_8X7B.with_experts(16, 2), pod.effective_cluster(),
+            ParallelStrategy(1, 16), total_tokens=32768,
+        )
+        node_workload = make_workload(
+            MIXTRAL_8X7B, h800_node(), ParallelStrategy(1, 8),
+            total_tokens=16384,
+        )
+        assert (
+            Comet().time_layer(pod_workload).total_us
+            > Comet().time_layer(node_workload).total_us
+        )

@@ -1,0 +1,149 @@
+"""Tests for the cross-rank fetch-fabric contention model."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.fabric import FabricTimeline, FetchRun, simulate_fetch_fabric
+
+
+def caps(world, ingress=100.0, egress=100.0):
+    return np.full(world, ingress), np.full(world, egress)
+
+
+class TestSingleFlow:
+    def test_rate_limited_by_ingress(self):
+        ingress, egress = caps(2, ingress=10.0, egress=100.0)
+        timelines = simulate_fetch_fabric(
+            [[FetchRun(src=1, tokens=10)], []],
+            token_bytes=100,
+            ingress_bytes_per_us=ingress,
+            egress_bytes_per_us=egress,
+        )
+        # 1000 bytes at 10 B/us = 100 us.
+        assert timelines[0].finish_time == pytest.approx(100.0)
+
+    def test_rate_limited_by_egress(self):
+        ingress, egress = caps(2, ingress=100.0, egress=10.0)
+        timelines = simulate_fetch_fabric(
+            [[FetchRun(src=1, tokens=10)], []],
+            token_bytes=100,
+            ingress_bytes_per_us=ingress,
+            egress_bytes_per_us=egress,
+        )
+        assert timelines[0].finish_time == pytest.approx(100.0)
+
+    def test_latency_offsets_start(self):
+        ingress, egress = caps(2)
+        timelines = simulate_fetch_fabric(
+            [[FetchRun(1, 1)], []], 100, ingress, egress, latency_us=5.0
+        )
+        assert timelines[0].arrival_time(0) >= 5.0
+
+
+class TestContention:
+    def test_shared_source_halves_rates(self):
+        """Two ranks pulling from the same source split its egress."""
+        ingress, egress = caps(3, ingress=100.0, egress=100.0)
+        solo = simulate_fetch_fabric(
+            [[FetchRun(2, 100)], [], []], 100, ingress, egress
+        )[0].finish_time
+        shared = simulate_fetch_fabric(
+            [[FetchRun(2, 100)], [FetchRun(2, 100)], []], 100, ingress, egress
+        )
+        assert shared[0].finish_time == pytest.approx(2 * solo, rel=1e-6)
+        assert shared[1].finish_time == pytest.approx(2 * solo, rel=1e-6)
+
+    def test_disjoint_sources_do_not_interact(self):
+        ingress, egress = caps(4)
+        timelines = simulate_fetch_fabric(
+            [[FetchRun(2, 50)], [FetchRun(3, 50)], [], []],
+            100,
+            ingress,
+            egress,
+        )
+        solo = simulate_fetch_fabric(
+            [[FetchRun(2, 50)], [], [], []], 100, ingress, egress
+        )[0].finish_time
+        assert timelines[0].finish_time == pytest.approx(solo)
+        assert timelines[1].finish_time == pytest.approx(solo)
+
+    def test_rank_moves_on_after_run_completes(self):
+        """After the contended run drains, the next run runs at full rate."""
+        ingress, egress = caps(3, ingress=100.0)
+        timelines = simulate_fetch_fabric(
+            [
+                [FetchRun(2, 100), FetchRun(1, 100)],
+                [FetchRun(2, 100)],
+                [],
+            ],
+            100,
+            ingress,
+            egress,
+        )
+        # Phase 1: both pull from rank2 (50 B/us each): 200 us.
+        # Phase 2: rank0 pulls from rank1 alone at 100 B/us: +100 us.
+        assert timelines[0].finish_time == pytest.approx(300.0, rel=1e-6)
+
+    def test_work_conservation(self):
+        """Total bytes delivered equals total bytes requested."""
+        rng = np.random.default_rng(0)
+        world = 4
+        runs = [
+            [FetchRun(src, int(rng.integers(0, 50))) for src in range(world) if src != dst]
+            for dst in range(world)
+        ]
+        ingress, egress = caps(world, ingress=37.0, egress=53.0)
+        timelines = simulate_fetch_fabric(runs, 64, ingress, egress)
+        for dst in range(world):
+            expected = sum(r.tokens for r in runs[dst])
+            assert timelines[dst].counts[-1] == pytest.approx(expected)
+
+
+class TestTimelineQueries:
+    def test_arrival_interpolation(self):
+        ingress, egress = caps(2, ingress=10.0)
+        timeline = simulate_fetch_fabric(
+            [[FetchRun(1, 10)], []], 100, ingress, egress
+        )[0]
+        # Token i arrives at (i+1)*10 us (100 bytes / 10 B/us each).
+        for i in range(10):
+            assert timeline.arrival_time(i) == pytest.approx((i + 1) * 10.0)
+
+    def test_negative_index_is_time_zero(self):
+        timeline = FabricTimeline(
+            times=np.array([0.0, 1.0]), counts=np.array([0.0, 4.0])
+        )
+        assert timeline.arrival_time(-1) == 0.0
+
+    def test_out_of_range_rejected(self):
+        timeline = FabricTimeline(
+            times=np.array([0.0, 1.0]), counts=np.array([0.0, 4.0])
+        )
+        with pytest.raises(ValueError):
+            timeline.arrival_time(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FetchRun(0, -1)
+        with pytest.raises(ValueError):
+            simulate_fetch_fabric([[]], 0, np.ones(1), np.ones(1))
+        with pytest.raises(ValueError):
+            simulate_fetch_fabric([[]], 8, np.ones(2), np.ones(1))
+
+
+class TestBalancedMatchesIndependentModel:
+    def test_symmetric_pulls_equal_single_rank_rate(self):
+        """Under perfectly symmetric traffic the contention model reduces
+        to the independent per-rank model (what Comet's default uses)."""
+        world = 4
+        tokens = 60
+        runs = [
+            [FetchRun((dst + d) % world, tokens) for d in range(1, world)]
+            for dst in range(world)
+        ]
+        ingress, egress = caps(world, ingress=30.0, egress=30.0)
+        timelines = simulate_fetch_fabric(runs, 100, ingress, egress)
+        total_bytes = tokens * (world - 1) * 100
+        independent = total_bytes / 30.0
+        for timeline in timelines:
+            assert timeline.finish_time == pytest.approx(independent, rel=0.01)

@@ -1,0 +1,161 @@
+"""Unit tests for tiling geometry and the GEMM cost model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import H800, L20
+from repro.kernels import (
+    TileShape,
+    activation_time_us,
+    gemm_tile_count,
+    gemm_time_us,
+    group_gemm_time_us,
+    num_tiles_1d,
+    tile_time_us,
+)
+from repro.kernels.tiling import row_tiles_per_expert
+
+
+class TestTiling:
+    def test_num_tiles_exact(self):
+        assert num_tiles_1d(256, 128) == 2
+
+    def test_num_tiles_ceil(self):
+        assert num_tiles_1d(257, 128) == 3
+
+    def test_num_tiles_zero(self):
+        assert num_tiles_1d(0, 128) == 0
+
+    def test_gemm_tile_count(self):
+        assert gemm_tile_count(256, 384, TileShape(128, 128)) == 2 * 3
+
+    def test_row_tiles_per_expert_padding(self):
+        tiles = row_tiles_per_expert(np.array([1, 128, 129, 0]))
+        assert tiles.tolist() == [1, 1, 2, 0]
+
+    def test_group_tiles_exceed_merged_tiles(self):
+        """Per-expert remainders waste tiles versus one merged GEMM —
+        the structural source of chunking loss (Figure 1b)."""
+        from repro.kernels import group_gemm_tile_count
+
+        expert_rows = np.array([160, 160, 160, 160])
+        grouped = group_gemm_tile_count(expert_rows, 128)
+        merged = gemm_tile_count(640, 128)
+        assert grouped > merged
+
+    def test_tile_flops(self):
+        assert TileShape(128, 128).flops(64) == 2 * 128 * 128 * 64
+
+    def test_tile_invalid(self):
+        with pytest.raises(ValueError):
+            TileShape(0, 128)
+        with pytest.raises(ValueError):
+            num_tiles_1d(10, 0)
+        with pytest.raises(ValueError):
+            TileShape().flops(0)
+
+    def test_io_bytes_panel_reuse(self):
+        tile = TileShape(128, 128)
+        assert tile.io_bytes(1024, panel_reuse=8.0) < tile.io_bytes(
+            1024, panel_reuse=1.0
+        )
+        with pytest.raises(ValueError):
+            tile.io_bytes(1024, panel_reuse=0.5)
+
+
+class TestTileTime:
+    def test_large_k_is_compute_bound(self):
+        """With a deep reduction the tile must cost its FLOP time."""
+        tile = TileShape(128, 128)
+        t = tile_time_us(H800, k=14336, tile=tile)
+        assert t == pytest.approx(tile.flops(14336) / H800.flops_per_sm_us)
+
+    def test_time_increases_with_k(self):
+        assert tile_time_us(H800, 8192) > tile_time_us(H800, 1024)
+
+    def test_l20_slower_than_h800(self):
+        assert tile_time_us(L20, 4096) > tile_time_us(H800, 4096)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            tile_time_us(H800, 0)
+
+
+class TestGemmTime:
+    def test_zero_rows_zero_time(self):
+        assert gemm_time_us(H800, 0, 128, 128).time_us == 0.0
+
+    def test_wave_quantisation(self):
+        """One tile more than a full wave adds a whole wave."""
+        sms = H800.num_sms
+        per_tile_rows = 128
+        cost_full = gemm_time_us(H800, per_tile_rows * sms, 128, 4096)
+        cost_plus = gemm_time_us(H800, per_tile_rows * (sms + 1), 128, 4096)
+        assert cost_full.waves == 1
+        assert cost_plus.waves == 2
+        assert cost_plus.time_us > cost_full.time_us * 1.5
+
+    def test_fewer_sms_slower(self):
+        full = gemm_time_us(H800, 4096, 4096, 4096).time_us
+        partial = gemm_time_us(H800, 4096, 4096, 4096, num_sms=66).time_us
+        assert partial > full
+
+    def test_flops_reported(self):
+        cost = gemm_time_us(H800, 256, 512, 1024)
+        assert cost.flops == 2 * 256 * 512 * 1024
+
+    def test_chunked_gemm_slower_than_whole(self):
+        """t1 + t2 > t: chunking a GroupGEMM along rows loses efficiency."""
+        expert_rows = np.array([300, 300, 300, 300])
+        whole = group_gemm_time_us(H800, expert_rows, 512, 4096).time_us
+        half = group_gemm_time_us(H800, np.ceil(expert_rows / 2), 512, 4096).time_us
+        assert 2 * half > whole
+
+    def test_group_gemm_empty_expert_ok(self):
+        cost = group_gemm_time_us(H800, np.array([0, 128, 0]), 128, 128)
+        assert cost.tiles == 1
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_time_us(H800, -1, 128, 128)
+        with pytest.raises(ValueError):
+            group_gemm_time_us(H800, np.array([-1]), 128, 128)
+
+    def test_invalid_sms_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_time_us(H800, 128, 128, 128, num_sms=0)
+
+
+class TestActivation:
+    def test_scales_with_elements(self):
+        t1 = activation_time_us(H800, 1024, 1024)
+        t2 = activation_time_us(H800, 2048, 1024)
+        assert t2 > t1
+
+    def test_zero_rows_free(self):
+        assert activation_time_us(H800, 0, 1024) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            activation_time_us(H800, -1, 4)
+
+
+class TestGemmEfficiency:
+    def test_full_wave_near_one(self):
+        """An exact multiple of SM-count tiles wastes only the ramp."""
+        cost = gemm_time_us(H800, 128 * H800.num_sms, 128, 4096)
+        assert cost.efficiency > 0.95
+
+    def test_partial_wave_lowers_efficiency(self):
+        """A single tile occupies one wave: 1/num_sms of the work."""
+        single = gemm_time_us(H800, 1, 1, 4096)
+        full = gemm_time_us(H800, 128 * H800.num_sms, 128, 4096)
+        assert single.efficiency < full.efficiency
+
+    def test_zero_tiles_perfect(self):
+        assert gemm_time_us(H800, 0, 128, 128).efficiency == 1.0
+
+    def test_bounded(self):
+        for rows in (1, 100, 5000):
+            eff = gemm_time_us(H800, rows, 512, 2048).efficiency
+            assert 0.0 < eff <= 1.0

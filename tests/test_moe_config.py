@@ -1,0 +1,87 @@
+"""Unit tests for MoE model configurations (paper Table 2)."""
+
+import pytest
+
+from repro.moe import MIXTRAL_8X7B, PAPER_MODELS, PHI35_MOE, QWEN2_MOE, MoEConfig
+
+
+class TestPaperModels:
+    """The three models must match Table 2 exactly."""
+
+    def test_mixtral(self):
+        assert MIXTRAL_8X7B.num_layers == 32
+        assert MIXTRAL_8X7B.num_experts == 8
+        assert MIXTRAL_8X7B.topk == 2
+        assert MIXTRAL_8X7B.hidden_size == 4096
+        assert MIXTRAL_8X7B.ffn_size == 14336
+
+    def test_qwen2(self):
+        assert QWEN2_MOE.num_layers == 24
+        assert QWEN2_MOE.num_experts == 64
+        assert QWEN2_MOE.topk == 4
+        assert QWEN2_MOE.hidden_size == 2048
+        assert QWEN2_MOE.ffn_size == 1408
+
+    def test_phi35(self):
+        assert PHI35_MOE.num_layers == 32
+        assert PHI35_MOE.num_experts == 16
+        assert PHI35_MOE.topk == 2
+        assert PHI35_MOE.hidden_size == 4096
+        assert PHI35_MOE.ffn_size == 6400
+
+    def test_all_models_listed(self):
+        assert len(PAPER_MODELS) == 3
+
+    def test_all_bf16(self):
+        assert all(m.dtype_bytes == 2 for m in PAPER_MODELS)
+
+
+class TestMoEConfig:
+    def test_token_bytes(self):
+        assert MIXTRAL_8X7B.token_bytes == 4096 * 2
+
+    def test_expert_flops_per_token(self):
+        config = MoEConfig("t", 1, 4, 2, hidden_size=8, ffn_size=16)
+        # Two GEMM layers: 2*N*K each.
+        assert config.expert_flops_per_token == 2 * 8 * 16 * 2
+
+    def test_topk_bounds(self):
+        with pytest.raises(ValueError):
+            MoEConfig("t", 1, 4, 5, 8, 16)
+        with pytest.raises(ValueError):
+            MoEConfig("t", 1, 4, 0, 8, 16)
+
+    def test_with_experts(self):
+        variant = MIXTRAL_8X7B.with_experts(32, topk=4)
+        assert variant.num_experts == 32
+        assert variant.topk == 4
+        assert variant.hidden_size == MIXTRAL_8X7B.hidden_size
+
+    def test_with_experts_keeps_topk(self):
+        assert MIXTRAL_8X7B.with_experts(16).topk == MIXTRAL_8X7B.topk
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            MoEConfig("t", 1, 4, 2, 8, 16, dtype_bytes=3)
+
+
+class TestNvshmemBufferTable3:
+    """Paper Table 3: buffer = dtype * M * N, shared across layers."""
+
+    @pytest.mark.parametrize(
+        "config,tokens,expected_mb",
+        [
+            (MIXTRAL_8X7B, 4096, 32),
+            (MIXTRAL_8X7B, 8192, 64),
+            (QWEN2_MOE, 4096, 16),
+            (QWEN2_MOE, 8192, 32),
+            (PHI35_MOE, 4096, 32),
+            (PHI35_MOE, 8192, 64),
+        ],
+    )
+    def test_table3_values(self, config, tokens, expected_mb):
+        assert config.nvshmem_buffer_bytes(tokens) == expected_mb * 1024 * 1024
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            MIXTRAL_8X7B.nvshmem_buffer_bytes(-1)

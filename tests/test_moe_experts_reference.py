@@ -1,0 +1,149 @@
+"""Unit tests for expert weights and the reference forward pass."""
+
+import numpy as np
+import pytest
+
+from repro.moe import (
+    ExpertWeights,
+    RoutingPlan,
+    TopKGate,
+    reference_moe_forward,
+    routing_from_fractions,
+    balanced_fractions,
+    silu,
+)
+
+
+class TestSilu:
+    def test_zero(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+
+    def test_large_positive_is_identity(self):
+        np.testing.assert_allclose(silu(np.array([50.0])), [50.0], rtol=1e-6)
+
+    def test_large_negative_is_zero(self):
+        np.testing.assert_allclose(silu(np.array([-50.0])), [0.0], atol=1e-6)
+
+
+class TestExpertWeights:
+    def test_init_shapes(self):
+        w = ExpertWeights.init(4, hidden_size=8, ffn_size=16)
+        assert w.w0.shape == (4, 8, 16)
+        assert w.w1.shape == (4, 16, 8)
+        assert w.num_experts == 4
+        assert w.hidden_size == 8
+        assert w.ffn_size == 16
+
+    def test_inconsistent_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertWeights(w0=np.zeros((2, 8, 16)), w1=np.zeros((2, 16, 9)))
+
+    def test_tp_shard_shapes(self):
+        w = ExpertWeights.init(2, 8, 16)
+        shard = w.tp_shard(1, 4)
+        assert shard.w0.shape == (2, 8, 4)
+        assert shard.w1.shape == (2, 4, 8)
+
+    def test_tp_shards_reconstruct_output(self):
+        """Column-parallel layer0 + row-parallel layer1 partial sums must
+        reconstruct the unsharded expert output (Megatron MLP sharding)."""
+        rng = np.random.default_rng(0)
+        w = ExpertWeights.init(1, 8, 16, rng)
+        x = rng.normal(size=(5, 8)).astype(np.float32)
+        full = silu(x @ w.w0[0]) @ w.w1[0]
+        partial_sum = np.zeros_like(full)
+        for tp_rank in range(4):
+            shard = w.tp_shard(tp_rank, 4)
+            partial_sum += silu(x @ shard.w0[0]) @ shard.w1[0]
+        np.testing.assert_allclose(partial_sum, full, rtol=1e-4, atol=1e-5)
+
+    def test_tp_shard_invalid_rank(self):
+        w = ExpertWeights.init(1, 8, 16)
+        with pytest.raises(ValueError):
+            w.tp_shard(4, 4)
+
+    def test_tp_shard_indivisible(self):
+        w = ExpertWeights.init(1, 8, 15)
+        with pytest.raises(ValueError):
+            w.tp_shard(0, 4)
+
+    def test_select_experts(self):
+        w = ExpertWeights.init(4, 8, 16)
+        sub = w.select([1, 3])
+        np.testing.assert_array_equal(sub.w0[0], w.w0[1])
+        np.testing.assert_array_equal(sub.w1[1], w.w1[3])
+
+
+class TestReferenceForward:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+        self.weights = ExpertWeights.init(4, hidden_size=16, ffn_size=24, rng=self.rng)
+        self.x = self.rng.normal(size=(32, 16)).astype(np.float32)
+        self.plan = routing_from_fractions(32, 2, balanced_fractions(4), self.rng)
+
+    def test_output_shape(self):
+        out = reference_moe_forward(self.x, self.plan, self.weights)
+        assert out.shape == (32, 16)
+
+    def test_single_expert_matches_direct_ffn(self):
+        plan = RoutingPlan(
+            experts=np.zeros((32, 1), dtype=int),
+            weights=np.ones((32, 1), dtype=np.float32),
+            num_experts=4,
+        )
+        out = reference_moe_forward(self.x, plan, self.weights)
+        direct = silu(self.x @ self.weights.w0[0]) @ self.weights.w1[0]
+        np.testing.assert_allclose(out, direct, rtol=1e-5, atol=1e-6)
+
+    def test_combine_weights_scale_output(self):
+        """Doubling a token's combine weights doubles its output."""
+        plan = self.plan
+        out1 = reference_moe_forward(self.x, plan, self.weights)
+        scaled = RoutingPlan(
+            experts=plan.experts,
+            weights=plan.weights * 2.0,
+            num_experts=plan.num_experts,
+        )
+        out2 = reference_moe_forward(self.x, scaled, self.weights)
+        np.testing.assert_allclose(out2, 2.0 * out1, rtol=1e-5)
+
+    def test_topk_output_is_weighted_sum(self):
+        out = reference_moe_forward(self.x, self.plan, self.weights)
+        token = 5
+        expected = np.zeros(16, dtype=np.float32)
+        for slot in range(self.plan.topk):
+            e = self.plan.experts[token, slot]
+            y = silu(self.x[token : token + 1] @ self.weights.w0[e]) @ self.weights.w1[e]
+            expected += self.plan.weights[token, slot] * y[0]
+        np.testing.assert_allclose(out[token], expected, rtol=1e-4, atol=1e-5)
+
+    def test_gate_integration(self):
+        gate = TopKGate(16, 4, 2, rng=self.rng)
+        gate_out = gate(self.x)
+        plan = RoutingPlan.from_gate(gate_out, 4)
+        out = reference_moe_forward(self.x, plan, self.weights)
+        assert np.isfinite(out).all()
+
+    def test_unused_expert_is_fine(self):
+        plan = RoutingPlan(
+            experts=np.zeros((8, 1), dtype=int),
+            weights=np.ones((8, 1), dtype=np.float32),
+            num_experts=4,
+        )
+        out = reference_moe_forward(self.x[:8], plan, self.weights)
+        assert out.shape == (8, 16)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            reference_moe_forward(self.x[:8], self.plan, self.weights)
+
+    def test_hidden_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            reference_moe_forward(
+                self.x[:, :8], self.plan, self.weights
+            )
+
+    def test_expert_count_mismatch_rejected(self):
+        other = ExpertWeights.init(8, 16, 24)
+        with pytest.raises(ValueError):
+            reference_moe_forward(self.x, self.plan, other)

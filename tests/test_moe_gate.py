@@ -1,0 +1,97 @@
+"""Unit tests for the top-k softmax gate."""
+
+import numpy as np
+import pytest
+
+from repro.moe import TopKGate
+from repro.moe.gate import softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(16, 8))
+        s = softmax(x, axis=1)
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_stability_with_large_logits(self):
+        x = np.array([[1000.0, 1000.0]])
+        s = softmax(x)
+        np.testing.assert_allclose(s, [[0.5, 0.5]])
+
+    def test_monotone(self):
+        s = softmax(np.array([[1.0, 2.0, 3.0]]))[0]
+        assert s[0] < s[1] < s[2]
+
+
+class TestTopKGate:
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+        self.gate = TopKGate(hidden_size=32, num_experts=8, topk=2, rng=self.rng)
+        self.x = self.rng.normal(size=(64, 32)).astype(np.float32)
+
+    def test_output_shapes(self):
+        out = self.gate(self.x)
+        assert out.experts.shape == (64, 2)
+        assert out.weights.shape == (64, 2)
+        assert out.probs.shape == (64, 8)
+
+    def test_expert_ids_in_range(self):
+        out = self.gate(self.x)
+        assert out.experts.min() >= 0
+        assert out.experts.max() < 8
+
+    def test_distinct_experts_per_token(self):
+        out = self.gate(self.x)
+        assert np.all(out.experts[:, 0] != out.experts[:, 1])
+
+    def test_weights_normalised(self):
+        out = self.gate(self.x)
+        np.testing.assert_allclose(out.weights.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_experts_sorted_by_probability(self):
+        out = self.gate(self.x)
+        rows = np.arange(64)
+        p0 = out.probs[rows, out.experts[:, 0]]
+        p1 = out.probs[rows, out.experts[:, 1]]
+        assert np.all(p0 >= p1)
+
+    def test_topk_selects_highest_probs(self):
+        out = self.gate(self.x)
+        rows = np.arange(64)
+        selected_min = out.probs[rows[:, None], out.experts].min(axis=1)
+        # Every unselected expert must have probability <= the lowest selected.
+        mask = np.ones_like(out.probs, dtype=bool)
+        mask[rows[:, None], out.experts] = False
+        unselected_max = np.where(mask, out.probs, -np.inf).max(axis=1)
+        assert np.all(unselected_max <= selected_min + 1e-7)
+
+    def test_deterministic_given_rng(self):
+        gate2 = TopKGate(32, 8, 2, rng=np.random.default_rng(7))
+        out1 = self.gate(self.x)
+        out2 = gate2(self.x)
+        np.testing.assert_array_equal(out1.experts, out2.experts)
+
+    def test_wrong_input_width_rejected(self):
+        with pytest.raises(ValueError):
+            self.gate(np.zeros((4, 16), dtype=np.float32))
+
+    def test_topk_bounds(self):
+        with pytest.raises(ValueError):
+            TopKGate(8, 4, 5)
+
+    def test_topk_equals_experts(self):
+        gate = TopKGate(16, 4, 4, rng=np.random.default_rng(0))
+        out = gate(np.random.default_rng(1).normal(size=(8, 16)).astype(np.float32))
+        for row in out.experts:
+            assert sorted(row.tolist()) == [0, 1, 2, 3]
+
+    def test_gate_output_shape_mismatch_rejected(self):
+        from repro.moe.gate import GateOutput
+
+        with pytest.raises(ValueError):
+            GateOutput(
+                experts=np.zeros((4, 2), dtype=int),
+                weights=np.zeros((4, 3)),
+                probs=np.zeros((4, 8)),
+            )

@@ -1,0 +1,155 @@
+"""Unit tests for routing plans and imbalance generators."""
+
+import numpy as np
+import pytest
+
+from repro.moe import (
+    RoutingPlan,
+    balanced_fractions,
+    imbalanced_fractions,
+    routing_from_fractions,
+    token_owner_ranks,
+)
+
+
+class TestTokenOwnerRanks:
+    def test_even_split(self):
+        owner = token_owner_ranks(8, 4)
+        assert owner.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_remainder_to_leading_ranks(self):
+        owner = token_owner_ranks(5, 2)
+        assert owner.tolist() == [0, 0, 0, 1, 1]
+
+    def test_empty(self):
+        assert token_owner_ranks(0, 4).size == 0
+
+    def test_invalid_world(self):
+        with pytest.raises(ValueError):
+            token_owner_ranks(4, 0)
+
+
+class TestFractions:
+    def test_balanced(self):
+        f = balanced_fractions(8)
+        np.testing.assert_allclose(f, 0.125)
+
+    def test_imbalanced_hits_target_std(self):
+        for std in (0.01, 0.02, 0.032, 0.05):
+            f = imbalanced_fractions(8, std, np.random.default_rng(3))
+            assert f.sum() == pytest.approx(1.0)
+            assert f.std() == pytest.approx(std, abs=1e-3)
+            assert np.all(f >= 0)
+
+    def test_zero_std_is_uniform(self):
+        np.testing.assert_allclose(imbalanced_fractions(8, 0.0), 0.125)
+
+    def test_unreachable_std_rejected(self):
+        with pytest.raises(ValueError):
+            imbalanced_fractions(8, 1.0)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            imbalanced_fractions(8, -0.1)
+
+    def test_large_e(self):
+        f = imbalanced_fractions(64, 0.01, np.random.default_rng(0))
+        assert f.std() == pytest.approx(0.01, abs=1e-3)
+
+
+class TestRoutingFromFractions:
+    def test_shapes(self):
+        plan = routing_from_fractions(100, 2, balanced_fractions(8))
+        assert plan.experts.shape == (100, 2)
+        assert plan.weights.shape == (100, 2)
+
+    def test_distinct_experts_per_token(self):
+        plan = routing_from_fractions(500, 4, balanced_fractions(8))
+        for row in plan.experts:
+            assert len(set(row.tolist())) == 4
+
+    def test_weights_sum_to_one(self):
+        plan = routing_from_fractions(100, 3, balanced_fractions(8))
+        np.testing.assert_allclose(plan.weights.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_loads_follow_fractions(self):
+        rng = np.random.default_rng(0)
+        fractions = imbalanced_fractions(8, 0.05, rng)
+        plan = routing_from_fractions(20000, 2, fractions, rng)
+        realised = plan.fractions()
+        # Heaviest and lightest experts should match the request's ordering.
+        assert realised.argmax() == fractions.argmax()
+        assert realised.std() > 0.02
+
+    def test_balanced_has_low_std(self):
+        plan = routing_from_fractions(20000, 2, balanced_fractions(8))
+        assert plan.load_std() < 0.01
+
+    def test_topk_bounds(self):
+        with pytest.raises(ValueError):
+            routing_from_fractions(10, 9, balanced_fractions(8))
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            routing_from_fractions(10, 2, np.array([0.5, 0.2]))
+
+
+class TestRoutingPlan:
+    def make_plan(self):
+        experts = np.array([[0, 1], [1, 2], [2, 0], [0, 2]])
+        weights = np.full((4, 2), 0.5, dtype=np.float32)
+        return RoutingPlan(experts=experts, weights=weights, num_experts=3)
+
+    def test_expert_counts(self):
+        plan = self.make_plan()
+        assert plan.expert_counts.tolist() == [3, 2, 3]
+
+    def test_total_routed(self):
+        assert self.make_plan().total_routed == 8
+
+    def test_tokens_for_expert(self):
+        plan = self.make_plan()
+        tokens, slots = plan.tokens_for_expert(0)
+        assert tokens.tolist() == [0, 2, 3]
+        assert slots.tolist() == [0, 1, 0]
+
+    def test_tokens_for_expert_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.make_plan().tokens_for_expert(3)
+
+    def test_counts_by_rank(self):
+        plan = self.make_plan()
+        owner = np.array([0, 0, 1, 1])
+        counts = plan.counts_by_rank(owner)
+        assert counts.shape == (2, 3)
+        assert counts.sum() == plan.total_routed
+        assert counts[0].tolist() == [1, 2, 1]  # tokens 0, 1
+        assert counts[1].tolist() == [2, 0, 2]  # tokens 2, 3
+
+    def test_counts_by_rank_shape_validation(self):
+        with pytest.raises(ValueError):
+            self.make_plan().counts_by_rank(np.zeros(3, dtype=int))
+
+    def test_duplicate_expert_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingPlan(
+                experts=np.array([[1, 1]]),
+                weights=np.array([[0.5, 0.5]]),
+                num_experts=3,
+            )
+
+    def test_expert_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingPlan(
+                experts=np.array([[0, 3]]),
+                weights=np.array([[0.5, 0.5]]),
+                num_experts=3,
+            )
+
+    def test_fractions_empty_plan(self):
+        plan = RoutingPlan(
+            experts=np.zeros((0, 2), dtype=int),
+            weights=np.zeros((0, 2)),
+            num_experts=4,
+        )
+        np.testing.assert_array_equal(plan.fractions(), np.zeros(4))

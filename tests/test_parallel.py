@@ -1,0 +1,160 @@
+"""Unit tests for parallel strategies and expert placement."""
+
+import numpy as np
+import pytest
+
+from repro.moe import RoutingPlan, balanced_fractions, routing_from_fractions, token_owner_ranks
+from repro.parallel import ExpertPlacement, ParallelStrategy
+
+
+class TestParallelStrategy:
+    def test_world_size(self):
+        assert ParallelStrategy(tp_size=2, ep_size=4).world_size == 8
+
+    def test_rank_decomposition(self):
+        s = ParallelStrategy(tp_size=2, ep_size=4)
+        assert s.tp_rank(5) == 1
+        assert s.ep_rank(5) == 2
+        assert s.rank_of(2, 1) == 5
+
+    def test_rank_roundtrip(self):
+        s = ParallelStrategy(tp_size=4, ep_size=2)
+        for rank in range(8):
+            assert s.rank_of(s.ep_rank(rank), s.tp_rank(rank)) == rank
+
+    def test_tp_group_contiguous(self):
+        s = ParallelStrategy(tp_size=4, ep_size=2)
+        assert s.ranks_in_ep_group(0) == [0, 1, 2, 3]
+        assert s.ranks_in_ep_group(1) == [4, 5, 6, 7]
+
+    def test_tp_group_of(self):
+        s = ParallelStrategy(tp_size=2, ep_size=4)
+        assert s.tp_group_of(5) == [4, 5]
+
+    def test_experts_of_ep_group(self):
+        s = ParallelStrategy(tp_size=1, ep_size=4)
+        assert s.experts_of_ep_group(1, 8) == [2, 3]
+
+    def test_ep_group_of_expert(self):
+        s = ParallelStrategy(tp_size=1, ep_size=4)
+        assert s.ep_group_of_expert(5, 8) == 2
+
+    def test_experts_not_divisible_rejected(self):
+        s = ParallelStrategy(tp_size=1, ep_size=3)
+        with pytest.raises(ValueError):
+            s.experts_per_ep_group(8)
+
+    def test_validate_model(self):
+        s = ParallelStrategy(tp_size=4, ep_size=2)
+        s.validate_model(8, 1408 * 4)
+        with pytest.raises(ValueError):
+            s.validate_model(8, 1409)
+        with pytest.raises(ValueError):
+            ParallelStrategy(tp_size=1, ep_size=3).validate_model(8, 64)
+
+    def test_sweep_covers_all_factorisations(self):
+        sweep = ParallelStrategy.sweep(8)
+        pairs = {(s.tp_size, s.ep_size) for s in sweep}
+        assert pairs == {(1, 8), (2, 4), (4, 2), (8, 1)}
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ParallelStrategy(tp_size=0, ep_size=1)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            ParallelStrategy(tp_size=2, ep_size=2).tp_rank(4)
+
+
+class TestExpertPlacement:
+    def make(self, tp=1, ep=4, experts=8):
+        return ExpertPlacement(ParallelStrategy(tp_size=tp, ep_size=ep), experts)
+
+    def make_plan_owner(self, tokens=64, topk=2, experts=8, world=4, seed=0):
+        rng = np.random.default_rng(seed)
+        plan = routing_from_fractions(tokens, topk, balanced_fractions(experts), rng)
+        owner = token_owner_ranks(tokens, world)
+        return plan, owner
+
+    def test_experts_per_rank(self):
+        assert self.make().experts_per_rank == 2
+
+    def test_ranks_hosting_expert_pure_ep(self):
+        placement = self.make()
+        assert placement.ranks_hosting_expert(5) == [2]
+
+    def test_ranks_hosting_expert_hybrid(self):
+        placement = ExpertPlacement(ParallelStrategy(tp_size=2, ep_size=2), 8)
+        assert placement.ranks_hosting_expert(0) == [0, 1]
+        assert placement.ranks_hosting_expert(7) == [2, 3]
+
+    def test_pair_matrix_conserves_pairs_pure_ep(self):
+        placement = self.make()
+        plan, owner = self.make_plan_owner()
+        matrix = placement.pair_matrix(plan, owner)
+        assert matrix.sum() == plan.total_routed
+
+    def test_pair_matrix_tp_fanout(self):
+        """Under TP each pair is copied to every rank of the expert's group."""
+        tp = 2
+        placement = ExpertPlacement(ParallelStrategy(tp_size=tp, ep_size=2), 8)
+        plan, owner = self.make_plan_owner(world=4)
+        matrix = placement.pair_matrix(plan, owner)
+        assert matrix.sum() == plan.total_routed * tp
+
+    def test_rank_workload_row_conservation(self):
+        placement = self.make()
+        plan, owner = self.make_plan_owner()
+        workloads = placement.all_rank_workloads(plan, owner)
+        assert sum(w.total_rows for w in workloads) == plan.total_routed
+
+    def test_rank_workload_local_remote_split(self):
+        placement = self.make()
+        plan, owner = self.make_plan_owner()
+        w = placement.rank_workload(plan, owner, 1)
+        assert w.local_recv_pairs + w.remote_recv_pairs == w.total_rows
+
+    def test_rank_workload_matches_pair_matrix_column(self):
+        placement = self.make()
+        plan, owner = self.make_plan_owner()
+        matrix = placement.pair_matrix(plan, owner)
+        for rank in range(4):
+            w = placement.rank_workload(plan, owner, rank)
+            np.testing.assert_array_equal(w.recv_pairs_by_src, matrix[:, rank])
+
+    def test_send_pairs_match_matrix_row(self):
+        placement = self.make()
+        plan, owner = self.make_plan_owner()
+        matrix = placement.pair_matrix(plan, owner)
+        for rank in range(4):
+            w = placement.rank_workload(plan, owner, rank)
+            np.testing.assert_array_equal(w.send_pairs_by_dst, matrix[rank, :])
+
+    def test_pairs_by_src_expert_totals(self):
+        placement = self.make()
+        plan, owner = self.make_plan_owner()
+        w = placement.rank_workload(plan, owner, 2)
+        np.testing.assert_array_equal(w.pairs_by_src_expert.sum(axis=0), w.expert_rows)
+
+    def test_local_experts_identity(self):
+        placement = self.make()
+        plan, owner = self.make_plan_owner()
+        w = placement.rank_workload(plan, owner, 3)
+        assert w.local_experts == (6, 7)
+
+    def test_plan_mismatch_rejected(self):
+        placement = self.make(experts=8)
+        plan, owner = self.make_plan_owner(experts=4)
+        with pytest.raises(ValueError):
+            placement.pair_matrix(plan, owner)
+
+    def test_owner_out_of_range_rejected(self):
+        placement = self.make()
+        plan, _ = self.make_plan_owner()
+        bad_owner = np.full(plan.num_tokens, 7)
+        with pytest.raises(ValueError):
+            placement.pair_matrix(plan, bad_owner)
+
+    def test_indivisible_experts_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertPlacement(ParallelStrategy(tp_size=1, ep_size=3), 8)

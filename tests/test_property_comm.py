@@ -1,0 +1,92 @@
+"""Property-based tests for the collective cost models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    all_gather_cost,
+    all_to_all_cost,
+    hierarchical_all_to_all_cost,
+    reduce_scatter_cost,
+)
+from repro.hw import h800_node, l20_node
+
+CLUSTERS = {"h800": h800_node(), "l20": l20_node()}
+
+
+@st.composite
+def traffic_matrices(draw):
+    cluster = CLUSTERS[draw(st.sampled_from(sorted(CLUSTERS)))]
+    world = cluster.world_size
+    scale = draw(st.sampled_from([1e3, 1e5, 1e7]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(0, scale, size=(world, world))
+    return cluster, matrix
+
+
+@given(case=traffic_matrices())
+@settings(max_examples=60, deadline=None)
+def test_a2a_monotone_in_volume(case):
+    """More bytes can never take less time."""
+    cluster, matrix = case
+    base = all_to_all_cost(cluster, matrix).time_us
+    doubled = all_to_all_cost(cluster, 2 * matrix).time_us
+    assert doubled >= base - 1e-9
+
+
+@given(case=traffic_matrices())
+@settings(max_examples=60, deadline=None)
+def test_a2a_bounded_by_bottleneck_bandwidth(case):
+    """Duration is at least the bottleneck rank's serialised send time and
+    at most the全 total traffic serialised through one link."""
+    cluster, matrix = case
+    off = matrix.copy()
+    np.fill_diagonal(off, 0)
+    cost = all_to_all_cost(cluster, matrix)
+    per_rank = np.maximum(off.sum(axis=1), off.sum(axis=0))
+    lower = per_rank.max() / cluster.link.a2a_bytes_per_us
+    upper = off.sum() / cluster.link.a2a_bytes_per_us + 1000 * cluster.link.latency_us
+    assert lower - 1e-6 <= cost.time_us <= upper + 1e-6
+
+
+@given(case=traffic_matrices())
+@settings(max_examples=60, deadline=None)
+def test_chunking_never_cheaper_in_total(case):
+    """Moving the same bytes in two half-chunks costs at least as much as
+    one full collective (latency terms repeat) — the structural reason
+    pipelining has to *hide* the overhead it creates."""
+    cluster, matrix = case
+    full = all_to_all_cost(cluster, matrix).time_us
+    halves = 2 * all_to_all_cost(cluster, matrix, chunk_fraction=0.5).time_us
+    assert halves >= full - 1e-6
+
+
+@given(
+    nbytes=st.floats(min_value=1.0, max_value=1e9),
+    group=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60)
+def test_ring_collectives_symmetric(nbytes, group):
+    cluster = h800_node()
+    ag = all_gather_cost(cluster, nbytes, group).time_us
+    rs = reduce_scatter_cost(cluster, nbytes, group).time_us
+    assert ag == rs
+    if group > 1:
+        bigger = all_gather_cost(cluster, nbytes, min(8, group + 1)).time_us
+        assert bigger >= ag
+
+
+@given(case=traffic_matrices())
+@settings(max_examples=40, deadline=None)
+def test_hierarchical_wire_bytes_exceed_plain(case):
+    """Aggregation always moves extra bytes (the intra-tile hop)."""
+    cluster, matrix = case
+    off = matrix.copy()
+    np.fill_diagonal(off, 0)
+    if off.sum() == 0:
+        return
+    plain = all_to_all_cost(cluster, matrix)
+    hier = hierarchical_all_to_all_cost(cluster, matrix, tile_ranks=2)
+    assert hier.wire_bytes > plain.wire_bytes

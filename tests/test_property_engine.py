@@ -1,0 +1,107 @@
+"""Property-based tests for the DES kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, Environment, Resource
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=30))
+@settings(max_examples=60)
+def test_clock_visits_events_in_sorted_order(delays):
+    """The environment's clock is non-decreasing and hits every timeout."""
+    env = Environment()
+    visited = []
+
+    def proc(delay):
+        yield env.timeout(delay)
+        visited.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert visited == sorted(visited)
+    assert len(visited) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=20))
+@settings(max_examples=60)
+def test_all_of_fires_at_max_any_of_at_min(delays):
+    env = Environment()
+    stamps = {}
+
+    def waiter(tag, condition):
+        yield condition
+        stamps[tag] = env.now
+
+    def setup():
+        events_all = [env.timeout(d) for d in delays]
+        events_any = [env.timeout(d) for d in delays]
+        env.process(waiter("all", AllOf(env, events_all)))
+        env.process(waiter("any", AnyOf(env, events_any)))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # Create events inside the running environment via a plain call.
+    events_all = [env.timeout(d) for d in delays]
+    events_any = [env.timeout(d) for d in delays]
+    env.process(waiter("all", AllOf(env, events_all)))
+    env.process(waiter("any", AnyOf(env, events_any)))
+    env.run()
+    assert stamps["all"] == max(delays)
+    assert stamps["any"] == min(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    jobs=st.integers(min_value=1, max_value=40),
+    service=st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=60)
+def test_resource_throughput_law(capacity, jobs, service):
+    """With c servers and uniform service time s, n jobs finish at
+    ceil(n / c) * s — the resource must neither overbook nor idle."""
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    done = []
+
+    def worker():
+        with resource.request() as req:
+            yield req
+            yield env.timeout(service)
+            done.append(env.now)
+
+    for _ in range(jobs):
+        env.process(worker())
+    env.run()
+    waves = -(-jobs // capacity)
+    assert max(done) > (waves - 1) * service - 1e-9
+    assert abs(max(done) - waves * service) < 1e-6
+
+
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40)
+def test_deterministic_replay(n, seed):
+    """Identical process structure yields identical event history."""
+    import random
+
+    def build():
+        rng = random.Random(seed)
+        env = Environment()
+        log = []
+
+        def proc(tag):
+            for _ in range(3):
+                yield env.timeout(rng.random())
+                log.append((tag, env.now))
+
+        for tag in range(n):
+            env.process(proc(tag))
+        env.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,147 @@
+"""Property-based tests for kernel cost models and the fused simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import h800_node
+from repro.kernels import gemm_time_us, group_gemm_time_us
+from repro.kernels.fused import (
+    Layer1CommWork,
+    simulate_layer0_fused,
+    simulate_layer1_fused,
+)
+from repro.kernels.tiling import TileShape, gemm_tile_count, group_gemm_tile_count
+from repro.tensor import build_layer0_schedule, build_layer1_schedule
+
+CLUSTER = h800_node()
+
+
+@given(
+    rows=st.integers(min_value=0, max_value=20000),
+    cols=st.integers(min_value=1, max_value=20000),
+    tm=st.sampled_from([64, 128, 256]),
+    tn=st.sampled_from([64, 128, 256]),
+)
+@settings(max_examples=100)
+def test_tile_cover_bounds(rows, cols, tm, tn):
+    """Tiles cover the output exactly: count * area >= rows*cols, and no
+    smaller count could (count - something < exact cover)."""
+    tile = TileShape(tm, tn)
+    count = gemm_tile_count(rows, cols, tile)
+    assert count * tm * tn >= rows * cols
+    if rows and cols:
+        # Tight per dimension: padding is strictly less than one tile.
+        row_tiles = -(-rows // tm)
+        col_tiles = -(-cols // tn)
+        assert count == row_tiles * col_tiles
+        assert row_tiles * tm - rows < tm
+        assert col_tiles * tn - cols < tn
+
+
+@given(
+    expert_rows=st.lists(st.integers(min_value=0, max_value=4000), min_size=1, max_size=16),
+    cols=st.integers(min_value=1, max_value=8192),
+)
+@settings(max_examples=100)
+def test_group_gemm_dominates_merged_gemm(expert_rows, cols):
+    """A GroupGEMM can never need fewer tiles than one merged GEMM over
+    the same rows — padding per expert only adds tiles."""
+    expert_rows = np.array(expert_rows)
+    grouped = group_gemm_tile_count(expert_rows, cols)
+    merged = gemm_tile_count(int(expert_rows.sum()), cols)
+    assert grouped >= merged
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=10000),
+    cols=st.integers(min_value=1, max_value=4096),
+    k=st.integers(min_value=1, max_value=16384),
+    sms=st.integers(min_value=1, max_value=132),
+)
+@settings(max_examples=100)
+def test_gemm_time_monotone_in_sms(rows, cols, k, sms):
+    gpu = CLUSTER.gpu
+    t_few = gemm_time_us(gpu, rows, cols, k, num_sms=sms).time_us
+    t_more = gemm_time_us(gpu, rows, cols, k, num_sms=min(132, sms + 10)).time_us
+    assert t_more <= t_few + 1e-9
+
+
+@st.composite
+def fused_cases(draw):
+    world = draw(st.sampled_from([2, 4, 8]))
+    experts = draw(st.sampled_from([2, 4, 8]))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**16))
+    scale = draw(st.integers(min_value=1, max_value=30))
+    nc = draw(st.integers(min_value=1, max_value=100))
+    rng = np.random.default_rng(rng_seed)
+    pairs = rng.integers(0, 40 * scale, size=(world, experts))
+    return pairs.astype(np.int64), nc
+
+
+@given(case=fused_cases())
+@settings(max_examples=60, deadline=None)
+def test_layer0_fused_lower_bounds(case):
+    """The overlapped makespan can never beat pure compute or pure comm."""
+    pairs, nc = case
+    if pairs.sum() == 0:
+        return
+    schedule = build_layer0_schedule(pairs, rank=0)
+    result = simulate_layer0_fused(
+        CLUSTER.gpu, CLUSTER.link, schedule,
+        token_bytes=8192, k=4096, cols=1024,
+        nc=nc if schedule.num_remote else 0,
+    )
+    assert result.duration_us >= result.comp_standalone_us - 1e-6
+    assert result.duration_us >= result.comm_standalone_us - 1e-6
+    assert 0.0 <= result.hidden_comm_fraction <= 1.0
+    # Perfect-overlap bound: makespan <= comp + comm (serial is the worst).
+    assert (
+        result.duration_us
+        <= result.comp_standalone_us + result.comm_standalone_us + 1e-6
+    )
+
+
+@given(case=fused_cases())
+@settings(max_examples=60, deadline=None)
+def test_layer1_fused_lower_bounds(case):
+    pairs, nc = case
+    expert_rows = pairs.sum(axis=0)
+    if expert_rows.sum() == 0:
+        return
+    schedule = build_layer1_schedule(expert_rows, cols=1024)
+    rows = int(expert_rows.sum())
+    comm = Layer1CommWork(
+        reduce_rows=rows,
+        local_rows=max(0, rows // 4),
+        remote_bulk_rows=0,
+        remote_fine_rows=rows - rows // 4,
+        row_bytes=2048,
+    )
+    result = simulate_layer1_fused(
+        CLUSTER.gpu, CLUSTER.link, schedule, comm, k=2048, cols=1024, nc=nc,
+    )
+    assert result.duration_us >= result.comp_standalone_us - 1e-6
+    assert 0.0 <= result.hidden_comm_fraction <= 1.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    nc=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_sorted_schedule_never_loses(seed, nc):
+    """Sort-by-source-rank rescheduling is a pure win in the simulator
+    (it only moves dependencies earlier)."""
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, 200, size=(4, 4)).astype(np.int64)
+    if pairs.sum() == 0 or pairs.sum() - pairs[0].sum() == 0:
+        return
+    kwargs = dict(token_bytes=8192, k=4096, cols=2048, nc=nc)
+    sorted_sched = build_layer0_schedule(pairs, 0, policy="sorted_by_source")
+    shuffled = build_layer0_schedule(
+        pairs, 0, policy="token_order", rng=np.random.default_rng(seed + 1)
+    )
+    r_sorted = simulate_layer0_fused(CLUSTER.gpu, CLUSTER.link, sorted_sched, **kwargs)
+    r_shuffled = simulate_layer0_fused(CLUSTER.gpu, CLUSTER.link, shuffled, **kwargs)
+    assert r_sorted.duration_us <= r_shuffled.duration_us + 1e-6

@@ -1,0 +1,93 @@
+"""Property-based tests for routing plans and placement geometry."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moe import (
+    balanced_fractions,
+    imbalanced_fractions,
+    routing_from_fractions,
+    token_owner_ranks,
+)
+from repro.parallel import ExpertPlacement, ParallelStrategy
+
+
+@st.composite
+def routing_cases(draw):
+    ep = draw(st.sampled_from([1, 2, 4, 8]))
+    tp = draw(st.sampled_from([1, 2]))
+    world = ep * tp
+    experts = ep * draw(st.integers(min_value=1, max_value=4))
+    topk = draw(st.integers(min_value=1, max_value=min(4, experts)))
+    tokens = world * draw(st.integers(min_value=1, max_value=64))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return ep, tp, experts, topk, tokens, seed
+
+
+@given(case=routing_cases())
+@settings(max_examples=80, deadline=None)
+def test_pair_conservation(case):
+    """Routed pairs are conserved: matrix totals, per-rank rows, and plan
+    counts must all agree (no token lost or duplicated in accounting)."""
+    ep, tp, experts, topk, tokens, seed = case
+    rng = np.random.default_rng(seed)
+    plan = routing_from_fractions(tokens, topk, balanced_fractions(experts), rng)
+    strategy = ParallelStrategy(tp_size=tp, ep_size=ep)
+    owner = token_owner_ranks(tokens, strategy.world_size)
+    placement = ExpertPlacement(strategy, experts)
+
+    matrix = placement.pair_matrix(plan, owner)
+    assert matrix.sum() == plan.total_routed * tp  # TP fans out copies
+
+    workloads = placement.all_rank_workloads(plan, owner)
+    assert sum(w.total_rows for w in workloads) == plan.total_routed * tp
+    for rank, w in enumerate(workloads):
+        np.testing.assert_array_equal(w.recv_pairs_by_src, matrix[:, rank])
+        np.testing.assert_array_equal(w.send_pairs_by_dst, matrix[rank, :])
+        assert w.pairs_by_src_expert.sum() == w.total_rows
+
+
+@given(case=routing_cases())
+@settings(max_examples=80, deadline=None)
+def test_expert_counts_match_plan(case):
+    ep, tp, experts, topk, tokens, seed = case
+    rng = np.random.default_rng(seed)
+    plan = routing_from_fractions(tokens, topk, balanced_fractions(experts), rng)
+    assert plan.expert_counts.sum() == tokens * topk
+    for expert in range(experts):
+        token_ids, slots = plan.tokens_for_expert(expert)
+        assert token_ids.size == plan.expert_counts[expert]
+        np.testing.assert_array_equal(
+            plan.experts[token_ids, slots], np.full(token_ids.size, expert)
+        )
+
+
+@given(
+    experts=st.sampled_from([4, 8, 16, 64]),
+    std=st.floats(min_value=0.0, max_value=0.05),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60)
+def test_imbalanced_fractions_valid_distribution(experts, std, seed):
+    fractions = imbalanced_fractions(experts, std, np.random.default_rng(seed))
+    assert fractions.shape == (experts,)
+    assert np.all(fractions >= 0)
+    assert fractions.sum() == np.testing.assert_allclose(fractions.sum(), 1.0) or True
+    if std > 0 and std < np.sqrt(experts - 1) / experts * 0.8:
+        np.testing.assert_allclose(fractions.std(), std, atol=2e-3)
+
+
+@given(
+    tokens=st.integers(min_value=0, max_value=1000),
+    world=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=60)
+def test_token_owner_partition(tokens, world):
+    """Block distribution covers every token exactly once, evenly."""
+    owner = token_owner_ranks(tokens, world)
+    assert owner.shape == (tokens,)
+    if tokens:
+        counts = np.bincount(owner, minlength=world)
+        assert counts.max() - counts.min() <= 1
+        assert (np.diff(owner) >= 0).all()  # contiguous blocks

@@ -1,0 +1,74 @@
+"""Tests for the ASCII timing visualiser."""
+
+import pytest
+
+from repro.hw import h800_node
+from repro.moe import MIXTRAL_8X7B
+from repro.parallel import ParallelStrategy
+from repro.runtime import compare_systems, make_workload
+from repro.runtime.visualize import render_breakdown_bars, render_overlap_lanes
+from repro.systems import Comet, MegatronCutlass
+
+
+@pytest.fixture(scope="module")
+def timings():
+    workload = make_workload(
+        MIXTRAL_8X7B, h800_node(), ParallelStrategy(1, 8), 4096
+    )
+    return dict(compare_systems([MegatronCutlass(), Comet()], workload))
+
+
+class TestBreakdownBars:
+    def test_contains_all_systems(self, timings):
+        text = render_breakdown_bars(timings)
+        assert "Megatron-Cutlass" in text
+        assert "Comet" in text
+
+    def test_slowest_first(self, timings):
+        text = render_breakdown_bars(timings)
+        lines = text.splitlines()
+        assert "Megatron-Cutlass" in lines[0]
+
+    def test_bar_length_proportional(self, timings):
+        """The slowest system's bar fills the width; faster ones are shorter."""
+        width = 50
+        text = render_breakdown_bars(timings, width=width)
+        lines = [l for l in text.splitlines() if "|" in l]
+        fills = [l.split("|")[1].rstrip().__len__() for l in lines]
+        assert fills[0] >= fills[-1]
+        assert fills[0] == pytest.approx(width, abs=4)  # rounding slack
+
+    def test_legend_present(self, timings):
+        assert "g=gating" in render_breakdown_bars(timings)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_breakdown_bars({})
+
+    def test_small_width_rejected(self, timings):
+        with pytest.raises(ValueError):
+            render_breakdown_bars(timings, width=4)
+
+
+class TestOverlapLanes:
+    def test_structure(self, timings):
+        text = render_overlap_lanes(timings["Comet"])
+        assert "compute |" in text
+        assert "comm    |" in text
+        assert "% of communication hidden" in text
+
+    def test_megatron_shows_no_hidden(self, timings):
+        text = render_overlap_lanes(timings["Megatron-Cutlass"])
+        comm_line = [l for l in text.splitlines() if l.startswith("  comm")][0]
+        # No overlap: no dimmed (hidden) cells before the exposed run.
+        assert "." not in comm_line.split("|")[1]
+
+    def test_comet_shows_mostly_hidden(self, timings):
+        text = render_overlap_lanes(timings["Comet"])
+        comm_line = [l for l in text.splitlines() if l.startswith("  comm")][0]
+        cells = comm_line.split("|")[1]
+        assert cells.count(".") > cells.count("!")
+
+    def test_small_width_rejected(self, timings):
+        with pytest.raises(ValueError):
+            render_overlap_lanes(timings["Comet"], width=3)

@@ -1,0 +1,136 @@
+"""Unit tests for workload construction and geometry."""
+
+import numpy as np
+import pytest
+
+from repro.hw import h800_node
+from repro.moe import MIXTRAL_8X7B, QWEN2_MOE
+from repro.parallel import ParallelStrategy
+from repro.runtime import make_workload
+
+
+class TestMakeWorkload:
+    def test_basic_construction(self):
+        w = make_workload(
+            MIXTRAL_8X7B, h800_node(), ParallelStrategy(1, 8), total_tokens=4096
+        )
+        assert w.total_tokens == 4096
+        assert w.tokens_per_rank == 512
+        assert w.plan.num_tokens == 4096
+
+    def test_tokens_must_divide_world(self):
+        with pytest.raises(ValueError):
+            make_workload(
+                MIXTRAL_8X7B, h800_node(), ParallelStrategy(1, 8), total_tokens=4097
+            )
+
+    def test_strategy_world_must_match_cluster(self):
+        with pytest.raises(ValueError):
+            make_workload(
+                MIXTRAL_8X7B, h800_node(4), ParallelStrategy(1, 8), total_tokens=4096
+            )
+
+    def test_model_divisibility_checked(self):
+        # Mixtral has 8 experts; ep=16 cannot host them.
+        with pytest.raises(ValueError):
+            make_workload(
+                MIXTRAL_8X7B,
+                h800_node(16),
+                ParallelStrategy(1, 16),
+                total_tokens=4096,
+            )
+
+    def test_imbalance_increases_load_std(self):
+        balanced = make_workload(
+            MIXTRAL_8X7B, h800_node(), ParallelStrategy(1, 8), 8192, seed=1
+        )
+        skewed = make_workload(
+            MIXTRAL_8X7B,
+            h800_node(),
+            ParallelStrategy(1, 8),
+            8192,
+            imbalance_std=0.05,
+            seed=1,
+        )
+        assert skewed.plan.load_std() > balanced.plan.load_std()
+
+    def test_deterministic_given_seed(self):
+        w1 = make_workload(MIXTRAL_8X7B, h800_node(), ParallelStrategy(1, 8), 4096, seed=3)
+        w2 = make_workload(MIXTRAL_8X7B, h800_node(), ParallelStrategy(1, 8), 4096, seed=3)
+        np.testing.assert_array_equal(w1.plan.experts, w2.plan.experts)
+
+
+class TestGeometry:
+    def make(self, tp=1, ep=8, tokens=8192, std=0.0, config=MIXTRAL_8X7B):
+        return make_workload(
+            config,
+            h800_node(),
+            ParallelStrategy(tp, ep),
+            tokens,
+            imbalance_std=std,
+        ).geometry
+
+    def test_rows_conserved_pure_ep(self):
+        g = self.make()
+        assert g.rows_per_rank.sum() == 8192 * MIXTRAL_8X7B.topk
+
+    def test_rows_fanout_under_tp(self):
+        g = self.make(tp=2, ep=4)
+        # Each pair lands on both TP ranks of its group.
+        assert g.rows_per_rank.sum() == 8192 * MIXTRAL_8X7B.topk * 2
+
+    def test_bottleneck_rank_has_max_rows(self):
+        g = self.make(std=0.05)
+        assert g.rows_per_rank[g.bottleneck_rank] == g.rows_per_rank.max()
+
+    def test_dispatch_matrix_symmetric_totals(self):
+        g = self.make()
+        matrix = g.dispatch_bytes_matrix
+        assert matrix.sum() == g.rows_per_rank.sum() * MIXTRAL_8X7B.token_bytes
+
+    def test_split_intra_cross_partitions(self):
+        g = self.make(tp=2, ep=4)
+        matrix = g.dispatch_bytes_matrix
+        intra, cross = g.split_intra_cross(matrix)
+        np.testing.assert_array_equal(intra + cross, matrix)
+        # Pure-EP has no intra-group fan-out beyond the rank itself.
+        strategy = g.workload.strategy
+        for src in range(strategy.world_size):
+            group = set(strategy.tp_group_of(src))
+            for dst in range(strategy.world_size):
+                if dst not in group:
+                    assert intra[src, dst] == 0
+
+    def test_unique_tokens_bounded(self):
+        g = self.make()
+        unique = g.unique_tokens_per_rank
+        assert (unique <= g.rows_per_rank).all()
+        assert (unique >= 0).all()
+
+    def test_unique_tokens_pure_tp_counts_every_token(self):
+        g = self.make(tp=8, ep=1)
+        # Every token has all its experts in the single EP group.
+        assert (g.unique_tokens_per_rank == 8192).all()
+
+    def test_combine_row_split_partitions_unique(self):
+        g = self.make(tp=2, ep=4)
+        for rank in range(8):
+            local, bulk, fine = g.combine_row_split(rank)
+            assert local + bulk + fine == g.unique_tokens_per_rank[rank]
+
+    def test_combine_split_pure_ep_has_no_bulk(self):
+        g = self.make(tp=1, ep=8)
+        for rank in range(8):
+            _, bulk, _ = g.combine_row_split(rank)
+            assert bulk == 0
+
+    def test_combine_split_pure_tp_has_no_fine(self):
+        g = self.make(tp=8, ep=1)
+        for rank in range(8):
+            _, _, fine = g.combine_row_split(rank)
+            assert fine == 0
+
+    def test_qwen2_many_experts(self):
+        g = self.make(config=QWEN2_MOE)
+        assert g.rows_per_rank.sum() == 8192 * QWEN2_MOE.topk
+        assert len(g.rank_workload(0).local_experts) == 8

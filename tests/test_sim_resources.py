@@ -1,0 +1,190 @@
+"""Unit tests for DES resources and stores."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_under_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        granted = []
+
+        def proc():
+            request = resource.request()
+            yield request
+            granted.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert granted == [0.0]
+
+    def test_serialisation_on_single_slot(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        spans = []
+
+        def worker(tag):
+            with resource.request() as req:
+                yield req
+                start = env.now
+                yield env.timeout(5.0)
+                spans.append((tag, start, env.now))
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert spans == [("a", 0.0, 5.0), ("b", 5.0, 10.0)]
+
+    def test_count_and_queue_len(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def holder():
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def waiter():
+            with resource.request() as req:
+                yield req
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=1.0)
+        assert resource.count == 1
+        assert resource.queue_len == 1
+
+    def test_parallel_grants_match_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=3)
+        finish_times = []
+
+        def worker():
+            with resource.request() as req:
+                yield req
+                yield env.timeout(4.0)
+                finish_times.append(env.now)
+
+        for _ in range(6):
+            env.process(worker())
+        env.run()
+        assert finish_times == [4.0] * 3 + [8.0] * 3
+
+    def test_release_via_context_manager_on_exception(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        acquired = []
+
+        def failing():
+            with resource.request() as req:
+                yield req
+                raise RuntimeError("dies holding the slot")
+
+        def succeeding(caught):
+            try:
+                yield env.process(failing())
+            except RuntimeError:
+                caught.append(True)
+            with resource.request() as req:
+                yield req
+                acquired.append(env.now)
+
+        caught = []
+        env.process(succeeding(caught))
+        env.run()
+        assert caught == [True]
+        assert acquired == [0.0]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            yield store.put("item")
+
+        def consumer():
+            item = yield store.get()
+            received.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == ["item"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append((env.now, item))
+
+        def producer():
+            yield env.timeout(7.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == [(7.0, "late")]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for i in range(4):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(4):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == [0, 1, 2, 3]
+
+    def test_bounded_store_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        put_times = []
+
+        def producer():
+            for _ in range(2):
+                yield store.put("x")
+                put_times.append(env.now)
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert put_times == [0.0, 5.0]
+
+    def test_len_reflects_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+
+    def test_capacity_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)

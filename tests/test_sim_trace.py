@@ -1,0 +1,88 @@
+"""Unit tests for the tracer and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.sim import TraceEvent, Tracer
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        event = TraceEvent("op", "comp", "lane", 1.0, 4.5)
+        assert event.duration == 3.5
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent("op", "comp", "lane", 5.0, 4.0)
+
+
+class TestTracer:
+    def test_record_and_lanes(self):
+        tracer = Tracer()
+        tracer.record("a", "comp", "rank0/sm", 0, 1)
+        tracer.record("b", "comm", "rank0/comm", 0, 2)
+        assert tracer.lanes() == ["rank0/comm", "rank0/sm"]
+
+    def test_span(self):
+        tracer = Tracer()
+        tracer.record("a", "comp", "l", 2, 5)
+        tracer.record("b", "comp", "l", 1, 3)
+        assert tracer.span() == (1, 5)
+
+    def test_span_empty(self):
+        assert Tracer().span() == (0.0, 0.0)
+
+    def test_busy_time_merges_overlaps_same_lane(self):
+        tracer = Tracer()
+        tracer.record("a", "comp", "l", 0, 10)
+        tracer.record("b", "comp", "l", 5, 15)
+        assert tracer.busy_time(lane="l") == 15
+
+    def test_busy_time_adds_across_lanes(self):
+        tracer = Tracer()
+        tracer.record("a", "comp", "l1", 0, 10)
+        tracer.record("b", "comp", "l2", 0, 10)
+        assert tracer.busy_time() == 20
+
+    def test_busy_time_category_filter(self):
+        tracer = Tracer()
+        tracer.record("a", "comp", "l", 0, 10)
+        tracer.record("b", "comm", "l", 20, 25)
+        assert tracer.busy_time(category="comm") == 5
+
+    def test_category_breakdown(self):
+        tracer = Tracer()
+        tracer.record("a", "comp", "l", 0, 4)
+        tracer.record("b", "comm", "l", 4, 10)
+        assert tracer.category_breakdown() == {"comm": 6.0, "comp": 4.0}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        tracer.enabled = False
+        tracer.record("a", "comp", "l", 0, 1)
+        assert tracer.events == []
+
+    def test_chrome_trace_structure(self):
+        tracer = Tracer()
+        tracer.record("tile", "comp", "rank0/sm", 1.0, 2.0, expert=3)
+        doc = tracer.to_chrome_trace()
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X"}
+        x = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]
+        assert x["ts"] == 1.0 and x["dur"] == 1.0
+        assert x["args"] == {"expert": 3}
+
+    def test_save_chrome_trace_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record("tile", "comp", "lane", 0, 1)
+        path = tmp_path / "trace.json"
+        tracer.save_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+
+    def test_merge_with_prefix(self):
+        a, b = Tracer(), Tracer()
+        b.record("x", "comp", "sm", 0, 1)
+        a.merge(b, lane_prefix="rank1/")
+        assert a.lanes() == ["rank1/sm"]

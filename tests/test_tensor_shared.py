@@ -1,0 +1,107 @@
+"""Unit tests for shared tensors and dependency resolving (paper §3.1)."""
+
+import pytest
+
+from repro.tensor import (
+    AccessSpec,
+    DependencyError,
+    OpKind,
+    SharedTensor,
+    all2all_dispatch,
+    group_gemm_consumer,
+    group_gemm_producer,
+    resolve_decomposition,
+    topk_combine_consumer,
+)
+from repro.tensor.shared_tensor import layer0_shared_tensor, layer1_shared_tensor
+
+
+class TestAccessSpecs:
+    def test_dispatch_is_fully_independent(self):
+        spec = all2all_dispatch()
+        assert spec.independent_dims == {"M", "N"}
+        assert spec.kind == OpKind.COMMUNICATION
+
+    def test_gemm_consumer_couples_n(self):
+        """The GEMM's reduction dimension cannot be decomposed."""
+        spec = group_gemm_consumer()
+        assert spec.independent_dims == {"M"}
+        assert spec.coupled_dims == {"N"}
+
+    def test_topk_combine_couples_m(self):
+        """Top-k reduction couples a token's expert copies along M."""
+        spec = topk_combine_consumer()
+        assert spec.independent_dims == {"N"}
+        assert spec.coupled_dims == {"M"}
+
+    def test_dim_cannot_be_both(self):
+        with pytest.raises(ValueError):
+            AccessSpec(
+                "bad",
+                OpKind.GEMM,
+                independent_dims=frozenset({"M"}),
+                coupled_dims=frozenset({"M"}),
+            )
+
+    def test_unknown_dim_rejected(self):
+        with pytest.raises(ValueError):
+            AccessSpec(
+                "bad",
+                OpKind.GEMM,
+                independent_dims=frozenset({"Z"}),
+                coupled_dims=frozenset(),
+            )
+
+
+class TestDependencyResolving:
+    """Paper §3.1.1: layer0 decomposes along M, layer1 along N."""
+
+    def test_layer0_resolves_to_m(self):
+        assert resolve_decomposition(layer0_shared_tensor(1024, 4096)) == "M"
+
+    def test_layer1_resolves_to_n(self):
+        assert resolve_decomposition(layer1_shared_tensor(1024, 4096)) == "N"
+
+    def test_fully_coupled_consumer_rejected(self):
+        tensor = SharedTensor(
+            m_extent=16,
+            n_extent=16,
+            producer=all2all_dispatch(),
+            consumer=AccessSpec(
+                "blocked",
+                OpKind.GEMM,
+                independent_dims=frozenset(),
+                coupled_dims=frozenset({"M", "N"}),
+            ),
+        )
+        with pytest.raises(DependencyError):
+            resolve_decomposition(tensor)
+
+    def test_m_preferred_when_both_free(self):
+        tensor = SharedTensor(
+            m_extent=16,
+            n_extent=16,
+            producer=all2all_dispatch(),
+            consumer=all2all_dispatch(),
+        )
+        assert resolve_decomposition(tensor) == "M"
+
+    def test_producer_constraint_applies(self):
+        """Even if the consumer is free along M, a producer coupled along M
+        blocks that decomposition."""
+        tensor = SharedTensor(
+            m_extent=16,
+            n_extent=16,
+            producer=topk_combine_consumer(),  # independent along N only
+            consumer=group_gemm_producer(),  # independent along both
+        )
+        assert resolve_decomposition(tensor) == "N"
+
+    def test_invalid_extents(self):
+        with pytest.raises(ValueError):
+            SharedTensor(-1, 4, all2all_dispatch(), group_gemm_consumer())
+        with pytest.raises(ValueError):
+            SharedTensor(4, 0, all2all_dispatch(), group_gemm_consumer())
+
+    def test_shape_property(self):
+        assert layer0_shared_tensor(64, 32).shape == (64, 32)

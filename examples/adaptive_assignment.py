@@ -32,7 +32,7 @@ def sweep_curve(workload, comet: Comet):
     schedule = build_layer1_schedule(
         geometry.rank_workload(rank).expert_rows, cols=config.hidden_size
     )
-    comm = comet._layer1_comm_work(workload, rank)
+    comm = comet.layer1_comm_work(workload, rank)
     k = config.ffn_size // workload.strategy.tp_size
 
     def simulate(nc: int) -> float:

@@ -40,7 +40,7 @@ def main(path: str = "comet_timeline.json") -> None:
     )
     schedule1 = build_layer1_schedule(rank_workload.expert_rows, cols=config.hidden_size)
     r1 = simulate_layer1_fused(
-        cluster.gpu, cluster.link, schedule1, comet._layer1_comm_work(workload, rank),
+        cluster.gpu, cluster.link, schedule1, comet.layer1_comm_work(workload, rank),
         k=config.ffn_size, cols=config.hidden_size, nc=nc1,
         tracer=tracer, lane=f"rank{rank}/layer1",
     )

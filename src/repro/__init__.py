@@ -10,7 +10,27 @@ COMET itself (shared-tensor dependency resolving + rescheduling +
 thread-block-specialised fused kernels with adaptive workload
 assignment).
 
-Quickstart::
+Quickstart — the declarative experiment API.  Systems are addressable by
+registry name, sweeps are cartesian grids, and results come back as a
+queryable :class:`ResultSet`::
+
+    from repro import ExperimentSpec
+
+    spec = ExperimentSpec.grid(
+        models="mixtral",             # or a MoEConfig / list of either
+        clusters="h800",              # or a ClusterSpec / list
+        strategies="sweep",           # every TP x EP split, or [(1, 8), ...]
+        tokens=(4096, 16384),
+        systems=("megatron-cutlass", "comet"),
+    )
+    results = spec.run()              # one workload per grid point,
+                                      # shared across systems
+    print(results.mean_speedup_over("Megatron-Cutlass"))
+    best = results.filter(tokens=16384).best()
+    print(best.system, best.layer_ms)
+    print(results.skipped)            # unsupported pairs, with reasons
+
+The imperative layer underneath remains available::
 
     from repro import (
         MIXTRAL_8X7B, ParallelStrategy, h800_node, make_workload,
@@ -22,10 +42,27 @@ Quickstart::
         total_tokens=16384,
     )
     timings = compare_systems([MegatronCutlass(), Comet()], workload)
-    for name, t in timings.items():
-        print(name, t.total_us, t.hidden_comm_fraction)
+
+New systems join the registry (and the CLI) with a decorator::
+
+    from repro import MoESystem, register_system
+
+    @register_system("my-system")
+    class MySystem(MoESystem):
+        name = "My-System"
+        ...
 """
 
+from repro.api import (
+    CLUSTER_REGISTRY,
+    MODEL_REGISTRY,
+    SYSTEM_REGISTRY,
+    SystemRegistry,
+    UnknownNameError,
+    register_system,
+)
+from repro.api.results import ResultRow, ResultSet, SkipRecord
+from repro.api.scenario import ExperimentSpec, Scenario
 from repro.hw import ClusterSpec, GpuSpec, LinkSpec, h800_node, l20_node
 from repro.moe import (
     MIXTRAL_8X7B,
@@ -61,19 +98,22 @@ from repro.systems import (
     UnsupportedWorkload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_SYSTEMS",
     "BASELINE_SYSTEMS",
+    "CLUSTER_REGISTRY",
     "ClusterSpec",
     "Comet",
+    "ExperimentSpec",
     "ExpertWeights",
     "FasterMoE",
     "GpuSpec",
     "LayerTiming",
     "LinkSpec",
     "MIXTRAL_8X7B",
+    "MODEL_REGISTRY",
     "MegatronCutlass",
     "MegatronTE",
     "ModelTiming",
@@ -84,9 +124,16 @@ __all__ = [
     "PHI35_MOE",
     "ParallelStrategy",
     "QWEN2_MOE",
+    "ResultRow",
+    "ResultSet",
     "RoutingPlan",
+    "SYSTEM_REGISTRY",
+    "Scenario",
+    "SkipRecord",
+    "SystemRegistry",
     "TopKGate",
     "Tutel",
+    "UnknownNameError",
     "UnsupportedWorkload",
     "compare_systems",
     "h800_node",
@@ -94,6 +141,7 @@ __all__ = [
     "make_workload",
     "overlap_report",
     "reference_moe_forward",
+    "register_system",
     "run_layer",
     "run_model",
 ]

@@ -1,0 +1,189 @@
+"""String-addressable registries for systems, model configs, and clusters.
+
+The declarative experiment API (and the CLI on top of it) refers to
+execution systems, models, and hardware presets by short names —
+``"comet"``, ``"mixtral"``, ``"h800"`` — instead of importing classes.
+Three registries back those names:
+
+* :data:`SYSTEM_REGISTRY` maps a slug to an :class:`~repro.systems.base.MoESystem`
+  factory.  Built-in systems self-register via the
+  :func:`register_system` class decorator; plugins can do the same.
+* :data:`MODEL_REGISTRY` maps a slug to a :class:`~repro.moe.config.MoEConfig`.
+* :data:`CLUSTER_REGISTRY` maps a slug to a cluster factory
+  (``world_size -> ClusterSpec``).
+
+Lookups are case-insensitive and failures raise :class:`UnknownNameError`
+whose message lists every valid name, so CLI errors are self-explanatory.
+
+This module deliberately imports nothing from :mod:`repro.systems` or
+:mod:`repro.runtime` — system modules import the decorator from here, so
+the dependency must point one way only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.hw.cluster import ClusterSpec
+from repro.hw.presets import h800_node, l20_node
+from repro.moe.config import MIXTRAL_8X7B, PHI35_MOE, QWEN2_MOE, MoEConfig
+
+__all__ = [
+    "CLUSTER_REGISTRY",
+    "MODEL_REGISTRY",
+    "Registry",
+    "SYSTEM_REGISTRY",
+    "SystemRegistry",
+    "UnknownNameError",
+    "register_system",
+    "resolve_cluster",
+    "resolve_model",
+]
+
+
+class UnknownNameError(KeyError):
+    """A registry lookup failed; the message lists every valid name."""
+
+    def __init__(self, kind: str, name: str, valid: tuple[str, ...]):
+        self.kind = kind
+        self.name = name
+        self.valid = valid
+        super().__init__(name)
+
+    def __str__(self) -> str:
+        options = ", ".join(self.valid) if self.valid else "(none registered)"
+        return f"unknown {self.kind} {self.name!r}; valid {self.kind}s: {options}"
+
+
+class Registry:
+    """Ordered, case-insensitive ``name -> entry`` mapping.
+
+    Entries keep registration order (so default system lists render in
+    the paper's plotting order) and may carry aliases — e.g. a system's
+    display name ``"Megatron-TE"`` resolving to the slug ``"megatron-te"``.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, Any] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(self, name: str, entry: Any, aliases: tuple[str, ...] = ()) -> Any:
+        slug = name.lower()
+        if slug in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[slug] = entry
+        for alias in aliases:
+            canonical = alias.lower()
+            if canonical == slug:
+                continue
+            if canonical in self._entries:
+                raise ValueError(
+                    f"{self.kind} alias {alias!r} collides with the "
+                    f"registered {self.kind} {canonical!r}"
+                )
+            existing = self._aliases.get(canonical)
+            if existing is not None and existing != slug:
+                raise ValueError(
+                    f"{self.kind} alias {alias!r} already points to {existing!r}"
+                )
+            self._aliases[canonical] = slug
+        return entry
+
+    def resolve(self, name: str) -> str:
+        """Canonical slug for ``name`` (raises :class:`UnknownNameError`)."""
+        slug = name.lower()
+        if slug in self._entries:
+            return slug
+        if slug in self._aliases:
+            return self._aliases[slug]
+        raise UnknownNameError(self.kind, name, self.names())
+
+    def get(self, name: str) -> Any:
+        return self._entries[self.resolve(name)]
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names, in registration order."""
+        return tuple(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        slug = name.lower()
+        return slug in self._entries or slug in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.kind}: {', '.join(self._entries)})"
+
+
+class SystemRegistry(Registry):
+    """Registry of :class:`~repro.systems.base.MoESystem` factories."""
+
+    def __init__(self) -> None:
+        super().__init__("system")
+
+    def create(self, name: str, **kwargs: Any) -> Any:
+        """Instantiate a fresh system, forwarding constructor kwargs."""
+        return self.get(name)(**kwargs)
+
+
+SYSTEM_REGISTRY = SystemRegistry()
+
+
+def register_system(
+    name: str,
+    *,
+    aliases: tuple[str, ...] = (),
+    registry: SystemRegistry | None = None,
+) -> Callable[[type], type]:
+    """Class decorator making an :class:`MoESystem` addressable by ``name``.
+
+    The system's display name (its ``name`` class attribute) is added as
+    an automatic alias, and the slug is stored on the class as ``slug``::
+
+        @register_system("comet")
+        class Comet(MoESystem):
+            name = "Comet"
+    """
+
+    def decorate(cls: type) -> type:
+        target = registry if registry is not None else SYSTEM_REGISTRY
+        display = str(getattr(cls, "name", "") or "")
+        auto = (display,) if display else ()
+        target.register(name, cls, aliases=tuple(aliases) + auto)
+        cls.slug = name.lower()
+        return cls
+
+    return decorate
+
+
+MODEL_REGISTRY = Registry("model")
+MODEL_REGISTRY.register("mixtral", MIXTRAL_8X7B, aliases=(MIXTRAL_8X7B.name,))
+MODEL_REGISTRY.register("qwen2", QWEN2_MOE, aliases=(QWEN2_MOE.name,))
+MODEL_REGISTRY.register("phi3.5", PHI35_MOE, aliases=(PHI35_MOE.name,))
+
+CLUSTER_REGISTRY = Registry("cluster")
+CLUSTER_REGISTRY.register("h800", h800_node)
+CLUSTER_REGISTRY.register("l20", l20_node)
+
+
+def resolve_model(model: MoEConfig | str) -> MoEConfig:
+    """Accept a config object or a :data:`MODEL_REGISTRY` name."""
+    if isinstance(model, MoEConfig):
+        return model
+    return MODEL_REGISTRY.get(model)
+
+
+def resolve_cluster(cluster: ClusterSpec | Callable[[], ClusterSpec] | str) -> ClusterSpec:
+    """Accept a cluster spec, a zero-arg factory, or a registry name."""
+    if isinstance(cluster, ClusterSpec):
+        return cluster
+    if isinstance(cluster, str):
+        return CLUSTER_REGISTRY.get(cluster)()
+    return cluster()

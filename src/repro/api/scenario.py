@@ -1,0 +1,306 @@
+"""Declarative experiments: scenarios, cartesian grids, and execution.
+
+A :class:`Scenario` names one grid point of the paper's evaluation space
+— model x cluster x parallelism x token count x imbalance x seed — and
+:class:`ExperimentSpec` expands cartesian sweeps over those axes
+(:meth:`ExperimentSpec.grid`), then executes every registered system on
+each point (:meth:`ExperimentSpec.run`).
+
+The workload (and therefore its :class:`~repro.runtime.workload.WorkloadGeometry`
+caches) is constructed exactly once per scenario and shared across all
+systems timing it, no matter how many systems run — the deduplication the
+hand-written figure loops used to do ad hoc.
+
+Example::
+
+    from repro import ExperimentSpec
+
+    spec = ExperimentSpec.grid(
+        models="mixtral", clusters="h800", strategies="sweep",
+        tokens=(4096, 8192), systems=("comet", "megatron-cutlass"),
+    )
+    results = spec.run()
+    print(results.mean_speedup_over("Megatron-Cutlass"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.api.registry import (
+    SYSTEM_REGISTRY,
+    SystemRegistry,
+    resolve_cluster,
+    resolve_model,
+)
+from repro.api.results import ResultRow, ResultSet, SkipRecord
+from repro.hw.cluster import ClusterSpec
+from repro.moe.config import MoEConfig
+from repro.parallel.strategy import ParallelStrategy
+from repro.runtime.executor import compare_systems
+from repro.runtime.model_runner import run_model
+from repro.runtime.workload import MoELayerWorkload, make_workload
+from repro.systems import ALL_SYSTEMS
+from repro.systems.base import UnsupportedWorkload
+
+__all__ = ["ExperimentSpec", "Scenario", "default_system_names"]
+
+
+def default_system_names() -> tuple[str, ...]:
+    """Registry slugs of the built-in systems, in the paper's plotting
+    order (Megatron-TE first, Comet last)."""
+    return tuple(cls.slug for cls in ALL_SYSTEMS)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid point: everything that determines a workload.
+
+    Scenarios are frozen and hashable, so they key workload caches and
+    :class:`~repro.api.results.ResultSet` queries directly.
+    """
+
+    config: MoEConfig
+    cluster: ClusterSpec
+    strategy: ParallelStrategy
+    tokens: int
+    imbalance_std: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy.world_size != self.cluster.world_size:
+            raise ValueError(
+                f"strategy {self.strategy} needs world size "
+                f"{self.strategy.world_size}, cluster {self.cluster.name} "
+                f"has {self.cluster.world_size}"
+            )
+        self.strategy.validate_model(self.config.num_experts, self.config.ffn_size)
+        if self.tokens <= 0 or self.tokens % self.cluster.world_size != 0:
+            raise ValueError(
+                f"tokens {self.tokens} must be positive and divide evenly "
+                f"over {self.cluster.world_size} ranks"
+            )
+        if self.imbalance_std < 0:
+            raise ValueError(f"imbalance_std must be >= 0, got {self.imbalance_std}")
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identifier used in skip annotations."""
+        parts = [
+            self.config.name,
+            self.cluster.name,
+            str(self.strategy),
+            f"M{self.tokens}",
+        ]
+        if self.imbalance_std:
+            parts.append(f"std{self.imbalance_std}")
+        if self.seed:
+            parts.append(f"seed{self.seed}")
+        return "/".join(parts)
+
+    def build_workload(self) -> MoELayerWorkload:
+        """Synthesise the workload this scenario describes."""
+        return make_workload(
+            self.config,
+            self.cluster,
+            self.strategy,
+            self.tokens,
+            imbalance_std=self.imbalance_std,
+            seed=self.seed,
+        )
+
+
+def _as_sequence(value: Any, scalar_types: tuple[type, ...]) -> tuple:
+    """Treat ``value`` as one axis: scalars become 1-tuples."""
+    if isinstance(value, scalar_types) or not isinstance(value, Iterable):
+        return (value,)
+    return tuple(value)
+
+
+def _as_strategies(value: Any, world_size: int) -> tuple[ParallelStrategy, ...]:
+    if isinstance(value, str):
+        if value != "sweep":
+            raise ValueError(
+                f"strategies must be 'sweep', a ParallelStrategy, a (tp, ep) "
+                f"pair, or a sequence of those; got {value!r}"
+            )
+        return tuple(ParallelStrategy.sweep(world_size))
+    if isinstance(value, ParallelStrategy):
+        return (value,)
+    items = tuple(value)
+    if len(items) == 2 and all(isinstance(v, int) for v in items):
+        return (ParallelStrategy(tp_size=items[0], ep_size=items[1]),)
+    out = []
+    for item in items:
+        if isinstance(item, ParallelStrategy):
+            out.append(item)
+        else:
+            tp, ep = item
+            out.append(ParallelStrategy(tp_size=tp, ep_size=ep))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A set of scenarios plus the systems to run on each.
+
+    ``systems`` holds registry names (empty means all built-ins, in the
+    paper's order); ``registry`` defaults to the global
+    :data:`~repro.api.registry.SYSTEM_REGISTRY`.
+    """
+
+    scenarios: tuple[Scenario, ...]
+    systems: tuple[str, ...] = ()
+    registry: SystemRegistry | None = None
+
+    @classmethod
+    def grid(
+        cls,
+        models: Any = "mixtral",
+        clusters: Any = "h800",
+        strategies: Any = "sweep",
+        tokens: Any = 16384,
+        imbalance_stds: Any = (0.0,),
+        seeds: Any = (0,),
+        systems: Any = None,
+        registry: SystemRegistry | None = None,
+    ) -> "ExperimentSpec":
+        """Expand a cartesian sweep into scenarios.
+
+        Every axis accepts a single value or a sequence; models, clusters,
+        and systems also accept registry names.  ``strategies`` may be
+        ``"sweep"`` (all TP x EP factorisations of each cluster's world
+        size — Figure 12's x-axis), one strategy (a
+        :class:`ParallelStrategy` or ``(tp, ep)`` pair), or a sequence of
+        strategies.  Expansion order is models, clusters, strategies,
+        tokens, imbalance, seeds (outer to inner) — the row order of the
+        paper's figure tables.
+        """
+        reg = registry if registry is not None else SYSTEM_REGISTRY
+        model_list = [
+            resolve_model(m) for m in _as_sequence(models, (MoEConfig, str))
+        ]
+        cluster_list = [
+            resolve_cluster(c)
+            for c in _as_sequence(clusters, (ClusterSpec, str))
+        ]
+        token_list = [int(t) for t in _as_sequence(tokens, (int,))]
+        std_list = [float(s) for s in _as_sequence(imbalance_stds, (int, float))]
+        seed_list = [int(s) for s in _as_sequence(seeds, (int,))]
+
+        scenarios = []
+        for config in model_list:
+            for cluster in cluster_list:
+                for strategy in _as_strategies(strategies, cluster.world_size):
+                    for token_count in token_list:
+                        for std in std_list:
+                            for seed in seed_list:
+                                scenarios.append(
+                                    Scenario(
+                                        config=config,
+                                        cluster=cluster,
+                                        strategy=strategy,
+                                        tokens=token_count,
+                                        imbalance_std=std,
+                                        seed=seed,
+                                    )
+                                )
+        if systems is None:
+            names: tuple[str, ...] = ()
+        else:
+            names = tuple(
+                reg.resolve(n) for n in _as_sequence(systems, (str,))
+            )
+        return cls(scenarios=tuple(scenarios), systems=names, registry=registry)
+
+    # -- execution -------------------------------------------------------------
+    def system_names(self) -> tuple[str, ...]:
+        """Requested system names, deduplicated, defaulting to all built-ins."""
+        return tuple(dict.fromkeys(self.systems or default_system_names()))
+
+    def workloads(self) -> Iterator[tuple[Scenario, MoELayerWorkload]]:
+        """Yield one ``(scenario, workload)`` pair per unique grid point.
+
+        Repeated scenarios are collapsed, so a workload is built — and a
+        scenario executed — exactly once no matter how the grid was
+        assembled."""
+        for scenario in dict.fromkeys(self.scenarios):
+            yield scenario, scenario.build_workload()
+
+    def run(
+        self,
+        level: str = "layer",
+        on_skip: Callable[[SkipRecord], None] | None = None,
+    ) -> ResultSet:
+        """Execute every (scenario, system) pair and collect a ResultSet.
+
+        ``level="layer"`` times one MoE layer per pair; ``level="model"``
+        times the full forward pass (Figure 9's convention) and fills
+        ``model_timing`` on each row.  Unsupported pairs become
+        :class:`SkipRecord` entries instead of vanishing; ``on_skip`` is
+        additionally invoked per skip, for live annotation.
+        """
+        if level not in ("layer", "model"):
+            raise ValueError(f"level must be 'layer' or 'model', got {level!r}")
+        registry = self.registry if self.registry is not None else SYSTEM_REGISTRY
+        names = self.system_names()
+        rows: list[ResultRow] = []
+        skips: list[SkipRecord] = []
+
+        def record_skip(scenario: Scenario, system_name: str, reason: str) -> None:
+            record = SkipRecord(scenario=scenario, system=system_name, reason=reason)
+            skips.append(record)
+            if on_skip is not None:
+                on_skip(record)
+
+        for scenario, workload in self.workloads():
+            systems = [registry.create(name) for name in names]
+            if level == "layer":
+                timings = compare_systems(
+                    systems,
+                    workload,
+                    on_skip=lambda system, reason, s=scenario: record_skip(
+                        s, system.name, reason
+                    ),
+                )
+                for system in systems:
+                    timing = timings.get(system.name)
+                    if timing is None:
+                        continue
+                    rows.append(
+                        ResultRow(
+                            scenario=scenario,
+                            system=system.name,
+                            timing=timing,
+                            workload=workload,
+                        )
+                    )
+            else:
+                for system in systems:
+                    try:
+                        model_timing = run_model(
+                            system,
+                            scenario.config,
+                            scenario.cluster,
+                            scenario.strategy,
+                            total_tokens=scenario.tokens,
+                            workload=workload,
+                        )
+                    except UnsupportedWorkload as exc:
+                        record_skip(scenario, system.name, str(exc))
+                        continue
+                    rows.append(
+                        ResultRow(
+                            scenario=scenario,
+                            system=system.name,
+                            timing=model_timing.moe,
+                            model_timing=model_timing,
+                            workload=workload,
+                        )
+                    )
+        return ResultSet(
+            rows=tuple(rows),
+            skips=tuple(skips),
+            grid=tuple(dict.fromkeys(self.scenarios)),
+        )

@@ -5,33 +5,29 @@ input token length across the world, with ``M / W`` tokens per device
 before dispatch.  End-to-end runs (Figures 1a and 9) give each of the
 ``W / TP`` data-parallel replicas its ``M * TP / W`` share for the
 attention part while the MoE layer spans all ``M`` tokens.
+
+Every figure is a thin query over the declarative experiment API
+(:mod:`repro.api`): the sweep is an :meth:`ExperimentSpec.grid`, the
+execution a :meth:`ExperimentSpec.run` (one workload per grid point,
+shared across systems), and the result dataclass a reshaping of the
+returned :class:`~repro.api.results.ResultSet`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.scenario import ExperimentSpec
 from repro.bench.report import format_table
 from repro.comm.nvshmem import SymmetricHeap
 from repro.hw.cluster import ClusterSpec
 from repro.hw.presets import h800_node, l20_node
-from repro.kernels.assignment import default_variants, profile_division_points
 from repro.moe.config import MIXTRAL_8X7B, PAPER_MODELS, MoEConfig
 from repro.parallel.strategy import ParallelStrategy
-from repro.runtime.executor import compare_systems
-from repro.runtime.model_runner import run_model
-from repro.runtime.workload import make_workload
-from repro.systems import (
-    Comet,
-    FasterMoE,
-    MegatronCutlass,
-    MegatronTE,
-    Tutel,
-)
+from repro.systems import Comet
 from repro.systems.base import LayerTiming
-from repro.tensor.reschedule import build_layer1_schedule
 
 __all__ = [
     "fig01_time_breakdown",
@@ -47,10 +43,6 @@ __all__ = [
 ]
 
 SYSTEM_ORDER = ("Megatron-TE", "Megatron-Cutlass", "FasterMoE", "Tutel", "Comet")
-
-
-def _fresh_systems() -> list:
-    return [MegatronTE(), MegatronCutlass(), FasterMoE(), Tutel(), Comet()]
 
 
 # ---------------------------------------------------------------------------
@@ -93,21 +85,24 @@ def fig01_time_breakdown(
 ) -> Fig01Result:
     """Communication share of end-to-end execution (paper: 47% mean)."""
     cluster = cluster or h800_node()
-    system = MegatronCutlass()
-    rows = []
-    for config in PAPER_MODELS:
-        for seq in seq_lens:
-            strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
-            timing = run_model(system, config, cluster, strategy, total_tokens=seq)
-            rows.append(
-                Fig01Row(
-                    model=config.name,
-                    seq_len=seq,
-                    comm_fraction=timing.comm_fraction,
-                    moe_fraction=timing.moe_fraction,
-                    layer_ms=timing.layer_us / 1000,
-                )
-            )
+    spec = ExperimentSpec.grid(
+        models=PAPER_MODELS,
+        clusters=cluster,
+        strategies=ParallelStrategy(tp_size=1, ep_size=cluster.world_size),
+        tokens=seq_lens,
+        systems="megatron-cutlass",
+    )
+    results = spec.run(level="model")
+    rows = [
+        Fig01Row(
+            model=row.scenario.config.name,
+            seq_len=row.scenario.tokens,
+            comm_fraction=row.model_timing.comm_fraction,
+            moe_fraction=row.model_timing.moe_fraction,
+            layer_ms=row.model_timing.layer_us / 1000,
+        )
+        for row in results
+    ]
     return Fig01Result(rows=rows)
 
 
@@ -159,38 +154,25 @@ def fig08_nc_sweep(
 ) -> Fig08Result:
     """Sweep the division point for each parallelism and input length."""
     cluster = cluster or h800_node()
-    world = cluster.world_size
     comet = Comet()
+    spec = ExperimentSpec.grid(
+        models=config, clusters=cluster, strategies="sweep", tokens=token_lengths,
+        systems="comet",
+    )
     curves = []
-    for strategy in ParallelStrategy.sweep(world):
-        for tokens in token_lengths:
-            workload = make_workload(config, cluster, strategy, tokens)
-            geometry = workload.geometry
-            rank = geometry.bottleneck_rank
-            rank_workload = geometry.rank_workload(rank)
-            schedule = build_layer1_schedule(
-                rank_workload.expert_rows, cols=config.hidden_size
+    for scenario, workload in spec.workloads():
+        sweep = comet.sweep_division_points(
+            workload, layer=1, variant_step=variant_step
+        )
+        curves.append(
+            Fig08Curve(
+                tp_size=scenario.strategy.tp_size,
+                ep_size=scenario.strategy.ep_size,
+                tokens=scenario.tokens,
+                durations_us=sweep.durations_us,
+                best_nc=sweep.best_nc,
             )
-            comm = comet._layer1_comm_work(workload, rank)
-            k = config.ffn_size // strategy.tp_size
-
-            def simulate(nc: int) -> float:
-                return comet._run_layer1_kernel(
-                    workload, schedule, comm, k, nc
-                ).duration_us
-
-            sweep = profile_division_points(
-                simulate, default_variants(cluster.gpu.num_sms, step=variant_step)
-            )
-            curves.append(
-                Fig08Curve(
-                    tp_size=strategy.tp_size,
-                    ep_size=strategy.ep_size,
-                    tokens=tokens,
-                    durations_us=sweep.durations_us,
-                    best_nc=sweep.best_nc,
-                )
-            )
+        )
     return Fig08Result(curves=curves)
 
 
@@ -256,31 +238,29 @@ def fig09_end_to_end(
 ) -> Fig09Result:
     """End-to-end latency for every model/strategy/system combination."""
     cluster = cluster or h800_node()
+    spec = ExperimentSpec.grid(
+        models=models, clusters=cluster, strategies="sweep", tokens=total_tokens
+    )
+    results = spec.run(level="model")
     rows = []
-    for config in models:
-        for strategy in ParallelStrategy.sweep(cluster.world_size):
-            for tokens in total_tokens:
-                latencies: dict[str, float] = {}
-                attention_ms = 0.0
-                for system in _fresh_systems():
-                    if not system.supports(
-                        make_workload(config, cluster, strategy, strategy.world_size)
-                    ):
-                        continue
-                    timing = run_model(
-                        system, config, cluster, strategy, total_tokens=tokens
-                    )
-                    latencies[system.name] = timing.total_ms
-                    attention_ms = timing.attention_us / 1000
-                rows.append(
-                    Fig09Row(
-                        model=config.name,
-                        strategy=str(strategy),
-                        total_tokens=tokens,
-                        latencies_ms=latencies,
-                        attention_ms=attention_ms,
-                    )
-                )
+    for scenario in results.scenarios():
+        scenario_rows = results.rows_for(scenario)
+        attention_ms = (
+            scenario_rows[-1].model_timing.attention_us / 1000
+            if scenario_rows
+            else 0.0
+        )
+        rows.append(
+            Fig09Row(
+                model=scenario.config.name,
+                strategy=str(scenario.strategy),
+                total_tokens=scenario.tokens,
+                latencies_ms={
+                    r.system: r.model_timing.total_ms for r in scenario_rows
+                },
+                attention_ms=attention_ms,
+            )
+        )
     return Fig09Result(rows=rows)
 
 
@@ -347,23 +327,22 @@ def fig10_single_layer(
 ) -> Fig10Result:
     """Single-layer sweep with Mixtral-shaped experts (paper Figure 10)."""
     cluster = cluster or h800_node()
-    strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
-    rows = []
-    for experts, topk in expert_configs:
-        config = MIXTRAL_8X7B.with_experts(experts, topk)
-        for tokens in token_lengths:
-            workload = make_workload(config, cluster, strategy, tokens)
-            timings = compare_systems(_fresh_systems(), workload)
-            rows.append(
-                Fig10Row(
-                    experts=experts,
-                    topk=topk,
-                    tokens=tokens,
-                    durations_ms={
-                        name: t.total_us / 1000 for name, t in timings.items()
-                    },
-                )
-            )
+    spec = ExperimentSpec.grid(
+        models=[MIXTRAL_8X7B.with_experts(e, k) for e, k in expert_configs],
+        clusters=cluster,
+        strategies=ParallelStrategy(tp_size=1, ep_size=cluster.world_size),
+        tokens=token_lengths,
+    )
+    results = spec.run()
+    rows = [
+        Fig10Row(
+            experts=scenario.config.num_experts,
+            topk=scenario.config.topk,
+            tokens=scenario.tokens,
+            durations_ms=results.durations_ms(scenario),
+        )
+        for scenario in results.scenarios()
+    ]
     return Fig10Result(rows=rows)
 
 
@@ -410,10 +389,15 @@ def fig11_breakdown(
     tokens: int = 16384,
 ) -> Fig11Result:
     cluster = cluster or h800_node()
-    strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
-    workload = make_workload(MIXTRAL_8X7B, cluster, strategy, tokens)
-    timings = compare_systems(_fresh_systems(), workload)
-    return Fig11Result(timings=dict(timings))
+    spec = ExperimentSpec.grid(
+        models=MIXTRAL_8X7B,
+        clusters=cluster,
+        strategies=ParallelStrategy(tp_size=1, ep_size=cluster.world_size),
+        tokens=tokens,
+    )
+    results = spec.run()
+    (scenario,) = results.scenarios()
+    return Fig11Result(timings=results.timings(scenario))
 
 
 # ---------------------------------------------------------------------------
@@ -445,13 +429,14 @@ def fig12_parallelism(
     config: MoEConfig = MIXTRAL_8X7B,
 ) -> Fig12Result:
     cluster = cluster or h800_node()
-    durations: dict[str, dict[str, float]] = {}
-    for strategy in ParallelStrategy.sweep(cluster.world_size):
-        workload = make_workload(config, cluster, strategy, tokens)
-        timings = compare_systems(_fresh_systems(), workload)
-        durations[str(strategy)] = {
-            name: t.total_us / 1000 for name, t in timings.items()
-        }
+    spec = ExperimentSpec.grid(
+        models=config, clusters=cluster, strategies="sweep", tokens=tokens
+    )
+    results = spec.run()
+    durations = {
+        str(scenario.strategy): results.durations_ms(scenario)
+        for scenario in results.scenarios()
+    }
     return Fig12Result(durations_ms=durations)
 
 
@@ -494,23 +479,26 @@ def fig13_moe_params(
     topks: tuple[int, ...] = (1, 2, 4, 8),
 ) -> Fig13Result:
     cluster = cluster or h800_node()
-    strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
-    rows = []
-    for experts in expert_counts:
-        for topk in topks:
-            config = MIXTRAL_8X7B.with_experts(experts, topk)
-            workload = make_workload(config, cluster, strategy, tokens)
-            timings = compare_systems(_fresh_systems(), workload)
-            rows.append(
-                Fig10Row(
-                    experts=experts,
-                    topk=topk,
-                    tokens=tokens,
-                    durations_ms={
-                        name: t.total_us / 1000 for name, t in timings.items()
-                    },
-                )
-            )
+    spec = ExperimentSpec.grid(
+        models=[
+            MIXTRAL_8X7B.with_experts(experts, topk)
+            for experts in expert_counts
+            for topk in topks
+        ],
+        clusters=cluster,
+        strategies=ParallelStrategy(tp_size=1, ep_size=cluster.world_size),
+        tokens=tokens,
+    )
+    results = spec.run()
+    rows = [
+        Fig10Row(
+            experts=scenario.config.num_experts,
+            topk=scenario.config.topk,
+            tokens=scenario.tokens,
+            durations_ms=results.durations_ms(scenario),
+        )
+        for scenario in results.scenarios()
+    ]
     return Fig13Result(rows=rows)
 
 
@@ -544,14 +532,19 @@ def fig14_imbalance(
     stds: tuple[float, ...] = (0.0, 0.01, 0.02, 0.032, 0.04, 0.05),
 ) -> Fig14ImbalanceResult:
     cluster = cluster or h800_node()
-    strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
-    durations: dict[float, dict[str, float]] = {}
-    for std in stds:
-        workload = make_workload(
-            MIXTRAL_8X7B, cluster, strategy, tokens, imbalance_std=std, seed=7
-        )
-        timings = compare_systems(_fresh_systems(), workload)
-        durations[std] = {name: t.total_us / 1000 for name, t in timings.items()}
+    spec = ExperimentSpec.grid(
+        models=MIXTRAL_8X7B,
+        clusters=cluster,
+        strategies=ParallelStrategy(tp_size=1, ep_size=cluster.world_size),
+        tokens=tokens,
+        imbalance_stds=stds,
+        seeds=7,
+    )
+    results = spec.run()
+    durations = {
+        scenario.imbalance_std: results.durations_ms(scenario)
+        for scenario in results.scenarios()
+    }
     return Fig14ImbalanceResult(durations_ms=durations)
 
 

@@ -1,12 +1,18 @@
-"""Command-line interface: regenerate figures, time layers, export traces.
+"""Command-line interface: regenerate figures, run scenario grids, export traces.
 
 Examples::
 
     python -m repro figure fig11                # print a paper figure
     python -m repro figure table3 --json out.json
     python -m repro layer --model mixtral --tp 1 --ep 8 --tokens 16384
+    python -m repro layer --systems comet,tutel --tokens 8192
+    python -m repro sweep --models mixtral qwen2 --tokens 4096 8192
     python -m repro sweep-nc --tp 4 --ep 2 --tokens 16384
     python -m repro trace --out timeline.json
+
+Models, clusters, and systems are resolved through the registries in
+:mod:`repro.api.registry`, so anything a plugin registers is addressable
+here without touching this module.
 """
 
 from __future__ import annotations
@@ -15,15 +21,20 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.api import (
+    CLUSTER_REGISTRY,
+    MODEL_REGISTRY,
+    SYSTEM_REGISTRY,
+    ExperimentSpec,
+    Scenario,
+    UnknownNameError,
+)
 from repro.bench import figures as _figures
 from repro.bench.export import save_json
-from repro.hw.presets import h800_node, l20_node
-from repro.moe.config import MIXTRAL_8X7B, PAPER_MODELS, PHI35_MOE, QWEN2_MOE
+from repro.bench.report import format_table
 from repro.parallel.strategy import ParallelStrategy
-from repro.runtime.executor import compare_systems
 from repro.runtime.visualize import render_breakdown_bars, render_overlap_lanes
-from repro.runtime.workload import make_workload
-from repro.systems import ALL_SYSTEMS
+from repro.systems import Comet
 
 __all__ = ["main"]
 
@@ -40,14 +51,6 @@ FIGURES = {
     "table3": _figures.table3_memory,
 }
 
-MODELS = {
-    "mixtral": MIXTRAL_8X7B,
-    "qwen2": QWEN2_MOE,
-    "phi3.5": PHI35_MOE,
-}
-
-CLUSTERS = {"h800": h800_node, "l20": l20_node}
-
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -61,28 +64,84 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument("--json", metavar="PATH", help="also export raw data")
 
-    layer = sub.add_parser("layer", help="time one MoE layer under all systems")
-    layer.add_argument("--model", choices=sorted(MODELS), default="mixtral")
-    layer.add_argument("--cluster", choices=sorted(CLUSTERS), default="h800")
+    layer = sub.add_parser("layer", help="time one MoE layer under the systems")
+    layer.add_argument("--model", choices=sorted(MODEL_REGISTRY.names()), default="mixtral")
+    layer.add_argument("--cluster", choices=sorted(CLUSTER_REGISTRY.names()), default="h800")
     layer.add_argument("--tp", type=int, default=1)
     layer.add_argument("--ep", type=int, default=8)
     layer.add_argument("--tokens", type=int, default=16384)
     layer.add_argument("--imbalance-std", type=float, default=0.0)
     layer.add_argument("--seed", type=int, default=0)
+    layer.add_argument(
+        "--systems",
+        help="comma-separated registry names (default: all registered systems)",
+    )
 
-    sweep = sub.add_parser("sweep-nc", help="profile the fused-kernel division point")
-    sweep.add_argument("--model", choices=sorted(MODELS), default="mixtral")
-    sweep.add_argument("--cluster", choices=sorted(CLUSTERS), default="h800")
-    sweep.add_argument("--tp", type=int, default=1)
-    sweep.add_argument("--ep", type=int, default=8)
-    sweep.add_argument("--tokens", type=int, default=16384)
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative scenario grid and tabulate it"
+    )
+    sweep.add_argument(
+        "--models", nargs="+", default=["mixtral"],
+        choices=sorted(MODEL_REGISTRY.names()),
+    )
+    sweep.add_argument(
+        "--clusters", nargs="+", default=["h800"],
+        choices=sorted(CLUSTER_REGISTRY.names()),
+    )
+    sweep.add_argument(
+        "--tp", nargs="+", type=int, default=None,
+        help="tensor-parallel sizes (default: all factorisations)",
+    )
+    sweep.add_argument(
+        "--ep", nargs="+", type=int, default=None,
+        help="expert-parallel sizes (default: all factorisations)",
+    )
+    sweep.add_argument("--tokens", nargs="+", type=int, default=[16384])
+    sweep.add_argument(
+        "--systems", nargs="+", default=None,
+        help="registry names (default: all registered systems)",
+    )
+    sweep.add_argument("--imbalance-std", nargs="+", type=float, default=[0.0])
+    sweep.add_argument("--seed", nargs="+", type=int, default=[0])
+    sweep.add_argument("--json", metavar="PATH", help="also export raw data")
+
+    sweep_nc = sub.add_parser(
+        "sweep-nc", help="profile the fused-kernel division point"
+    )
+    sweep_nc.add_argument(
+        "--model", choices=sorted(MODEL_REGISTRY.names()), default="mixtral"
+    )
+    sweep_nc.add_argument(
+        "--cluster", choices=sorted(CLUSTER_REGISTRY.names()), default="h800"
+    )
+    sweep_nc.add_argument("--tp", type=int, default=1)
+    sweep_nc.add_argument("--ep", type=int, default=8)
+    sweep_nc.add_argument("--tokens", type=int, default=16384)
 
     trace = sub.add_parser("trace", help="export a Chrome trace of COMET's kernels")
-    trace.add_argument("--model", choices=sorted(MODELS), default="mixtral")
+    trace.add_argument(
+        "--model", choices=sorted(MODEL_REGISTRY.names()), default="mixtral"
+    )
     trace.add_argument("--tokens", type=int, default=16384)
     trace.add_argument("--out", default="comet_timeline.json")
 
     return parser
+
+
+def _resolve_systems(values: Sequence[str] | str | None) -> tuple[str, ...]:
+    """Registry names from CLI input (comma- and/or space-separated).
+
+    Raises :class:`UnknownNameError` (whose message lists every valid
+    name) for anything the registry does not know.
+    """
+    if values is None:
+        return ()
+    if isinstance(values, str):
+        values = [values]
+    names = []
+    for value in values:
+        names.extend(part for part in value.split(",") if part.strip())
+    return tuple(SYSTEM_REGISTRY.resolve(name.strip()) for name in names)
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -95,16 +154,31 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_layer(args: argparse.Namespace) -> int:
-    cluster = CLUSTERS[args.cluster]()
-    config = MODELS[args.model]
-    strategy = ParallelStrategy(tp_size=args.tp, ep_size=args.ep)
-    workload = make_workload(
-        config, cluster, strategy, args.tokens,
-        imbalance_std=args.imbalance_std, seed=args.seed,
-    )
-    timings = compare_systems([cls() for cls in ALL_SYSTEMS], workload)
-    print(f"{config.name}, {strategy}, M={args.tokens}, {cluster.name}\n")
+    try:
+        systems = _resolve_systems(args.systems)
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cluster = CLUSTER_REGISTRY.get(args.cluster)()
+    config = MODEL_REGISTRY.get(args.model)
+    try:
+        scenario = Scenario(
+            config=config,
+            cluster=cluster,
+            strategy=ParallelStrategy(tp_size=args.tp, ep_size=args.ep),
+            tokens=args.tokens,
+            imbalance_std=args.imbalance_std,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = ExperimentSpec(scenarios=(scenario,), systems=systems).run()
+    timings = results.timings(scenario)
+    print(f"{config.name}, {scenario.strategy}, M={args.tokens}, {cluster.name}\n")
     print(render_breakdown_bars(timings))
+    for record in results.skips:
+        print(f"{record.system:>18s} |  skipped: {record.reason}")
     comet = timings.get("Comet")
     if comet is not None:
         print()
@@ -112,35 +186,121 @@ def _cmd_layer(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep_nc(args: argparse.Namespace) -> int:
-    cluster = CLUSTERS[args.cluster]()
-    result = _figures.fig08_nc_sweep(
-        cluster,
-        token_lengths=(args.tokens,),
-        config=MODELS[args.model],
+def _strategies_for(
+    cluster, tps: Sequence[int] | None, eps: Sequence[int] | None
+) -> list[ParallelStrategy]:
+    """TP x EP combinations valid on ``cluster`` for the given axis lists.
+
+    Unset axes are derived from the cluster's world size; combinations
+    whose product misses the world size are dropped.
+    """
+    world = cluster.world_size
+    if tps is None and eps is None:
+        return ParallelStrategy.sweep(world)
+    if tps is None:
+        tps = [world // ep for ep in eps if ep and world % ep == 0]
+    if eps is None:
+        eps = [world // tp for tp in tps if tp and world % tp == 0]
+    return [
+        ParallelStrategy(tp_size=tp, ep_size=ep)
+        for tp in tps
+        for ep in eps
+        if tp > 0 and ep > 0 and tp * ep == world
+    ]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        systems = _resolve_systems(args.systems)
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scenarios: list[Scenario] = []
+    for model_name in args.models:
+        config = MODEL_REGISTRY.get(model_name)
+        for cluster_name in args.clusters:
+            cluster = CLUSTER_REGISTRY.get(cluster_name)()
+            for strategy in _strategies_for(cluster, args.tp, args.ep):
+                for tokens in args.tokens:
+                    for std in args.imbalance_std:
+                        for seed in args.seed:
+                            try:
+                                scenarios.append(
+                                    Scenario(
+                                        config=config,
+                                        cluster=cluster,
+                                        strategy=strategy,
+                                        tokens=tokens,
+                                        imbalance_std=std,
+                                        seed=seed,
+                                    )
+                                )
+                            except ValueError as exc:
+                                print(f"skipping grid point: {exc}", file=sys.stderr)
+    if not scenarios:
+        print(
+            "error: no valid scenario in the grid (check --tp/--ep against "
+            "the cluster world size)",
+            file=sys.stderr,
+        )
+        return 1
+    spec = ExperimentSpec(
+        scenarios=tuple(dict.fromkeys(scenarios)), systems=systems
     )
-    for curve in result.curves:
-        if (curve.tp_size, curve.ep_size) != (args.tp, args.ep):
-            continue
-        print(f"TP={args.tp}, EP={args.ep}, M={args.tokens}:")
-        worst = max(curve.durations_us.values())
-        for nc, duration in sorted(curve.durations_us.items()):
-            bar = "#" * max(1, int(40 * duration / worst))
-            marker = "  <- optimal" if nc == curve.best_nc else ""
-            print(f"  nc={nc:3d}  {duration / 1000:7.3f} ms  {bar}{marker}")
-        return 0
-    print(f"no curve for TP={args.tp}, EP={args.ep} on this cluster", file=sys.stderr)
-    return 1
+    results = spec.run()
+    headers, rows = results.to_table()
+    print(
+        format_table(
+            headers, rows,
+            title=f"Scenario sweep: {len(results.scenarios())} grid points, "
+            f"MoE layer ms per system",
+        )
+    )
+    for key, reason in results.skipped.items():
+        print(f"skipped {key}: {reason}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(results.to_json())
+        print(f"\nwrote raw data to {args.json}")
+    return 0
+
+
+def _cmd_sweep_nc(args: argparse.Namespace) -> int:
+    cluster = CLUSTER_REGISTRY.get(args.cluster)()
+    config = MODEL_REGISTRY.get(args.model)
+    try:
+        scenario = Scenario(
+            config=config,
+            cluster=cluster,
+            strategy=ParallelStrategy(tp_size=args.tp, ep_size=args.ep),
+            tokens=args.tokens,
+        )
+    except ValueError:
+        print(
+            f"no curve for TP={args.tp}, EP={args.ep} on this cluster",
+            file=sys.stderr,
+        )
+        return 1
+    workload = scenario.build_workload()
+    sweep = Comet().sweep_division_points(workload, layer=1, variant_step=2)
+    print(f"TP={args.tp}, EP={args.ep}, M={args.tokens}:")
+    worst = max(sweep.durations_us.values())
+    for nc, duration in sweep.curve():
+        bar = "#" * max(1, int(40 * duration / worst))
+        marker = "  <- optimal" if nc == sweep.best_nc else ""
+        print(f"  nc={nc:3d}  {duration / 1000:7.3f} ms  {bar}{marker}")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.hw.presets import h800_node
     from repro.kernels.fused import simulate_layer0_fused, simulate_layer1_fused
+    from repro.runtime.workload import make_workload
     from repro.sim import Tracer
-    from repro.systems import Comet
     from repro.tensor import build_layer0_schedule, build_layer1_schedule
 
     cluster = h800_node()
-    config = MODELS[args.model]
+    config = MODEL_REGISTRY.get(args.model)
     strategy = ParallelStrategy(1, cluster.world_size)
     workload = make_workload(config, cluster, strategy, args.tokens)
     geometry = workload.geometry
@@ -159,7 +319,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     simulate_layer1_fused(
         cluster.gpu, cluster.link,
         build_layer1_schedule(rank_workload.expert_rows, cols=config.hidden_size),
-        comet._layer1_comm_work(workload, rank),
+        comet.layer1_comm_work(workload, rank),
         k=config.ffn_size, cols=config.hidden_size,
         nc=comet.division_point(workload, 1),
         tracer=tracer, lane=f"rank{rank}/layer1",
@@ -175,6 +335,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "figure": _cmd_figure,
         "layer": _cmd_layer,
+        "sweep": _cmd_sweep,
         "sweep-nc": _cmd_sweep_nc,
         "trace": _cmd_trace,
     }

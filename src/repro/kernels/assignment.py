@@ -20,6 +20,7 @@ __all__ = [
     "AssignmentProfile",
     "KernelVariant",
     "ProfileKey",
+    "SweepResult",
     "default_variants",
     "profile_division_points",
     "select_division_point",

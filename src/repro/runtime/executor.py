@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro.runtime.workload import MoELayerWorkload
 from repro.systems.base import LayerTiming, MoESystem, UnsupportedWorkload
@@ -18,17 +18,22 @@ def run_layer(system: MoESystem, workload: MoELayerWorkload) -> LayerTiming:
 def compare_systems(
     systems: Iterable[MoESystem],
     workload: MoELayerWorkload,
+    on_skip: Callable[[MoESystem, str], None] | None = None,
 ) -> Mapping[str, LayerTiming]:
     """Time every supporting system on the same workload.
 
     Systems that cannot run the workload (e.g. FasterMoE under tensor
-    parallelism) are silently omitted, matching how the paper's figures
-    leave those bars out.
+    parallelism) are omitted from the result, matching how the paper's
+    figures leave those bars out.  When ``on_skip`` is given it is called
+    with ``(system, reason)`` for each omission, so callers can annotate
+    the missing bars instead of dropping them wordlessly.
     """
     results: dict[str, LayerTiming] = {}
     for system in systems:
         try:
             results[system.name] = system.time_layer(workload)
-        except UnsupportedWorkload:
+        except UnsupportedWorkload as exc:
+            if on_skip is not None:
+                on_skip(system, str(exc))
             continue
     return results

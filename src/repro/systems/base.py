@@ -114,6 +114,11 @@ class LayerTiming:
 class MoESystem(ABC):
     """An MoE layer execution mechanism.
 
+    ``name`` is the display name used in figure tables; ``slug`` is the
+    short registry name (set by :func:`repro.api.registry.register_system`)
+    through which the system is addressable from the CLI and the
+    declarative experiment API.
+
     Args:
         gemm_scale: multiplier on expert GEMM compute.  1.0 is the
             forward pass; the backward pass of the same layer runs the
@@ -123,6 +128,7 @@ class MoESystem(ABC):
     """
 
     name: str = "abstract"
+    slug: str = ""
 
     def __init__(self, gemm_scale: float = 1.0):
         if gemm_scale <= 0:

@@ -30,9 +30,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import register_system
 from repro.kernels.assignment import (
     AssignmentProfile,
     ProfileKey,
+    SweepResult,
     default_variants,
     profile_division_points,
     select_division_point,
@@ -75,6 +77,7 @@ class _LayerSim:
     nc: int
 
 
+@register_system("comet")
 class Comet(MoESystem):
     """The COMET MoE system."""
 
@@ -253,7 +256,7 @@ class Comet(MoESystem):
             schedule = build_layer1_schedule(
                 rank_workload.expert_rows, cols=config.hidden_size, policy=policy
             )
-            comm = self._layer1_comm_work(workload, rank)
+            comm = self.layer1_comm_work(workload, rank)
             any_remote = any_remote or (
                 comm.remote_bulk_rows + comm.remote_fine_rows > 0
             )
@@ -274,7 +277,12 @@ class Comet(MoESystem):
             )
         return sim
 
-    def _layer1_comm_work(self, workload: MoELayerWorkload, rank: int) -> Layer1CommWork:
+    def layer1_comm_work(self, workload: MoELayerWorkload, rank: int) -> Layer1CommWork:
+        """The combine traffic ``rank``'s layer1 fused kernel must move.
+
+        Public so trace exporters and nc-sweep tooling can reconstruct
+        the kernel's communication side without reaching into internals.
+        """
         geometry = workload.geometry
         local, bulk, fine = geometry.combine_row_split(rank)
         return Layer1CommWork(
@@ -284,6 +292,9 @@ class Comet(MoESystem):
             remote_fine_rows=fine,
             row_bytes=workload.config.token_bytes,
         )
+
+    # Backwards-compatible alias for pre-1.1 callers.
+    _layer1_comm_work = layer1_comm_work
 
     def _run_layer1_kernel(self, workload, schedule, comm, k, nc) -> FusedKernelResult:
         config = workload.config
@@ -334,17 +345,24 @@ class Comet(MoESystem):
             layer, strategy.tp_size, strategy.ep_size, workload.total_tokens
         )
         if key not in profile:
-            profile.record(key, self._profile_layer(workload, layer))
+            profile.record(key, self.sweep_division_points(workload, layer))
         return select_division_point(profile, key)
 
-    def _profile_layer(self, workload: MoELayerWorkload, layer: int):
+    def sweep_division_points(
+        self, workload: MoELayerWorkload, layer: int, variant_step: int = 4
+    ) -> SweepResult:
         """Offline profiling pass: sweep the variant library on the
-        bottleneck rank (the rank that paces the layer)."""
+        bottleneck rank (the rank that paces the layer).
+
+        ``variant_step`` is the quantisation of the variant library
+        (Figure 8 plots a denser ``step=2`` sweep than the deployed
+        default).  Returns the per-``nc`` duration curve and its optimum.
+        """
         config = workload.config
         geometry = workload.geometry
         rank = geometry.bottleneck_rank
         rank_workload = geometry.rank_workload(rank)
-        variants = default_variants(workload.cluster.gpu.num_sms)
+        variants = default_variants(workload.cluster.gpu.num_sms, step=variant_step)
 
         if layer == 0:
             schedule = build_layer0_schedule(
@@ -363,7 +381,7 @@ class Comet(MoESystem):
                 cols=config.hidden_size,
                 policy=POLICY_COLUMN_MAJOR if self.reschedule else POLICY_EXPERT_MAJOR,
             )
-            comm = self._layer1_comm_work(workload, rank)
+            comm = self.layer1_comm_work(workload, rank)
             k = config.ffn_size // workload.strategy.tp_size
 
             def simulate(nc: int) -> float:

@@ -22,12 +22,14 @@ path, which is what its figures measure.
 
 from __future__ import annotations
 
+from repro.api.registry import register_system
 from repro.runtime.workload import MoELayerWorkload
 from repro.systems.base import LayerTiming, MoESystem
 
 __all__ = ["FasterMoE"]
 
 
+@register_system("fastermoe")
 class FasterMoE(MoESystem):
     """FasterMoE's smart-scheduled, degree-2 pipelined MoE layer."""
 

@@ -13,6 +13,7 @@ GroupGEMM, combine collectives, unpermute — with no overlap whatsoever
 
 from __future__ import annotations
 
+from repro.api.registry import register_system
 from repro.runtime.workload import MoELayerWorkload
 from repro.systems.base import LayerTiming, MoESystem
 
@@ -24,6 +25,7 @@ __all__ = ["MegatronCutlass", "MegatronTE"]
 _MEGATRON_KERNELS = 10
 
 
+@register_system("megatron-cutlass")
 class MegatronCutlass(MoESystem):
     """Megatron-LM with CUTLASS grouped GEMM experts (no overlap)."""
 
@@ -53,6 +55,7 @@ class MegatronCutlass(MoESystem):
         )
 
 
+@register_system("megatron-te")
 class MegatronTE(MoESystem):
     """Megatron-LM with TransformerEngine experts (no overlap).
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_system
 from repro.comm.primitives import hierarchical_all_to_all_cost
 from repro.runtime.workload import MoELayerWorkload
 from repro.systems.base import LayerTiming, MoESystem
@@ -25,6 +26,7 @@ from repro.systems.base import LayerTiming, MoESystem
 __all__ = ["Tutel"]
 
 
+@register_system("tutel")
 class Tutel(MoESystem):
     """Tutel's adaptive MoE layer."""
 

@@ -83,6 +83,53 @@ class TestCli:
         assert "Comet" in out
         assert "communication hidden" in out
 
+    def test_layer_systems_selection(self, capsys):
+        assert main(
+            ["layer", "--tokens", "2048", "--systems", "comet,megatron-cutlass"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Comet" in out and "Megatron-Cutlass" in out
+        assert "Tutel" not in out
+
+    def test_layer_unknown_system_lists_names(self, capsys):
+        assert main(["layer", "--tokens", "2048", "--systems", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp-drive" in err and "comet" in err and "tutel" in err
+
+    def test_layer_annotates_skipped_systems(self, capsys):
+        assert main(["layer", "--tokens", "2048", "--tp", "2", "--ep", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped: FasterMoE does not support TP2xEP4" in out
+
+    def test_sweep_command(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        assert main(
+            [
+                "sweep", "--models", "mixtral", "--tokens", "2048",
+                "--tp", "1", "--ep", "8",
+                "--systems", "comet", "megatron-cutlass",
+                "--json", str(path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Scenario sweep" in out and "Comet" in out
+        doc = json.loads(path.read_text())
+        assert {row["system"] for row in doc["rows"]} == {
+            "Comet", "Megatron-Cutlass"
+        }
+
+    def test_sweep_default_strategies_cover_factorisations(self, capsys):
+        assert main(
+            ["sweep", "--tokens", "2048", "--systems", "comet"]
+        ) == 0
+        out = capsys.readouterr().out
+        for strategy in ("TP1xEP8", "TP2xEP4", "TP4xEP2", "TP8xEP1"):
+            assert strategy in out
+
+    def test_sweep_invalid_grid_rejected(self, capsys):
+        assert main(["sweep", "--tp", "3", "--ep", "2", "--tokens", "2048"]) == 1
+        assert "no valid scenario" in capsys.readouterr().err
+
     def test_sweep_nc_command(self, capsys):
         assert main(["sweep-nc", "--tokens", "4096", "--tp", "1", "--ep", "8"]) == 0
         out = capsys.readouterr().out

@@ -51,6 +51,29 @@ New systems join the registry (and the CLI) with a decorator::
     class MySystem(MoESystem):
         name = "My-System"
         ...
+
+Online serving.  :mod:`repro.serve` layers a request-level inference
+simulator on top of the per-layer timings: seeded traffic generators
+(Poisson / bursty / diurnal / replay), a continuous-batching scheduler
+with pluggable admission policies, and TTFT/TPOT/goodput SLO metrics —
+the latency-bound workload class, next to the throughput-bound sweeps
+above.  Every registered system is servable through the same names::
+
+    from repro import ServeSpec, TraceSpec
+
+    spec = ServeSpec.grid(
+        models="mixtral",
+        traces=TraceSpec(kind="poisson", rps=160, duration_s=30),
+        policies="fcfs",                  # or "spf" / "slo"
+        slo_ttft_ms=500,
+        systems=("comet", "tutel", "megatron"),
+    )
+    results = spec.run()                  # same trace replayed per system
+    print(results.goodput_by_system())    # SLO-attaining requests per sec
+    results.to_csv("serving.csv")
+
+See ``examples/online_serving.py`` for a walkthrough and
+``python -m repro serve --help`` for the CLI equivalent.
 """
 
 from repro.api import (
@@ -84,6 +107,16 @@ from repro.runtime import (
     overlap_report,
     run_layer,
     run_model,
+)
+from repro.serve import (
+    ContinuousBatchingScheduler,
+    Request,
+    ServeReport,
+    ServeResultSet,
+    ServeScenario,
+    ServeSpec,
+    StepCostModel,
+    TraceSpec,
 )
 from repro.systems import (
     ALL_SYSTEMS,
@@ -124,14 +157,22 @@ __all__ = [
     "PHI35_MOE",
     "ParallelStrategy",
     "QWEN2_MOE",
+    "ContinuousBatchingScheduler",
+    "Request",
     "ResultRow",
     "ResultSet",
     "RoutingPlan",
     "SYSTEM_REGISTRY",
     "Scenario",
+    "ServeReport",
+    "ServeResultSet",
+    "ServeScenario",
+    "ServeSpec",
     "SkipRecord",
+    "StepCostModel",
     "SystemRegistry",
     "TopKGate",
+    "TraceSpec",
     "Tutel",
     "UnknownNameError",
     "UnsupportedWorkload",

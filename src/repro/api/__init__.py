@@ -39,13 +39,19 @@ __all__ = [
     "ResultSet",
     "SYSTEM_REGISTRY",
     "Scenario",
+    "ServeReport",
+    "ServeResultSet",
+    "ServeScenario",
+    "ServeSpec",
     "SkipRecord",
     "SystemRegistry",
+    "TraceSpec",
     "UnknownNameError",
     "default_system_names",
     "register_system",
     "resolve_cluster",
     "resolve_model",
+    "rows_to_csv",
 ]
 
 _LAZY = {
@@ -55,6 +61,14 @@ _LAZY = {
     "ResultRow": "repro.api.results",
     "ResultSet": "repro.api.results",
     "SkipRecord": "repro.api.results",
+    "rows_to_csv": "repro.api.results",
+    # Online-serving layer (repro.serve) — addressable from the same
+    # declarative API namespace as the offline experiment grids.
+    "ServeReport": "repro.serve.metrics",
+    "ServeResultSet": "repro.serve.metrics",
+    "ServeScenario": "repro.serve.scenario",
+    "ServeSpec": "repro.serve.scenario",
+    "TraceSpec": "repro.serve.traffic",
 }
 
 

@@ -21,7 +21,30 @@ from repro.systems.base import LayerTiming
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.api.scenario import Scenario
 
-__all__ = ["ResultRow", "ResultSet", "SkipRecord"]
+__all__ = ["ResultRow", "ResultSet", "SkipRecord", "rows_to_csv"]
+
+
+def rows_to_csv(
+    headers: list[str], rows: list[list[Any]], path: str | None = None
+) -> str:
+    """Render ``(headers, rows)`` as CSV text, optionally writing ``path``.
+
+    Shared by :meth:`ResultSet.to_csv` and
+    :meth:`repro.serve.metrics.ServeResultSet.to_csv`, so offline sweeps
+    and serving reports export with identical conventions.
+    """
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            fh.write(text)
+    return text
 
 
 @dataclass(frozen=True)
@@ -302,6 +325,12 @@ class ResultSet:
                 cells.append(float("nan") if value is None else value)
             table.append(cells)
         return headers, table
+
+    def to_csv(self, path: str | None = None) -> str:
+        """CSV of :meth:`to_rows` (spreadsheet-ready), optionally written
+        to ``path``; always returns the CSV text."""
+        headers, table = self.to_rows()
+        return rows_to_csv(headers, table, path)
 
     def to_json(self, indent: int = 2) -> str:
         """Compact machine-readable dump of rows and skip reasons."""

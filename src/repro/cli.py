@@ -9,6 +9,8 @@ Examples::
     python -m repro sweep --models mixtral qwen2 --tokens 4096 8192
     python -m repro sweep-nc --tp 4 --ep 2 --tokens 16384
     python -m repro trace --out timeline.json
+    python -m repro serve --trace poisson --rps 160 --duration 30 \
+        --systems comet,tutel,megatron --slo-ttft-ms 500
 
 Models, clusters, and systems are resolved through the registries in
 :mod:`repro.api.registry`, so anything a plugin registers is addressable
@@ -76,6 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--systems",
         help="comma-separated registry names (default: all registered systems)",
     )
+    layer.add_argument(
+        "--report", action="store_true",
+        help="also print the overlap report (hidden-communication fractions)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a declarative scenario grid and tabulate it"
@@ -117,6 +123,44 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_nc.add_argument("--tp", type=int, default=1)
     sweep_nc.add_argument("--ep", type=int, default=8)
     sweep_nc.add_argument("--tokens", type=int, default=16384)
+
+    serve = sub.add_parser(
+        "serve", help="simulate online inference serving and report SLO metrics"
+    )
+    serve.add_argument(
+        "--trace", default="poisson", choices=("poisson", "bursty", "diurnal"),
+        help="arrival process (default: poisson)",
+    )
+    serve.add_argument("--rps", type=float, default=160.0,
+                       help="mean request arrival rate (default: 160)")
+    serve.add_argument("--duration", type=float, default=30.0,
+                       help="trace duration in seconds (default: 30)")
+    serve.add_argument(
+        "--model", choices=sorted(MODEL_REGISTRY.names()), default="mixtral"
+    )
+    serve.add_argument(
+        "--cluster", choices=sorted(CLUSTER_REGISTRY.names()), default="h800"
+    )
+    serve.add_argument("--tp", type=int, default=1)
+    serve.add_argument("--ep", type=int, default=None,
+                       help="expert-parallel size (default: world size / tp)")
+    serve.add_argument(
+        "--systems",
+        help="comma-separated registry names (default: all registered systems)",
+    )
+    serve.add_argument("--policy", default="fcfs",
+                       help="admission policy: fcfs, spf, or slo")
+    serve.add_argument("--slo-ttft-ms", type=float, default=500.0,
+                       help="time-to-first-token SLO (default: 500 ms)")
+    serve.add_argument("--slo-tpot-ms", type=float, default=75.0,
+                       help="time-per-output-token SLO (default: 75 ms)")
+    serve.add_argument("--max-batch-tokens", type=int, default=8192,
+                       help="continuous-batching token budget per iteration")
+    serve.add_argument("--prompt-mean", type=int, default=512)
+    serve.add_argument("--output-mean", type=int, default=128)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json", metavar="PATH", help="also export the report")
+    serve.add_argument("--csv", metavar="PATH", help="also export a CSV table")
 
     trace = sub.add_parser("trace", help="export a Chrome trace of COMET's kernels")
     trace.add_argument(
@@ -183,6 +227,28 @@ def _cmd_layer(args: argparse.Namespace) -> int:
     if comet is not None:
         print()
         print(render_overlap_lanes(comet))
+    if args.report:
+        from repro.runtime.profiler import overlap_report
+
+        print()
+        print(
+            format_table(
+                ["system", "total ms", "comm ms", "exposed ms",
+                 "hidden %", "comm share %"],
+                [
+                    [
+                        r.system,
+                        f"{r.total_us / 1000:.3f}",
+                        f"{r.comm_us / 1000:.3f}",
+                        f"{r.exposed_comm_us / 1000:.3f}",
+                        f"{100 * r.hidden_comm_fraction:.1f}",
+                        f"{100 * r.comm_share:.1f}",
+                    ]
+                    for r in overlap_report(timings)
+                ],
+                title="Overlap report (slowest system first)",
+            )
+        )
     return 0
 
 
@@ -292,6 +358,85 @@ def _cmd_sweep_nc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeScenario, ServeSpec, TraceSpec
+
+    try:
+        systems = _resolve_systems(args.systems)
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cluster = CLUSTER_REGISTRY.get(args.cluster)()
+    config = MODEL_REGISTRY.get(args.model)
+    try:
+        if args.tp <= 0:
+            raise ValueError(f"tp must be positive, got {args.tp}")
+        ep = args.ep if args.ep is not None else cluster.world_size // args.tp
+        scenario = ServeScenario(
+            config=config,
+            cluster=cluster,
+            strategy=ParallelStrategy(tp_size=args.tp, ep_size=ep),
+            trace=TraceSpec(
+                kind=args.trace,
+                rps=args.rps,
+                duration_s=args.duration,
+                seed=args.seed,
+                prompt_mean=args.prompt_mean,
+                output_mean=args.output_mean,
+            ),
+            policy=args.policy,
+            slo_ttft_ms=args.slo_ttft_ms,
+            slo_tpot_ms=args.slo_tpot_ms,
+            max_batch_tokens=args.max_batch_tokens,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = ServeSpec(scenarios=(scenario,), systems=systems).run()
+
+    trace = scenario.trace
+    print(
+        f"{config.name}, {scenario.strategy}, {cluster.name} — "
+        f"{trace.label}, policy={scenario.policy}, "
+        f"SLO: TTFT<={scenario.slo_ttft_ms:g}ms TPOT<={scenario.slo_tpot_ms:g}ms\n"
+    )
+    rows = []
+    for report in results:
+        ttft = report.ttft_percentiles()
+        tpot = report.tpot_percentiles()
+        e2e = report.e2e_percentiles()
+        rows.append([
+            report.system,
+            report.num_requests,
+            f"{ttft['p50']:.1f}",
+            f"{ttft['p99']:.1f}",
+            f"{tpot['p50']:.2f}",
+            f"{tpot['p99']:.2f}",
+            f"{e2e['p99'] / 1000:.2f}",
+            f"{100 * report.slo_attainment:.1f}",
+            f"{report.goodput_rps:.2f}",
+            f"{report.output_tokens_per_s:.0f}",
+        ])
+    print(
+        format_table(
+            ["system", "reqs", "ttft p50 ms", "ttft p99 ms", "tpot p50 ms",
+             "tpot p99 ms", "e2e p99 s", "SLO %", "goodput req/s", "tok/s"],
+            rows,
+            title="Online serving (continuous batching)",
+        )
+    )
+    for skip in results.skips:
+        print(f"skipped {skip.system}: {skip.reason}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(results.to_json())
+        print(f"\nwrote report to {args.json}")
+    if args.csv:
+        results.to_csv(args.csv)
+        print(f"wrote CSV to {args.csv}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.hw.presets import h800_node
     from repro.kernels.fused import simulate_layer0_fused, simulate_layer1_fused
@@ -335,6 +480,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "figure": _cmd_figure,
         "layer": _cmd_layer,
+        "serve": _cmd_serve,
         "sweep": _cmd_sweep,
         "sweep-nc": _cmd_sweep_nc,
         "trace": _cmd_trace,

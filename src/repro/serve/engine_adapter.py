@@ -1,0 +1,145 @@
+"""Per-iteration step costs for serving, composed from ``MoESystem.time_layer``.
+
+The serving scheduler needs one number per engine iteration: how long a
+continuous-batching step takes when the batch carries ``P`` prefill
+tokens and ``D`` decoding sequences (one token each).  This adapter
+composes that from the repository's existing per-layer system timings —
+every registered :class:`~repro.systems.base.MoESystem` ("comet",
+"tutel", "fastermoe", "megatron-cutlass", ...) is servable through the
+same :data:`~repro.api.registry.SYSTEM_REGISTRY` with no serving-specific
+code in the systems themselves.
+
+Cost model (documented approximations):
+
+* One iteration runs the full model: ``num_layers`` transformer layers,
+  each attention + one MoE layer over the batch's ``M = P + D`` tokens.
+* The MoE layer is priced by ``system.time_layer`` on a balanced
+  workload of ``M`` tokens (the serving batch mixes many requests, so
+  per-expert load is near the balanced average); attention follows
+  :func:`~repro.runtime.model_runner.attention_time_us` with the same
+  data-parallel token split as ``run_model``.
+* ``M`` is rounded up to a token bucket (a multiple of the cluster's
+  world size) and the timing is cached per bucket — a serving run makes
+  tens of thousands of steps but only ever sees a few dozen distinct
+  buckets, and the bucket rounding models the padded/quantised batch
+  shapes real engines run anyway.
+
+The workload behind each bucket is cached *across* systems (module-level
+cache keyed by config/cluster/strategy/tokens), so every system prices
+the identical batch geometry — the serving analogue of the one-workload-
+per-grid-point sharing in :mod:`repro.api.scenario`.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cluster import ClusterSpec
+from repro.moe.config import MoEConfig
+from repro.parallel.strategy import ParallelStrategy
+from repro.runtime.model_runner import attention_time_us
+from repro.runtime.workload import MoELayerWorkload, make_workload
+from repro.systems.base import MoESystem
+
+__all__ = ["StepCostModel"]
+
+# One shared workload per (config, cluster, strategy, tokens) bucket, so
+# all systems in a serving comparison price the same batch geometry.
+_WORKLOAD_CACHE: dict[
+    tuple[MoEConfig, ClusterSpec, ParallelStrategy, int], MoELayerWorkload
+] = {}
+
+
+def _bucket_workload(
+    config: MoEConfig,
+    cluster: ClusterSpec,
+    strategy: ParallelStrategy,
+    tokens: int,
+) -> MoELayerWorkload:
+    key = (config, cluster, strategy, tokens)
+    workload = _WORKLOAD_CACHE.get(key)
+    if workload is None:
+        workload = make_workload(config, cluster, strategy, tokens)
+        _WORKLOAD_CACHE[key] = workload
+    return workload
+
+
+class StepCostModel:
+    """Prices continuous-batching iterations for one system.
+
+    Args:
+        system: the MoE execution mechanism to price.
+        config: model shapes; ``config.num_layers`` scales one layer to a
+            full forward pass.
+        cluster: hardware the engine runs on.
+        strategy: TP x EP decomposition of the serving replica.
+        bucket_tokens: batch-size quantum; iteration token counts round
+            up to a multiple of this (itself rounded to a multiple of
+            the world size).  Bigger buckets mean fewer ``time_layer``
+            calls but coarser step costs.
+        step_overhead_us: fixed per-iteration host cost (scheduler bookkeeping,
+            batch reshaping, sampling) added once per step.
+
+    Raises:
+        UnsupportedWorkload: eagerly at construction if the system cannot
+            run this (config, strategy) at all, so serving runs fail fast
+            instead of on the first scheduled batch.
+    """
+
+    def __init__(
+        self,
+        system: MoESystem,
+        config: MoEConfig,
+        cluster: ClusterSpec,
+        strategy: ParallelStrategy,
+        bucket_tokens: int = 256,
+        step_overhead_us: float = 150.0,
+    ):
+        if bucket_tokens <= 0:
+            raise ValueError(f"bucket_tokens must be positive, got {bucket_tokens}")
+        if step_overhead_us < 0:
+            raise ValueError(
+                f"step_overhead_us must be >= 0, got {step_overhead_us}"
+            )
+        self.system = system
+        self.config = config
+        self.cluster = cluster
+        self.strategy = strategy
+        world = cluster.world_size
+        self.bucket = max(world, (bucket_tokens + world - 1) // world * world)
+        self.step_overhead_us = step_overhead_us
+        self._step_cache: dict[int, float] = {}
+        # Fail fast on fundamentally unsupported (system, strategy) pairs.
+        system.check_supported(self._workload(self.bucket))
+
+    def _workload(self, tokens: int) -> MoELayerWorkload:
+        return _bucket_workload(self.config, self.cluster, self.strategy, tokens)
+
+    def bucketed(self, tokens: int) -> int:
+        """Round a batch token count up to the bucket quantum."""
+        if tokens <= 0:
+            raise ValueError(f"tokens must be positive, got {tokens}")
+        return (tokens + self.bucket - 1) // self.bucket * self.bucket
+
+    def step_us(self, prefill_tokens: int, decode_tokens: int) -> float:
+        """One engine iteration over ``P`` prefill + ``D`` decode tokens."""
+        total = prefill_tokens + decode_tokens
+        if total <= 0:
+            raise ValueError("a step needs at least one token")
+        tokens = self.bucketed(total)
+        cached = self._step_cache.get(tokens)
+        if cached is None:
+            workload = self._workload(tokens)
+            moe_us = self.system.time_layer(workload).total_us
+            tokens_per_dp = max(1, tokens // self.strategy.ep_size)
+            attention_us = attention_time_us(
+                self.config, self.cluster, self.strategy.tp_size, tokens_per_dp
+            )
+            cached = self.config.num_layers * (attention_us + moe_us)
+            self._step_cache[tokens] = cached
+        return cached + self.step_overhead_us
+
+    def step_ms(self, prefill_tokens: int, decode_tokens: int) -> float:
+        return self.step_us(prefill_tokens, decode_tokens) / 1000.0
+
+    def prefill_ms(self, prompt_tokens: int) -> float:
+        """Estimated solo-prefill latency (used by the SLO-aware policy)."""
+        return self.step_ms(prompt_tokens, 0)

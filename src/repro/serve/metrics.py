@@ -1,0 +1,312 @@
+"""Serving metrics: latency percentiles, SLO goodput, and timelines.
+
+Online serving is judged on different axes than the repository's offline
+sweeps: time-to-first-token (TTFT), time-per-output-token (TPOT),
+end-to-end request latency, and *goodput* — the rate of requests that
+met their SLO — rather than raw layer milliseconds.  A
+:class:`ServeReport` packages those for one (scenario, system) pair, and
+:class:`ServeResultSet` collects reports across systems/scenarios with
+the same flat-row export conventions as
+:class:`~repro.api.results.ResultSet` (``to_rows`` / ``to_table`` /
+``to_json`` / ``to_csv``), so serving results drop into the same
+spreadsheets and plotting pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.scenario import ServeScenario
+
+__all__ = [
+    "RequestRecord",
+    "ServeReport",
+    "ServeResultSet",
+    "ServeSkip",
+    "TimelinePoint",
+    "percentiles",
+]
+
+PERCENTILES = (50, 95, 99)
+
+
+def percentiles(values: list[float] | tuple[float, ...]) -> dict[str, float]:
+    """p50/p95/p99 with linear interpolation (NaN on empty input)."""
+    if not values:
+        return {f"p{q}": float("nan") for q in PERCENTILES}
+    arr = np.asarray(values, dtype=np.float64)
+    return {
+        f"p{q}": float(np.percentile(arr, q, method="linear"))
+        for q in PERCENTILES
+    }
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle of one served request (all times simulated ms)."""
+
+    rid: int
+    arrival_ms: float
+    first_token_ms: float
+    completion_ms: float
+    prompt_tokens: int
+    output_tokens: int
+
+    @property
+    def ttft_ms(self) -> float:
+        """Time-to-first-token: arrival until the prefill's token lands."""
+        return self.first_token_ms - self.arrival_ms
+
+    @property
+    def tpot_ms(self) -> float:
+        """Mean time per output token after the first (0 for 1-token outputs)."""
+        if self.output_tokens <= 1:
+            return 0.0
+        return (self.completion_ms - self.first_token_ms) / (self.output_tokens - 1)
+
+    @property
+    def e2e_ms(self) -> float:
+        return self.completion_ms - self.arrival_ms
+
+    def meets_slo(self, slo_ttft_ms: float, slo_tpot_ms: float) -> bool:
+        return self.ttft_ms <= slo_ttft_ms and self.tpot_ms <= slo_tpot_ms
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Scheduler state sampled at the start of one engine iteration."""
+
+    t_ms: float
+    queue_depth: int
+    batch_tokens: int
+    running: int
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Serving outcome of one system on one scenario.
+
+    ``horizon_ms`` is the arrival window of the trace — goodput divides
+    SLO-attaining completions by it, so a system that drains an overload
+    backlog long after the trace ended is not credited extra time.
+    """
+
+    system: str
+    scenario_label: str
+    records: tuple[RequestRecord, ...]
+    timeline: tuple[TimelinePoint, ...]
+    slo_ttft_ms: float
+    slo_tpot_ms: float
+    horizon_ms: float
+    max_batch_tokens: int
+
+    # -- latency ------------------------------------------------------------
+    def ttft_percentiles(self) -> dict[str, float]:
+        return percentiles([r.ttft_ms for r in self.records])
+
+    def tpot_percentiles(self) -> dict[str, float]:
+        return percentiles([r.tpot_ms for r in self.records])
+
+    def e2e_percentiles(self) -> dict[str, float]:
+        return percentiles([r.e2e_ms for r in self.records])
+
+    # -- throughput ----------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def makespan_ms(self) -> float:
+        """First arrival to last completion."""
+        if not self.records:
+            return 0.0
+        start = min(r.arrival_ms for r in self.records)
+        end = max(r.completion_ms for r in self.records)
+        return end - start
+
+    @property
+    def output_tokens_per_s(self) -> float:
+        """Generated-token throughput over the makespan."""
+        span = self.makespan_ms
+        if span <= 0:
+            return 0.0
+        return sum(r.output_tokens for r in self.records) / (span / 1000.0)
+
+    # -- SLO ------------------------------------------------------------------
+    @property
+    def good_requests(self) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.meets_slo(self.slo_ttft_ms, self.slo_tpot_ms)
+        )
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests meeting both TTFT and TPOT SLOs."""
+        if not self.records:
+            return 0.0
+        return self.good_requests / len(self.records)
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-attaining completions per second of trace time."""
+        if self.horizon_ms <= 0:
+            return 0.0
+        return self.good_requests / (self.horizon_ms / 1000.0)
+
+    # -- occupancy ------------------------------------------------------------
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self.timeline:
+            return 0.0
+        return sum(p.queue_depth for p in self.timeline) / len(self.timeline)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return max((p.queue_depth for p in self.timeline), default=0)
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean iteration token fill as a fraction of the token budget."""
+        if not self.timeline or self.max_batch_tokens <= 0:
+            return 0.0
+        return sum(p.batch_tokens for p in self.timeline) / (
+            len(self.timeline) * self.max_batch_tokens
+        )
+
+    # -- export ---------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        ttft = self.ttft_percentiles()
+        tpot = self.tpot_percentiles()
+        e2e = self.e2e_percentiles()
+        return {
+            "system": self.system,
+            "scenario": self.scenario_label,
+            "requests": self.num_requests,
+            "ttft_p50_ms": ttft["p50"],
+            "ttft_p95_ms": ttft["p95"],
+            "ttft_p99_ms": ttft["p99"],
+            "tpot_p50_ms": tpot["p50"],
+            "tpot_p95_ms": tpot["p95"],
+            "tpot_p99_ms": tpot["p99"],
+            "e2e_p50_ms": e2e["p50"],
+            "e2e_p99_ms": e2e["p99"],
+            "slo_attainment": self.slo_attainment,
+            "goodput_rps": self.goodput_rps,
+            "output_tokens_per_s": self.output_tokens_per_s,
+            "mean_queue_depth": self.mean_queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "mean_batch_occupancy": self.mean_batch_occupancy,
+        }
+
+
+@dataclass(frozen=True)
+class ServeSkip:
+    """One (scenario, system) pair that could not be served, and why."""
+
+    scenario_label: str
+    system: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class ServeResultSet:
+    """Reports across systems/scenarios, with ResultSet-style exports."""
+
+    reports: tuple[ServeReport, ...]
+    skips: tuple[ServeSkip, ...] = ()
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __bool__(self) -> bool:
+        return bool(self.reports)
+
+    def systems(self) -> tuple[str, ...]:
+        seen = dict.fromkeys(r.system for r in self.reports)
+        seen.update(dict.fromkeys(s.system for s in self.skips))
+        return tuple(seen)
+
+    def scenario_labels(self) -> tuple[str, ...]:
+        seen = dict.fromkeys(r.scenario_label for r in self.reports)
+        seen.update(dict.fromkeys(s.scenario_label for s in self.skips))
+        return tuple(seen)
+
+    def get(self, system: str, scenario_label: str | None = None) -> ServeReport | None:
+        for report in self.reports:
+            if report.system.lower() != system.lower():
+                continue
+            if scenario_label is None or report.scenario_label == scenario_label:
+                return report
+        return None
+
+    def best_goodput(self) -> ServeReport:
+        if not self.reports:
+            raise ValueError("best_goodput() on an empty ServeResultSet")
+        return max(self.reports, key=lambda r: r.goodput_rps)
+
+    def goodput_by_system(self, scenario_label: str | None = None) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for report in self.reports:
+            if scenario_label is not None and report.scenario_label != scenario_label:
+                continue
+            out[report.system] = report.goodput_rps
+        return out
+
+    # -- export ---------------------------------------------------------------
+    def to_rows(self) -> tuple[list[str], list[list[Any]]]:
+        """Flat ``(headers, rows)`` — one row per (scenario, system)."""
+        headers = [
+            "scenario", "system", "requests",
+            "ttft_p50_ms", "ttft_p95_ms", "ttft_p99_ms",
+            "tpot_p50_ms", "tpot_p99_ms", "e2e_p99_ms",
+            "slo_attainment", "goodput_rps", "output_tok_per_s",
+        ]
+        table = []
+        for r in self.reports:
+            s = r.summary()
+            table.append([
+                s["scenario"], s["system"], s["requests"],
+                s["ttft_p50_ms"], s["ttft_p95_ms"], s["ttft_p99_ms"],
+                s["tpot_p50_ms"], s["tpot_p99_ms"], s["e2e_p99_ms"],
+                s["slo_attainment"], s["goodput_rps"],
+                s["output_tokens_per_s"],
+            ])
+        return headers, table
+
+    def to_csv(self, path: str | None = None) -> str:
+        """CSV of :meth:`to_rows`, optionally written to ``path``."""
+        from repro.api.results import rows_to_csv
+
+        headers, table = self.to_rows()
+        return rows_to_csv(headers, table, path)
+
+    def to_json(self, indent: int = 2) -> str:
+        def clean(doc: dict[str, Any]) -> dict[str, Any]:
+            # NaN percentiles (empty reports) are not valid JSON: emit null.
+            return {
+                k: None if isinstance(v, float) and v != v else v
+                for k, v in doc.items()
+            }
+
+        payload: dict[str, Any] = {
+            "reports": [clean(r.summary()) for r in self.reports],
+            "skipped": [
+                {
+                    "scenario": s.scenario_label,
+                    "system": s.system,
+                    "reason": s.reason,
+                }
+                for s in self.skips
+            ],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)

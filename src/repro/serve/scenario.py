@@ -1,0 +1,238 @@
+"""Declarative online-serving experiments: ServeScenario and ServeSpec.
+
+Mirrors :mod:`repro.api.scenario` for the serving workload class: a
+:class:`ServeScenario` is one grid point (model x cluster x parallelism
+x traffic x scheduler policy x SLO), :class:`ServeSpec.grid` expands
+cartesian sweeps, and :meth:`ServeSpec.run` serves every registered
+system on each point, returning a
+:class:`~repro.serve.metrics.ServeResultSet`.
+
+The request trace is built exactly once per scenario and replayed
+verbatim for every system (the serving analogue of the one-workload-
+per-grid-point sharing in the offline API), so goodput differences are
+attributable to the execution mechanism alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.api.registry import (
+    SYSTEM_REGISTRY,
+    SystemRegistry,
+    resolve_cluster,
+    resolve_model,
+)
+from repro.hw.cluster import ClusterSpec
+from repro.moe.config import MoEConfig
+from repro.parallel.strategy import ParallelStrategy
+from repro.serve.engine_adapter import StepCostModel
+from repro.serve.metrics import ServeReport, ServeResultSet, ServeSkip
+from repro.serve.scheduler import POLICY_REGISTRY, ContinuousBatchingScheduler
+from repro.serve.traffic import Request, TraceSpec
+from repro.systems.base import MoESystem, UnsupportedWorkload
+
+__all__ = ["ServeScenario", "ServeSpec"]
+
+
+@dataclass(frozen=True)
+class ServeScenario:
+    """One serving grid point: traffic, replica shape, policy, and SLOs."""
+
+    config: MoEConfig
+    cluster: ClusterSpec
+    strategy: ParallelStrategy
+    trace: TraceSpec = TraceSpec()
+    max_batch_tokens: int = 8192
+    max_batch_size: int = 256
+    policy: str = "fcfs"
+    slo_ttft_ms: float = 500.0
+    slo_tpot_ms: float = 75.0
+    bucket_tokens: int = 256
+
+    def __post_init__(self) -> None:
+        if self.strategy.world_size != self.cluster.world_size:
+            raise ValueError(
+                f"strategy {self.strategy} needs world size "
+                f"{self.strategy.world_size}, cluster {self.cluster.name} "
+                f"has {self.cluster.world_size}"
+            )
+        self.strategy.validate_model(self.config.num_experts, self.config.ffn_size)
+        if self.policy not in POLICY_REGISTRY:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; valid policies: "
+                f"{', '.join(POLICY_REGISTRY.names())}"
+            )
+        if self.slo_ttft_ms <= 0 or self.slo_tpot_ms <= 0:
+            raise ValueError("SLO targets must be positive")
+
+    @property
+    def label(self) -> str:
+        return "/".join(
+            (
+                self.config.name,
+                self.cluster.name,
+                str(self.strategy),
+                self.trace.label,
+                self.policy,
+            )
+        )
+
+    def build_trace(self) -> tuple[Request, ...]:
+        return self.trace.build()
+
+    def run_system(
+        self,
+        system: MoESystem,
+        trace: tuple[Request, ...] | None = None,
+    ) -> ServeReport:
+        """Serve the trace on one system instance.
+
+        Raises :class:`~repro.systems.base.UnsupportedWorkload` if the
+        system cannot run this replica shape at all.
+        """
+        cost_model = StepCostModel(
+            system,
+            self.config,
+            self.cluster,
+            self.strategy,
+            bucket_tokens=self.bucket_tokens,
+        )
+        scheduler = ContinuousBatchingScheduler(
+            cost_model=cost_model,
+            trace=trace if trace is not None else self.build_trace(),
+            max_batch_tokens=self.max_batch_tokens,
+            max_batch_size=self.max_batch_size,
+            policy=self.policy,
+            slo_ttft_ms=self.slo_ttft_ms,
+        )
+        records, timeline = scheduler.run()
+        return ServeReport(
+            system=system.name,
+            scenario_label=self.label,
+            records=records,
+            timeline=timeline,
+            slo_ttft_ms=self.slo_ttft_ms,
+            slo_tpot_ms=self.slo_tpot_ms,
+            horizon_ms=self.trace.horizon_ms,
+            max_batch_tokens=self.max_batch_tokens,
+        )
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """A set of serving scenarios plus the systems to serve on each."""
+
+    scenarios: tuple[ServeScenario, ...]
+    systems: tuple[str, ...] = ()
+    registry: SystemRegistry | None = None
+
+    @classmethod
+    def grid(
+        cls,
+        models: Any = "mixtral",
+        clusters: Any = "h800",
+        strategies: Any = None,
+        traces: Any = None,
+        policies: Any = "fcfs",
+        slo_ttft_ms: Any = 500.0,
+        slo_tpot_ms: Any = 75.0,
+        max_batch_tokens: Any = 8192,
+        systems: Any = None,
+        registry: SystemRegistry | None = None,
+    ) -> "ServeSpec":
+        """Expand a cartesian serving sweep.
+
+        ``strategies`` defaults to pure expert parallelism (TP=1,
+        EP=world) on each cluster and otherwise accepts everything
+        :meth:`repro.api.scenario.ExperimentSpec.grid` does (``"sweep"``,
+        one strategy, a ``(tp, ep)`` pair, or a sequence); ``traces``
+        defaults to one Poisson :class:`TraceSpec`.  Every axis accepts
+        a single value or a sequence.
+        """
+        from repro.api.scenario import _as_sequence, _as_strategies
+
+        reg = registry if registry is not None else SYSTEM_REGISTRY
+        model_list = [
+            resolve_model(m) for m in _as_sequence(models, (MoEConfig, str))
+        ]
+        cluster_list = [
+            resolve_cluster(c) for c in _as_sequence(clusters, (ClusterSpec, str))
+        ]
+        trace_list = list(_as_sequence(
+            traces if traces is not None else TraceSpec(), (TraceSpec,)
+        ))
+        policy_list = list(_as_sequence(policies, (str,)))
+        ttft_list = [float(v) for v in _as_sequence(slo_ttft_ms, (int, float))]
+        tpot_list = [float(v) for v in _as_sequence(slo_tpot_ms, (int, float))]
+        budget_list = [int(v) for v in _as_sequence(max_batch_tokens, (int,))]
+
+        scenarios: list[ServeScenario] = []
+        for config in model_list:
+            for cluster in cluster_list:
+                if strategies is None:
+                    strategy_list = (
+                        ParallelStrategy(tp_size=1, ep_size=cluster.world_size),
+                    )
+                else:
+                    strategy_list = _as_strategies(
+                        strategies, cluster.world_size
+                    )
+                for strategy in strategy_list:
+                    for trace in trace_list:
+                        for policy in policy_list:
+                            for ttft in ttft_list:
+                                for tpot in tpot_list:
+                                    for budget in budget_list:
+                                        scenarios.append(
+                                            ServeScenario(
+                                                config=config,
+                                                cluster=cluster,
+                                                strategy=strategy,
+                                                trace=trace,
+                                                policy=policy,
+                                                slo_ttft_ms=ttft,
+                                                slo_tpot_ms=tpot,
+                                                max_batch_tokens=budget,
+                                            )
+                                        )
+        if systems is None:
+            names: tuple[str, ...] = ()
+        else:
+            names = tuple(reg.resolve(n) for n in _as_sequence(systems, (str,)))
+        return cls(scenarios=tuple(scenarios), systems=names, registry=registry)
+
+    def system_names(self) -> tuple[str, ...]:
+        """Requested systems, deduplicated, defaulting to all built-ins."""
+        if self.systems:
+            return tuple(dict.fromkeys(self.systems))
+        from repro.api.scenario import default_system_names
+
+        return default_system_names()
+
+    def traces(self) -> Iterator[tuple[ServeScenario, tuple[Request, ...]]]:
+        """One (scenario, trace) pair per unique grid point."""
+        for scenario in dict.fromkeys(self.scenarios):
+            yield scenario, scenario.build_trace()
+
+    def run(self) -> ServeResultSet:
+        """Serve every (scenario, system) pair and collect the reports."""
+        registry = self.registry if self.registry is not None else SYSTEM_REGISTRY
+        names = self.system_names()
+        reports: list[ServeReport] = []
+        skips: list[ServeSkip] = []
+        for scenario, trace in self.traces():
+            for name in names:
+                system = registry.create(name)
+                try:
+                    reports.append(scenario.run_system(system, trace=trace))
+                except UnsupportedWorkload as exc:
+                    skips.append(
+                        ServeSkip(
+                            scenario_label=scenario.label,
+                            system=system.name,
+                            reason=str(exc),
+                        )
+                    )
+        return ServeResultSet(reports=tuple(reports), skips=tuple(skips))

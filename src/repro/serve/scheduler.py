@@ -1,0 +1,260 @@
+"""Continuous batching on the deterministic DES kernel.
+
+The scheduler runs two simulation processes on a
+:class:`~repro.sim.engine.Environment`:
+
+* an *arrival* process that releases requests into the waiting queue at
+  their trace timestamps, and
+* an *engine* process that repeatedly forms an iteration batch
+  (running decodes + newly admitted prefills under a token budget),
+  advances the virtual clock by the iteration's step cost from a
+  :class:`~repro.serve.engine_adapter.StepCostModel`, and retires
+  finished sequences.
+
+This is the vLLM-style continuous-batching iteration model: an admitted
+request's prefill and its first output token happen in its first
+iteration (that instant is its TTFT), and every later iteration the
+request is in the batch produces exactly one more token.  Admission
+order is pluggable through :data:`POLICY_REGISTRY` — FCFS,
+shortest-prompt-first, and an SLO-aware least-slack policy ship
+built in.
+
+Everything is deterministic: the trace is fixed, the DES event queue
+breaks ties by sequence number, and admission sorts use stable keys with
+the request id as final tiebreaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+from repro.api.registry import Registry
+from repro.serve.engine_adapter import StepCostModel
+from repro.serve.metrics import RequestRecord, TimelinePoint
+from repro.sim.engine import Environment, Event
+from repro.serve.traffic import Request
+
+__all__ = [
+    "POLICY_REGISTRY",
+    "ContinuousBatchingScheduler",
+    "SchedulerPolicy",
+]
+
+
+@dataclass
+class _Sequence:
+    """Mutable in-flight state of one request."""
+
+    request: Request
+    first_token_ms: float = float("nan")
+    generated: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_tokens
+
+
+# A policy maps (waiting sequence, now_ms, cost_model, slo_ttft_ms) to a
+# sortable priority — lower runs first.  The request id is appended as a
+# final tiebreaker by the scheduler, keeping every policy deterministic.
+SchedulerPolicy = Callable[[_Sequence, float, StepCostModel, float], float]
+
+POLICY_REGISTRY = Registry("policy")
+
+
+def _register(name: str) -> Callable[[SchedulerPolicy], SchedulerPolicy]:
+    def decorate(fn: SchedulerPolicy) -> SchedulerPolicy:
+        POLICY_REGISTRY.register(name, fn)
+        return fn
+
+    return decorate
+
+
+@_register("fcfs")
+def fcfs(seq: _Sequence, now: float, cost: StepCostModel, slo: float) -> float:
+    """First come, first served: admit in arrival order."""
+    return seq.request.arrival_ms
+
+
+@_register("spf")
+def shortest_prompt_first(
+    seq: _Sequence, now: float, cost: StepCostModel, slo: float
+) -> float:
+    """Shortest prompt first: cheap prefills jump the queue (SJF)."""
+    return float(seq.request.prompt_tokens)
+
+
+@_register("slo")
+def slo_aware(seq: _Sequence, now: float, cost: StepCostModel, slo: float) -> float:
+    """Least TTFT slack first.
+
+    Slack is the time left before the request's TTFT deadline after
+    accounting for its estimated prefill cost — long prompts near their
+    deadline overtake short prompts with slack to spare.
+    """
+    deadline = seq.request.arrival_ms + slo
+    return deadline - now - cost.prefill_ms(seq.request.prompt_tokens)
+
+
+@dataclass
+class ContinuousBatchingScheduler:
+    """Simulate one serving replica over a request trace.
+
+    Args:
+        cost_model: per-iteration step costs for the system under test.
+        trace: the request stream (shared verbatim across systems).
+        max_batch_tokens: iteration token budget — running decodes count
+            one token each, admitted prefills their full prompt length.
+        max_batch_size: cap on concurrently running sequences.
+        policy: admission-order policy name in :data:`POLICY_REGISTRY`.
+        slo_ttft_ms: TTFT target handed to SLO-aware policies (metrics
+            apply SLOs separately; the scheduler itself never drops work).
+    """
+
+    cost_model: StepCostModel
+    trace: tuple[Request, ...]
+    max_batch_tokens: int = 8192
+    max_batch_size: int = 256
+    policy: str = "fcfs"
+    slo_ttft_ms: float = 2000.0
+
+    records: list[RequestRecord] = field(default_factory=list, init=False)
+    timeline: list[TimelinePoint] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_batch_tokens <= 0:
+            raise ValueError(
+                f"max_batch_tokens must be positive, got {self.max_batch_tokens}"
+            )
+        if self.max_batch_size <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        self._policy: SchedulerPolicy = POLICY_REGISTRY.get(self.policy)
+        self._waiting: list[_Sequence] = []
+        self._running: list[_Sequence] = []
+        self._pending_arrivals = 0
+        self._wakeup: Event | None = None
+
+    # -- simulation processes -------------------------------------------------
+    def _arrivals(self, env: Environment) -> Generator:
+        for request in self.trace:
+            delay = request.arrival_ms - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            self._waiting.append(_Sequence(request))
+            self._pending_arrivals -= 1
+            if self._wakeup is not None and not self._wakeup.triggered:
+                self._wakeup.succeed()
+
+    def _admit(self, now: float) -> list[_Sequence]:
+        """Pop waiting sequences into this iteration, policy-ordered.
+
+        The budget covers one token per running decode plus each admitted
+        prompt.  A prompt longer than the whole budget is admitted alone
+        on an otherwise-empty engine (it can never fit better), so no
+        request can deadlock the queue.
+        """
+        if not self._waiting:
+            return []
+        self._waiting.sort(
+            key=lambda seq: (
+                self._policy(seq, now, self.cost_model, self.slo_ttft_ms),
+                seq.request.rid,
+            )
+        )
+        admitted: list[_Sequence] = []
+        used = len(self._running)
+        slots = self.max_batch_size - len(self._running)
+        remaining: list[_Sequence] = []
+        for index, seq in enumerate(self._waiting):
+            prompt = seq.request.prompt_tokens
+            if (
+                not admitted
+                and not self._running
+                and prompt > self.max_batch_tokens
+            ):
+                # A prompt longer than the whole budget on an idle engine:
+                # run it by itself; everything else waits a turn.
+                admitted.append(seq)
+                remaining.extend(self._waiting[index + 1:])
+                break
+            if len(admitted) < slots and used + prompt <= self.max_batch_tokens:
+                admitted.append(seq)
+                used += prompt
+            else:
+                remaining.append(seq)
+        self._waiting = remaining
+        return admitted
+
+    def _engine(self, env: Environment) -> Generator:
+        while self._pending_arrivals or self._waiting or self._running:
+            if not self._waiting and not self._running:
+                # Idle: sleep until the arrival process releases work.
+                self._wakeup = env.event()
+                yield self._wakeup
+                self._wakeup = None
+                continue
+
+            now = env.now
+            admitted = self._admit(now)
+            prefill_tokens = sum(s.request.prompt_tokens for s in admitted)
+            decode_tokens = len(self._running)
+            self.timeline.append(
+                TimelinePoint(
+                    t_ms=now,
+                    queue_depth=len(self._waiting),
+                    batch_tokens=prefill_tokens + decode_tokens,
+                    running=len(self._running) + len(admitted),
+                )
+            )
+            yield env.timeout(
+                self.cost_model.step_ms(prefill_tokens, decode_tokens)
+            )
+            now = env.now
+
+            for seq in admitted:
+                # Prefill completes and emits the first output token.
+                seq.first_token_ms = now
+                seq.generated = 1
+            for seq in self._running:
+                seq.generated += 1
+
+            still_running: list[_Sequence] = []
+            for seq in self._running + admitted:
+                if seq.done:
+                    self.records.append(
+                        RequestRecord(
+                            rid=seq.request.rid,
+                            arrival_ms=seq.request.arrival_ms,
+                            first_token_ms=seq.first_token_ms,
+                            completion_ms=now,
+                            prompt_tokens=seq.request.prompt_tokens,
+                            output_tokens=seq.request.output_tokens,
+                        )
+                    )
+                else:
+                    still_running.append(seq)
+            self._running = still_running
+
+    # -- entry point ----------------------------------------------------------
+    def run(self) -> tuple[tuple[RequestRecord, ...], tuple[TimelinePoint, ...]]:
+        """Simulate the full trace to completion; returns (records, timeline).
+
+        Every request is served (the scheduler never drops), so the run
+        terminates once the backlog drains.  Records are sorted by
+        request id, making the output order independent of completion
+        interleaving.
+        """
+        self.records.clear()
+        self.timeline.clear()
+        self._waiting.clear()
+        self._running.clear()
+        self._pending_arrivals = len(self.trace)
+        env = Environment()
+        env.process(self._arrivals(env))
+        engine = env.process(self._engine(env))
+        env.run(until=engine)
+        self.records.sort(key=lambda r: r.rid)
+        return tuple(self.records), tuple(self.timeline)

@@ -25,7 +25,7 @@ __all__ = ["MegatronCutlass", "MegatronTE"]
 _MEGATRON_KERNELS = 10
 
 
-@register_system("megatron-cutlass")
+@register_system("megatron-cutlass", aliases=("megatron",))
 class MegatronCutlass(MoESystem):
     """Megatron-LM with CUTLASS grouped GEMM experts (no overlap)."""
 

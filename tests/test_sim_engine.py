@@ -379,3 +379,98 @@ class TestConditions:
         env.process(proc())
         env.run()
         assert sorted(seen.values()) == ["a", "b"]
+
+
+class TestInterruptWhileBlockedOnConditions:
+    """Interrupting a process that is waiting on AllOf / AnyOf."""
+
+    def test_interrupt_while_blocked_on_all_of(self):
+        env = Environment()
+        log = []
+
+        def victim():
+            t1 = env.timeout(10, value="a")
+            t2 = env.timeout(20, value="b")
+            try:
+                yield AllOf(env, [t1, t2])
+                log.append("completed")
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause, env.now))
+
+        def attacker(proc):
+            yield env.timeout(5)
+            proc.interrupt("stop waiting")
+
+        proc = env.process(victim())
+        env.process(attacker(proc))
+        env.run()
+        assert log == [("interrupted", "stop waiting", 5.0)]
+
+    def test_interrupt_while_blocked_on_any_of(self):
+        env = Environment()
+        log = []
+
+        def victim():
+            try:
+                yield AnyOf(env, [env.timeout(10), env.timeout(20)])
+                log.append("completed")
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause, env.now))
+
+        def attacker(proc):
+            yield env.timeout(3)
+            proc.interrupt()
+
+        proc = env.process(victim())
+        env.process(attacker(proc))
+        env.run()
+        assert log == [("interrupted", None, 3.0)]
+
+    def test_condition_firing_after_interrupt_does_not_resume_victim(self):
+        # The constituent timeouts still fire at t=10/t=20; the detached
+        # condition must not resume (or crash) the interrupted process.
+        env = Environment()
+        resumptions = []
+
+        def victim():
+            t1 = env.timeout(10)
+            t2 = env.timeout(20)
+            try:
+                yield AllOf(env, [t1, t2])
+            except Interrupt:
+                resumptions.append(("interrupt", env.now))
+                yield env.timeout(100)  # waits past both timeouts
+                resumptions.append(("woke", env.now))
+
+        def attacker(proc):
+            yield env.timeout(5)
+            proc.interrupt()
+
+        proc = env.process(victim())
+        env.process(attacker(proc))
+        env.run()
+        assert resumptions == [("interrupt", 5.0), ("woke", 105.0)]
+        assert env.now == 105.0
+
+    def test_interrupted_process_can_rewait_on_remaining_events(self):
+        # After the interrupt the victim re-waits on one of the original
+        # constituent events, which must still deliver its value.
+        env = Environment()
+        log = []
+
+        def victim():
+            t1 = env.timeout(10, value="late")
+            try:
+                yield AnyOf(env, [t1, env.timeout(30)])
+            except Interrupt:
+                value = yield t1
+                log.append((value, env.now))
+
+        def attacker(proc):
+            yield env.timeout(2)
+            proc.interrupt()
+
+        proc = env.process(victim())
+        env.process(attacker(proc))
+        env.run()
+        assert log == [("late", 10.0)]

@@ -74,8 +74,44 @@ above.  Every registered system is servable through the same names::
 
 See ``examples/online_serving.py`` for a walkthrough and
 ``python -m repro serve --help`` for the CLI equivalent.
+
+Performance architecture.  Simulation speed is a feature: the same
+``MoESystem.time_layer`` core prices figure grids, training steps, and
+tens of thousands of serving iterations, so :mod:`repro.perf` layers
+fast paths over the whole stack — each one verified *bit-identical*
+against the slow path it replaces (the equivalence tests enforce it,
+and ``benchmarks/bench_sim_speed.py`` measures the speedup):
+
+* **Analytic list scheduling** — the layer0 fused kernel's per-tile
+  heapq loop collapses to a vectorised wave recurrence
+  (:func:`repro.kernels.fused.layer0_makespan_analytic`); the heapq
+  version stays as the cross-checked reference.
+* **Rank deduplication** — COMET fingerprints each rank's schedule
+  inputs and simulates every *distinct* schedule once (TP peers share
+  layer0 schedules; symmetric routings collapse further).
+* **Fingerprints and caches** — ``MoESystem.fingerprint()`` +
+  ``MoELayerWorkload.fingerprint()`` key the bounded, instrumented
+  :data:`repro.perf.TIMING_CACHE`; workloads are shared process-wide
+  through :data:`repro.perf.WORKLOAD_CACHE`.  Both expose hit/miss
+  counters (``repro sweep/serve ... --report``) and ``clear()``.
+* **Fast serving loop** — the continuous-batching DES is replayed by a
+  sequential transcription with identical event ordering.
+* **Parallel grids** — ``ExperimentSpec.run(workers=N)`` and
+  ``ServeSpec.run(workers=N)`` execute grid points on threads with
+  row ordering identical to the serial run (CLI: ``--workers N``).
+
+``repro.perf.disabled()`` restores the original serial behaviour
+wholesale::
+
+    from repro import perf
+
+    with perf.disabled():        # pre-optimisation reference behaviour
+        slow = spec.run()
+    fast = spec.run(workers=8)   # byte-identical ResultSet, much faster
+    print(perf.cache_stats())
 """
 
+from repro import perf
 from repro.api import (
     CLUSTER_REGISTRY,
     MODEL_REGISTRY,
@@ -181,6 +217,7 @@ __all__ = [
     "l20_node",
     "make_workload",
     "overlap_report",
+    "perf",
     "reference_moe_forward",
     "register_system",
     "run_layer",

@@ -40,7 +40,7 @@ from repro.moe.config import MoEConfig
 from repro.parallel.strategy import ParallelStrategy
 from repro.runtime.executor import compare_systems
 from repro.runtime.model_runner import run_model
-from repro.runtime.workload import MoELayerWorkload, make_workload
+from repro.runtime.workload import MoELayerWorkload
 from repro.systems import ALL_SYSTEMS
 from repro.systems.base import UnsupportedWorkload
 
@@ -100,8 +100,17 @@ class Scenario:
         return "/".join(parts)
 
     def build_workload(self) -> MoELayerWorkload:
-        """Synthesise the workload this scenario describes."""
-        return make_workload(
+        """Synthesise the workload this scenario describes.
+
+        Goes through :func:`repro.perf.shared_workload`, so repeated
+        builds of the same scenario (re-runs, serving buckets, other
+        grids) reuse one workload object and its geometry caches —
+        ``make_workload`` is deterministic, so this is unobservable
+        except in speed.
+        """
+        from repro import perf
+
+        return perf.shared_workload(
             self.config,
             self.cluster,
             self.strategy,
@@ -228,10 +237,89 @@ class ExperimentSpec:
         for scenario in dict.fromkeys(self.scenarios):
             yield scenario, scenario.build_workload()
 
+    def _run_scenario(
+        self,
+        scenario: Scenario,
+        level: str,
+        names: tuple[str, ...],
+        on_skip: Callable[[SkipRecord], None] | None = None,
+    ) -> tuple[list[ResultRow], list[SkipRecord]]:
+        """Execute one grid point: build its workload, run every system.
+
+        Self-contained (no shared mutable state beyond the thread-safe
+        perf caches), so scenarios can execute on worker threads; the
+        caller reassembles results in grid order either way.  ``on_skip``
+        fires live as each pair is skipped (serial runs pass it through;
+        parallel runs defer to the ordered reassembly instead).
+        """
+        from repro import perf
+
+        registry = self.registry if self.registry is not None else SYSTEM_REGISTRY
+        workload = scenario.build_workload()
+        systems = [registry.create(name) for name in names]
+        rows: list[ResultRow] = []
+        skips: list[SkipRecord] = []
+
+        def record_skip(record: SkipRecord) -> None:
+            skips.append(record)
+            if on_skip is not None:
+                on_skip(record)
+
+        if level == "layer":
+            timings = compare_systems(
+                systems,
+                workload,
+                on_skip=lambda system, reason: record_skip(
+                    SkipRecord(scenario=scenario, system=system.name, reason=reason)
+                ),
+                timer=perf.cached_time_layer,
+            )
+            for system in systems:
+                timing = timings.get(system.name)
+                if timing is None:
+                    continue
+                rows.append(
+                    ResultRow(
+                        scenario=scenario,
+                        system=system.name,
+                        timing=timing,
+                        workload=workload,
+                    )
+                )
+        else:
+            for system in systems:
+                try:
+                    model_timing = run_model(
+                        system,
+                        scenario.config,
+                        scenario.cluster,
+                        scenario.strategy,
+                        total_tokens=scenario.tokens,
+                        workload=workload,
+                    )
+                except UnsupportedWorkload as exc:
+                    record_skip(
+                        SkipRecord(
+                            scenario=scenario, system=system.name, reason=str(exc)
+                        )
+                    )
+                    continue
+                rows.append(
+                    ResultRow(
+                        scenario=scenario,
+                        system=system.name,
+                        timing=model_timing.moe,
+                        model_timing=model_timing,
+                        workload=workload,
+                    )
+                )
+        return rows, skips
+
     def run(
         self,
         level: str = "layer",
         on_skip: Callable[[SkipRecord], None] | None = None,
+        workers: int | None = None,
     ) -> ResultSet:
         """Execute every (scenario, system) pair and collect a ResultSet.
 
@@ -240,67 +328,44 @@ class ExperimentSpec:
         ``model_timing`` on each row.  Unsupported pairs become
         :class:`SkipRecord` entries instead of vanishing; ``on_skip`` is
         additionally invoked per skip, for live annotation.
+
+        ``workers`` > 1 executes grid points on that many threads.  Row
+        and skip ordering (and therefore every export) is identical to
+        the serial run: results are reassembled in grid order, and each
+        scenario's systems still run in sequence on one thread.  In
+        parallel mode ``on_skip`` fires during reassembly (grid order)
+        rather than live.
         """
         if level not in ("layer", "model"):
             raise ValueError(f"level must be 'layer' or 'model', got {level!r}")
-        registry = self.registry if self.registry is not None else SYSTEM_REGISTRY
         names = self.system_names()
+        scenarios = list(dict.fromkeys(self.scenarios))
+        parallel = workers is not None and workers > 1 and len(scenarios) > 1
+        if parallel:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda s: self._run_scenario(s, level, names), scenarios
+                    )
+                )
+        else:
+            outcomes = [
+                self._run_scenario(s, level, names, on_skip=on_skip)
+                for s in scenarios
+            ]
+
         rows: list[ResultRow] = []
         skips: list[SkipRecord] = []
-
-        def record_skip(scenario: Scenario, system_name: str, reason: str) -> None:
-            record = SkipRecord(scenario=scenario, system=system_name, reason=reason)
-            skips.append(record)
-            if on_skip is not None:
-                on_skip(record)
-
-        for scenario, workload in self.workloads():
-            systems = [registry.create(name) for name in names]
-            if level == "layer":
-                timings = compare_systems(
-                    systems,
-                    workload,
-                    on_skip=lambda system, reason, s=scenario: record_skip(
-                        s, system.name, reason
-                    ),
-                )
-                for system in systems:
-                    timing = timings.get(system.name)
-                    if timing is None:
-                        continue
-                    rows.append(
-                        ResultRow(
-                            scenario=scenario,
-                            system=system.name,
-                            timing=timing,
-                            workload=workload,
-                        )
-                    )
-            else:
-                for system in systems:
-                    try:
-                        model_timing = run_model(
-                            system,
-                            scenario.config,
-                            scenario.cluster,
-                            scenario.strategy,
-                            total_tokens=scenario.tokens,
-                            workload=workload,
-                        )
-                    except UnsupportedWorkload as exc:
-                        record_skip(scenario, system.name, str(exc))
-                        continue
-                    rows.append(
-                        ResultRow(
-                            scenario=scenario,
-                            system=system.name,
-                            timing=model_timing.moe,
-                            model_timing=model_timing,
-                            workload=workload,
-                        )
-                    )
+        for scenario_rows, scenario_skips in outcomes:
+            rows.extend(scenario_rows)
+            skips.extend(scenario_skips)
+            if parallel and on_skip is not None:
+                for record in scenario_skips:
+                    on_skip(record)
         return ResultSet(
             rows=tuple(rows),
             skips=tuple(skips),
-            grid=tuple(dict.fromkeys(self.scenarios)),
+            grid=tuple(scenarios),
         )

@@ -110,6 +110,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--imbalance-std", nargs="+", type=float, default=[0.0])
     sweep.add_argument("--seed", nargs="+", type=int, default=[0])
     sweep.add_argument("--json", metavar="PATH", help="also export raw data")
+    sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run grid points on N threads (output identical to serial)",
+    )
+    sweep.add_argument(
+        "--report", action="store_true",
+        help="also print simulation-cache statistics (hits/misses/size)",
+    )
 
     sweep_nc = sub.add_parser(
         "sweep-nc", help="profile the fused-kernel division point"
@@ -161,6 +169,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", metavar="PATH", help="also export the report")
     serve.add_argument("--csv", metavar="PATH", help="also export a CSV table")
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="serve systems on N threads (output identical to serial)",
+    )
+    serve.add_argument(
+        "--report", action="store_true",
+        help="also print simulation-cache statistics (hits/misses/size)",
+    )
 
     trace = sub.add_parser("trace", help="export a Chrome trace of COMET's kernels")
     trace.add_argument(
@@ -186,6 +202,32 @@ def _resolve_systems(values: Sequence[str] | str | None) -> tuple[str, ...]:
     for value in values:
         names.extend(part for part in value.split(",") if part.strip())
     return tuple(SYSTEM_REGISTRY.resolve(name.strip()) for name in names)
+
+
+def _print_cache_report() -> None:
+    """Tabulate the perf-layer cache statistics (``--report``)."""
+    from repro import perf
+
+    print()
+    print(
+        format_table(
+            ["cache", "size", "max", "hits", "misses", "evictions", "hit %"],
+            [
+                [
+                    stats["name"],
+                    stats["size"],
+                    stats["maxsize"],
+                    stats["hits"],
+                    stats["misses"],
+                    stats["evictions"],
+                    f"{100 * stats['hit_rate']:.1f}",
+                ]
+                for stats in perf.cache_stats().values()
+            ],
+            title=f"Simulation caches ({perf.time_layer_calls()} time_layer "
+            "simulations this process)",
+        )
+    )
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -313,7 +355,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         scenarios=tuple(dict.fromkeys(scenarios)), systems=systems
     )
-    results = spec.run()
+    results = spec.run(workers=args.workers)
     headers, rows = results.to_table()
     print(
         format_table(
@@ -328,6 +370,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(results.to_json())
         print(f"\nwrote raw data to {args.json}")
+    if args.report:
+        _print_cache_report()
     return 0
 
 
@@ -392,7 +436,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    results = ServeSpec(scenarios=(scenario,), systems=systems).run()
+    results = ServeSpec(scenarios=(scenario,), systems=systems).run(
+        workers=args.workers
+    )
 
     trace = scenario.trace
     print(
@@ -434,6 +480,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.csv:
         results.to_csv(args.csv)
         print(f"wrote CSV to {args.csv}")
+    if args.report:
+        _print_cache_report()
     return 0
 
 

@@ -31,11 +31,14 @@ from repro.hw.gpu import GpuSpec
 from repro.hw.link import LinkSpec
 from repro.kernels.gemm import KERNEL_RAMP_US, tile_time_us
 from repro.kernels.tiling import DEFAULT_TILE, TileShape, num_tiles_1d
+from repro.perf import CONFIG as PERF_CONFIG
 from repro.sim.trace import Tracer
 from repro.tensor.reschedule import Layer0Schedule, Layer1Schedule
 
 __all__ = [
     "FusedKernelResult",
+    "layer0_makespan_analytic",
+    "layer0_makespan_reference",
     "simulate_layer0_fused",
     "simulate_layer1_fused",
     "simulate_layer0_vertical",
@@ -108,6 +111,82 @@ def _comm_rate(link: LinkSpec, nc: int, message_bytes: float) -> float:
     return min(link.bytes_per_us, nc * per_block)
 
 
+def layer0_makespan_reference(
+    ready: np.ndarray,
+    order: np.ndarray,
+    col_tiles: int,
+    np_blocks: int,
+    per_tile: float,
+    schedule: Layer0Schedule | None = None,
+    tracer: Tracer | None = None,
+    lane: str = "rank",
+) -> float:
+    """Per-tile heapq list scheduler — the retained reference path.
+
+    ``np_blocks`` identical servers start free at :data:`KERNEL_RAMP_US`;
+    row blocks are visited in ``order`` (ready-time sorted) and each of
+    their ``col_tiles`` tiles grabs the earliest-free server.  The
+    analytic wave scheduler must reproduce this exactly (bit-identical);
+    ``tests/test_perf_equivalence.py`` enforces it.
+    """
+    servers = [KERNEL_RAMP_US] * np_blocks
+    heapq.heapify(servers)
+    makespan = KERNEL_RAMP_US
+    for b in order:
+        block_ready = ready[b]
+        for _ in range(col_tiles):
+            free = heapq.heappop(servers)
+            start = max(free, block_ready)
+            end = start + per_tile
+            heapq.heappush(servers, end)
+            if end > makespan:
+                makespan = end
+        if tracer is not None and schedule is not None:
+            tracer.record(
+                f"rowblock e{int(schedule.rowblock_expert[b])}",
+                "comp",
+                f"{lane}/comp",
+                float(block_ready),
+                float(makespan),
+                rows=int(schedule.rowblock_rows[b]),
+            )
+    return makespan
+
+
+def layer0_makespan_analytic(
+    ready_sorted: np.ndarray,
+    col_tiles: int,
+    np_blocks: int,
+    per_tile: float,
+) -> float:
+    """Vectorised wave scheduler, bit-identical to the heapq reference.
+
+    With identical servers, a uniform tile time, and tiles visited in
+    ready order, the heapq pool degenerates to a FIFO: tile ``i`` always
+    reuses the server that ran tile ``i - np_blocks`` (finish times are
+    non-decreasing, so servers free up in scheduling order).  The whole
+    schedule therefore satisfies the chain recurrence::
+
+        finish[i] = max(ready[i], finish[i - np_blocks]) + per_tile
+
+    with ``finish[j] = KERNEL_RAMP_US`` for ``j < 0``.  Evaluating it
+    wave by wave (one numpy ``maximum`` + add per wave of ``np_blocks``
+    tiles) performs the *same* IEEE operations per element as the heapq
+    loop's ``max(free, ready) + per_tile``, which is what makes the two
+    paths bit-identical rather than merely close.
+    """
+    if col_tiles <= 0 or ready_sorted.size == 0:
+        return KERNEL_RAMP_US
+    tile_ready = np.repeat(ready_sorted, col_tiles)
+    finish = np.full(np_blocks, KERNEL_RAMP_US, dtype=np.float64)
+    total = tile_ready.size
+    for start in range(0, total, np_blocks):
+        wave = tile_ready[start : start + np_blocks]
+        m = wave.size
+        finish[:m] = np.maximum(finish[:m], wave) + per_tile
+    return float(finish.max())
+
+
 def simulate_layer0_fused(
     gpu: GpuSpec,
     link: LinkSpec,
@@ -155,41 +234,37 @@ def simulate_layer0_fused(
         arrival_step = 0.0
         comm_standalone = 0.0
 
-    def ready_time(last_fetch: int) -> float:
-        if last_fetch < 0:
-            return 0.0
-        if arrival_fn is not None:
-            return float(arrival_fn(last_fetch))
-        return link.latency_us + (last_fetch + 1) * arrival_step
+    if arrival_fn is None:
+        last = schedule.rowblock_last_fetch
+        ready = np.where(
+            last < 0, 0.0, link.latency_us + (last + 1) * arrival_step
+        ).astype(np.float64, copy=False)
+    else:
 
-    ready = np.array(
-        [ready_time(int(f)) for f in schedule.rowblock_last_fetch], dtype=np.float64
-    )
+        def ready_time(last_fetch: int) -> float:
+            if last_fetch < 0:
+                return 0.0
+            return float(arrival_fn(last_fetch))
+
+        ready = np.array(
+            [ready_time(int(f)) for f in schedule.rowblock_last_fetch],
+            dtype=np.float64,
+        )
     order = np.argsort(ready, kind="stable")
 
     # List scheduling: np identical servers, uniform tile time, tiles of a
-    # row-block all ready at the block's ready time.
-    servers = [KERNEL_RAMP_US] * np_blocks
-    heapq.heapify(servers)
-    makespan = KERNEL_RAMP_US
-    for b in order:
-        block_ready = ready[b]
-        for _ in range(col_tiles):
-            free = heapq.heappop(servers)
-            start = max(free, block_ready)
-            end = start + per_tile
-            heapq.heappush(servers, end)
-            if end > makespan:
-                makespan = end
-        if tracer is not None:
-            tracer.record(
-                f"rowblock e{int(schedule.rowblock_expert[b])}",
-                "comp",
-                f"{lane}/comp",
-                float(block_ready),
-                float(makespan),
-                rows=int(schedule.rowblock_rows[b]),
-            )
+    # row-block all ready at the block's ready time.  The vectorised wave
+    # scheduler is the default; the heapq loop is kept as the reference
+    # (and carries the tracer, which needs per-block completion times).
+    if tracer is None and PERF_CONFIG.analytic_layer0:
+        makespan = layer0_makespan_analytic(
+            ready[order], col_tiles, np_blocks, per_tile
+        )
+    else:
+        makespan = layer0_makespan_reference(
+            ready, order, col_tiles, np_blocks, per_tile,
+            schedule=schedule, tracer=tracer, lane=lane,
+        )
 
     comp_standalone = KERNEL_RAMP_US + (-(-total_tiles // np_blocks)) * per_tile
     duration = max(makespan, comm_standalone)

@@ -101,6 +101,19 @@ class ExpertPlacement:
         group = self.strategy.ep_group_of_expert(expert, self.num_experts)
         return self.strategy.ranks_in_ep_group(group)
 
+    @cached_property
+    def hosting_ranks(self) -> np.ndarray:
+        """``(E, tp)`` hosting ranks per expert, as one array.
+
+        Built from :meth:`ranks_hosting_expert` so the vectorised
+        geometry below (and :class:`~repro.runtime.workload.WorkloadGeometry`)
+        has a single source of truth for the placement law.
+        """
+        return np.array(
+            [self.ranks_hosting_expert(e) for e in range(self.num_experts)],
+            dtype=np.int64,
+        ).reshape(self.num_experts, self.strategy.tp_size)
+
     def experts_of_rank(self, rank: int) -> list[int]:
         return self.strategy.experts_of_rank(rank, self.num_experts)
 
@@ -119,20 +132,38 @@ class ExpertPlacement:
             padded = np.zeros((world, plan.num_experts), dtype=np.int64)
             padded[: src_expert.shape[0]] = src_expert
             src_expert = padded
+        # Vectorised scatter over the hosting matrix: every (expert, tp
+        # shard) cell receives that expert's per-source counts.
+        hosting = self.hosting_ranks
+        experts_rep = np.repeat(
+            np.arange(self.num_experts, dtype=np.int64), self.strategy.tp_size
+        )
         matrix = np.zeros((world, world), dtype=np.int64)
-        for expert in range(self.num_experts):
-            for dst in self.ranks_hosting_expert(expert):
-                matrix[:, dst] += src_expert[:, expert]
+        np.add.at(
+            matrix,
+            (np.arange(world, dtype=np.int64)[:, None], hosting.reshape(-1)[None, :]),
+            src_expert[:, experts_rep],
+        )
         return matrix
 
     def rank_workload(
-        self, plan: RoutingPlan, owner: np.ndarray, rank: int
+        self,
+        plan: RoutingPlan,
+        owner: np.ndarray,
+        rank: int,
+        _src_expert: np.ndarray | None = None,
     ) -> RankWorkload:
-        """Assemble the per-rank workload view (see :class:`RankWorkload`)."""
+        """Assemble the per-rank workload view (see :class:`RankWorkload`).
+
+        ``_src_expert`` lets :meth:`all_rank_workloads` compute the
+        (W, E) count matrix once instead of once per rank.
+        """
         self._check_plan(plan, owner)
         self.strategy._validate_rank(rank)
         world = self.world_size
-        src_expert = plan.counts_by_rank(owner)
+        src_expert = (
+            _src_expert if _src_expert is not None else plan.counts_by_rank(owner)
+        )
         if src_expert.shape[0] < world:
             padded = np.zeros((world, plan.num_experts), dtype=np.int64)
             padded[: src_expert.shape[0]] = src_expert
@@ -143,10 +174,18 @@ class ExpertPlacement:
         expert_rows = pairs_by_src_expert.sum(axis=0)
         recv_by_src = pairs_by_src_expert.sum(axis=1)
 
+        # One pair_matrix row, scattered over the same hosting matrix.
         send_by_dst = np.zeros(world, dtype=np.int64)
-        for expert in range(self.num_experts):
-            for dst in self.ranks_hosting_expert(expert):
-                send_by_dst[dst] += src_expert[rank, expert]
+        np.add.at(
+            send_by_dst,
+            self.hosting_ranks.reshape(-1),
+            src_expert[rank][
+                np.repeat(
+                    np.arange(self.num_experts, dtype=np.int64),
+                    self.strategy.tp_size,
+                )
+            ],
+        )
 
         return RankWorkload(
             rank=rank,
@@ -160,8 +199,10 @@ class ExpertPlacement:
     def all_rank_workloads(
         self, plan: RoutingPlan, owner: np.ndarray
     ) -> list[RankWorkload]:
+        src_expert = plan.counts_by_rank(owner)
         return [
-            self.rank_workload(plan, owner, rank) for rank in range(self.world_size)
+            self.rank_workload(plan, owner, rank, _src_expert=src_expert)
+            for rank in range(self.world_size)
         ]
 
     def _check_plan(self, plan: RoutingPlan, owner: np.ndarray) -> None:

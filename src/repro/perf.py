@@ -1,0 +1,285 @@
+"""Cross-stack performance layer: fast paths, fingerprints, bounded caches.
+
+Everything in this module is an *accelerator*, never a semantics change:
+each fast path is verified bit-identical against the slow path it
+replaces (the test suite enforces it), and :func:`disabled` restores the
+original serial behaviour wholesale — which is also how
+``benchmarks/bench_sim_speed.py`` measures the speedup honestly.
+
+Four switchable fast paths (see :class:`PerfConfig`):
+
+* ``analytic_layer0`` — the vectorised wave scheduler in
+  :mod:`repro.kernels.fused` replacing the per-tile heapq loop;
+* ``rank_dedup`` — :class:`~repro.systems.comet.Comet` simulates each
+  *distinct* per-rank schedule once instead of looping all ranks;
+* ``timing_cache`` — the global :data:`TIMING_CACHE` memoising
+  ``LayerTiming`` by ``(system fingerprint, workload fingerprint)``
+  across grids, training steps, and serving runs;
+* ``fast_serve_loop`` — the sequential transcription of the serving
+  DES in :mod:`repro.serve.scheduler`.
+
+Two cache layers live here:
+
+* :data:`WORKLOAD_CACHE` — one :class:`~repro.runtime.workload.MoELayerWorkload`
+  per (config, cluster, strategy, tokens, imbalance, seed), shared by
+  scenario grids and every serving token bucket (this absorbs the old
+  module-level ``_WORKLOAD_CACHE`` of :mod:`repro.serve.engine_adapter`,
+  which grew without bound);
+* :data:`TIMING_CACHE` — ``LayerTiming`` results keyed by fingerprints,
+  so the same (system, workload) pair is simulated once no matter which
+  entry point (grid / training step / serving bucket) asks.
+
+Both are bounded LRU caches with hit/miss/eviction counters and an
+explicit ``clear()``; :func:`cache_stats` aggregates them for the CLI's
+``--report`` flag.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Hashable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.runtime.workload import MoELayerWorkload
+    from repro.systems.base import LayerTiming, MoESystem
+
+__all__ = [
+    "CONFIG",
+    "TIMING_CACHE",
+    "WORKLOAD_CACHE",
+    "BoundedCache",
+    "PerfConfig",
+    "TimingCache",
+    "cache_stats",
+    "cached_time_layer",
+    "clear_caches",
+    "configure",
+    "disabled",
+    "shared_workload",
+    "time_layer_calls",
+]
+
+
+@dataclass
+class PerfConfig:
+    """Which fast paths are active.  All default on; tests and the
+    benchmark baseline flip them off to recover the original serial
+    behaviour exactly."""
+
+    analytic_layer0: bool = True
+    rank_dedup: bool = True
+    timing_cache: bool = True
+    fast_serve_loop: bool = True
+
+
+CONFIG = PerfConfig()
+
+
+@contextmanager
+def configure(**flags: bool) -> Iterator[PerfConfig]:
+    """Temporarily override :data:`CONFIG` flags (restored on exit)."""
+    previous = {name: getattr(CONFIG, name) for name in vars(CONFIG)}
+    for name, value in flags.items():
+        if name not in previous:
+            raise ValueError(f"unknown perf flag {name!r}")
+        setattr(CONFIG, name, value)
+    try:
+        yield CONFIG
+    finally:
+        for name, value in previous.items():
+            setattr(CONFIG, name, value)
+
+
+@contextmanager
+def disabled() -> Iterator[PerfConfig]:
+    """All fast paths off: the pre-optimisation serial behaviour."""
+    with configure(
+        analytic_layer0=False,
+        rank_dedup=False,
+        timing_cache=False,
+        fast_serve_loop=False,
+    ) as config:
+        yield config
+
+
+class BoundedCache:
+    """Thread-safe LRU cache with hit/miss/eviction instrumentation.
+
+    ``maxsize`` bounds the entry count; inserting beyond it evicts the
+    least recently used entry, so long-running processes (sweep servers,
+    notebook sessions) cannot grow caches without bound.
+    """
+
+    def __init__(self, maxsize: int, name: str = "cache"):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, or ``None`` (which is never a stored value)."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Insert (evicting LRU entries past ``maxsize``); returns ``value``."""
+        if value is None:
+            raise ValueError("BoundedCache cannot store None")
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class TimingCache(BoundedCache):
+    """``LayerTiming`` memo keyed by (system, workload) fingerprints.
+
+    ``time_layer`` is the cached entry point; it also counts the
+    *actual* ``MoESystem.time_layer`` invocations (cache misses plus
+    every call made while the cache is disabled), which is the
+    simulator-throughput metric the speed benchmark reports.
+    """
+
+    def __init__(self, maxsize: int = 4096, name: str = "timing"):
+        super().__init__(maxsize, name=name)
+        self.computed = 0  # real time_layer invocations (misses + bypasses)
+
+    def time_layer(
+        self, system: "MoESystem", workload: "MoELayerWorkload"
+    ) -> "LayerTiming":
+        if not CONFIG.timing_cache:
+            with self._lock:
+                self.computed += 1
+            return system.time_layer(workload)
+        key = (
+            system.fingerprint(),
+            system.timing_state_token(),
+            workload.fingerprint(),
+        )
+        timing = self.get(key)
+        if timing is None:
+            with self._lock:
+                self.computed += 1
+            timing = system.time_layer(workload)
+            self.put(key, timing)
+        return timing
+
+    def clear(self) -> None:
+        super().clear()
+        self.computed = 0
+
+    def stats(self) -> dict[str, Any]:
+        doc = super().stats()
+        doc["time_layer_calls"] = self.computed
+        return doc
+
+
+TIMING_CACHE = TimingCache(maxsize=4096, name="timing")
+WORKLOAD_CACHE = BoundedCache(maxsize=256, name="workload")
+
+
+def cached_time_layer(
+    system: "MoESystem", workload: "MoELayerWorkload"
+) -> "LayerTiming":
+    """Time one layer through the global :data:`TIMING_CACHE`.
+
+    Identical to ``system.time_layer(workload)`` — including raising
+    :class:`~repro.systems.base.UnsupportedWorkload` — but repeated
+    (system, workload) pairs are simulated once.  This is the timing
+    entry point used by :meth:`repro.api.scenario.ExperimentSpec.run`,
+    :func:`repro.runtime.training.run_training_step`, and
+    :class:`repro.serve.engine_adapter.StepCostModel`.
+    """
+    return TIMING_CACHE.time_layer(system, workload)
+
+
+def time_layer_calls() -> int:
+    """Actual ``time_layer`` simulations performed since the last clear."""
+    return TIMING_CACHE.computed
+
+
+def shared_workload(
+    config: Any,
+    cluster: Any,
+    strategy: Any,
+    total_tokens: int,
+    imbalance_std: float = 0.0,
+    seed: int = 0,
+) -> "MoELayerWorkload":
+    """One workload object per grid point / token bucket, process-wide.
+
+    ``make_workload`` is deterministic in its arguments, so sharing the
+    object is observationally identical to rebuilding it — but the
+    routing synthesis and the per-rank geometry caches attached to the
+    workload are paid once per distinct key instead of once per caller.
+    """
+    from repro.runtime.workload import make_workload
+
+    key = (config, cluster, strategy, total_tokens, imbalance_std, seed)
+    workload = WORKLOAD_CACHE.get(key)
+    if workload is None:
+        workload = WORKLOAD_CACHE.put(
+            key,
+            make_workload(
+                config, cluster, strategy, total_tokens, imbalance_std, seed
+            ),
+        )
+    return workload
+
+
+def clear_caches() -> None:
+    """Empty both global caches and reset their counters."""
+    TIMING_CACHE.clear()
+    WORKLOAD_CACHE.clear()
+
+
+def cache_stats() -> dict[str, dict[str, Any]]:
+    """Per-cache statistics, keyed by cache name (for ``--report``)."""
+    return {
+        TIMING_CACHE.name: TIMING_CACHE.stats(),
+        WORKLOAD_CACHE.name: WORKLOAD_CACHE.stats(),
+    }

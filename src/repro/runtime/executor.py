@@ -19,6 +19,7 @@ def compare_systems(
     systems: Iterable[MoESystem],
     workload: MoELayerWorkload,
     on_skip: Callable[[MoESystem, str], None] | None = None,
+    timer: Callable[[MoESystem, MoELayerWorkload], LayerTiming] | None = None,
 ) -> Mapping[str, LayerTiming]:
     """Time every supporting system on the same workload.
 
@@ -27,11 +28,18 @@ def compare_systems(
     figures leave those bars out.  When ``on_skip`` is given it is called
     with ``(system, reason)`` for each omission, so callers can annotate
     the missing bars instead of dropping them wordlessly.
+
+    ``timer`` overrides how a (system, workload) pair is timed; the
+    declarative API passes :func:`repro.perf.cached_time_layer` so
+    repeated pairs are simulated once.
     """
+    time_layer = timer if timer is not None else (
+        lambda system, w: system.time_layer(w)
+    )
     results: dict[str, LayerTiming] = {}
     for system in systems:
         try:
-            results[system.name] = system.time_layer(workload)
+            results[system.name] = time_layer(system, workload)
         except UnsupportedWorkload as exc:
             if on_skip is not None:
                 on_skip(system, str(exc))

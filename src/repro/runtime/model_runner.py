@@ -123,8 +123,10 @@ def run_model(
         workload = make_workload(
             config, cluster, strategy, total_tokens, imbalance_std, seed
         )
+    from repro import perf
+
     tokens_per_dp = max(1, workload.total_tokens // dp_size)
-    moe = system.time_layer(workload)
+    moe = perf.cached_time_layer(system, workload)
     attention = attention_time_us(
         config, cluster, strategy.tp_size, tokens_per_dp
     )

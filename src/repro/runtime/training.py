@@ -130,12 +130,14 @@ def run_training_step(
     workload: MoELayerWorkload | None = None,
 ) -> TrainStepTiming:
     """Time one full training step (fwd + bwd + sync + optimizer)."""
+    from repro import perf
+
     if workload is None:
         workload = make_workload(
             config, cluster, strategy, total_tokens, imbalance_std, seed
         )
-    moe_fwd = system.time_layer(workload)
-    moe_bwd = system.backward_variant().time_layer(workload)
+    moe_fwd = perf.cached_time_layer(system, workload)
+    moe_bwd = perf.cached_time_layer(system.backward_variant(), workload)
     tokens_per_dp = max(1, workload.total_tokens // strategy.ep_size)
     attention_fwd = attention_time_us(config, cluster, strategy.tp_size, tokens_per_dp)
     return TrainStepTiming(

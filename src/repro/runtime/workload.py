@@ -9,6 +9,7 @@ decisions.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -77,6 +78,30 @@ class MoELayerWorkload:
     @cached_property
     def geometry(self) -> "WorkloadGeometry":
         return WorkloadGeometry(self)
+
+    def fingerprint(self) -> str:
+        """Stable digest of everything that determines this workload's timing.
+
+        Keys the cross-stack :data:`repro.perf.TIMING_CACHE`: two
+        workloads with equal fingerprints produce identical
+        ``LayerTiming`` under any system.  Covers the frozen spec parts
+        (config, cluster, strategy) and the routing realisation (expert
+        assignments, combine weights, token owners).  Computed once and
+        cached on the instance.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.sha1()
+            digest.update(
+                repr((self.config, self.cluster, self.strategy)).encode()
+            )
+            digest.update(str(self.plan.experts.shape).encode())
+            digest.update(np.ascontiguousarray(self.plan.experts).tobytes())
+            digest.update(np.ascontiguousarray(self.plan.weights).tobytes())
+            digest.update(np.ascontiguousarray(self.owner).tobytes())
+            cached = digest.hexdigest()
+            self.__dict__["_fingerprint"] = cached
+        return cached
 
 
 class WorkloadGeometry:
@@ -153,17 +178,19 @@ class WorkloadGeometry:
             padded = np.zeros((world, workload.plan.num_experts), dtype=np.int64)
             padded[: src_expert.shape[0]] = src_expert
             src_expert = padded
+        # Vectorised scatter-add over the (src, expert) count matrix.
+        # entry(src, e) = rank_of(group_of(e), tp_rank(src)) — read off
+        # the placement's hosting matrix at each source's TP coordinate.
+        tp_ranks = np.array(
+            [strategy.tp_rank(src) for src in range(world)], dtype=np.int64
+        )
+        entry = self.placement.hosting_ranks[:, tp_ranks].T  # (W, E)
+        src_grid = np.broadcast_to(
+            np.arange(world, dtype=np.int64)[:, None], entry.shape
+        )
         cross = np.zeros((world, world), dtype=np.int64)
-        entered = np.zeros(world, dtype=np.int64)
-        for expert in range(workload.plan.num_experts):
-            group = strategy.ep_group_of_expert(expert, workload.plan.num_experts)
-            for src in range(world):
-                pairs = int(src_expert[src, expert])
-                if pairs == 0:
-                    continue
-                entry = strategy.rank_of(group, strategy.tp_rank(src))
-                cross[src, entry] += pairs
-                entered[entry] += pairs
+        np.add.at(cross, (src_grid, entry), src_expert)
+        entered = cross.sum(axis=0)
         return cross, entered
 
     # -- layer1 combine structure --------------------------------------------
@@ -174,16 +201,44 @@ class WorkloadGeometry:
         This is the row count the layer1 combine sends after the local
         top-k partial reduction merged same-token copies.
         """
-        plan = self.workload.plan
         strategy = self.workload.strategy
+        # Tokens present in a group, regardless of owner; every rank of
+        # an EP group sees that group's token set.
+        group_counts = self._group_owner_counts.sum(axis=1)
+        ep_ranks = np.array(
+            [strategy.ep_rank(r) for r in range(strategy.world_size)],
+            dtype=np.int64,
+        )
+        return group_counts[ep_ranks].astype(np.int64, copy=False)
+
+    @cached_property
+    def _group_owner_counts(self) -> np.ndarray:
+        """``(ep_size, W)``: per EP group, present-token count per owner rank.
+
+        Row ``g`` bincounts the owners of tokens with at least one expert
+        in group ``g`` — the shared input of every rank's
+        :meth:`combine_row_split`, computed once.
+        """
+        workload = self.workload
+        plan = workload.plan
+        strategy = workload.strategy
         per_group = self.placement.experts_per_rank
-        token_groups = plan.experts // per_group  # (M, topk) EP-group ids
-        counts = np.zeros(strategy.world_size, dtype=np.int64)
-        for group in range(strategy.ep_size):
-            present = (token_groups == group).any(axis=1)
-            for rank in strategy.ranks_in_ep_group(group):
-                counts[rank] = int(present.sum())
-        return counts
+        world = strategy.world_size
+        ep = strategy.ep_size
+        token_groups = plan.experts // per_group  # (M, topk)
+        # Distinct (token, group) visits: sort each short row, keep first
+        # occurrences, then one flat bincount over (group, owner) cells.
+        sorted_groups = np.sort(token_groups, axis=1)
+        first = np.ones(sorted_groups.shape, dtype=bool)
+        if sorted_groups.shape[1] > 1:
+            first[:, 1:] = sorted_groups[:, 1:] != sorted_groups[:, :-1]
+        owners = np.broadcast_to(
+            workload.owner[:, None], sorted_groups.shape
+        )[first]
+        flat = sorted_groups[first] * world + owners
+        return np.bincount(flat, minlength=ep * world).reshape(ep, world).astype(
+            np.int64, copy=False
+        )
 
     def combine_row_split(self, rank: int) -> tuple[int, int, int]:
         """(local, remote_bulk, remote_fine) reduced-row counts sent by ``rank``.
@@ -194,17 +249,11 @@ class WorkloadGeometry:
         * remote_fine — owners in other EP groups (token-granular
           scattered all-to-all messages).
         """
-        workload = self.workload
-        plan = workload.plan
-        strategy = workload.strategy
-        per_group = self.placement.experts_per_rank
-        group = strategy.ep_rank(rank)
-        present = (plan.experts // per_group == group).any(axis=1)
-        owners = workload.owner[present]
-        tp_group = set(strategy.tp_group_of(rank))
-        local = int((owners == rank).sum())
-        bulk = int(np.isin(owners, [r for r in tp_group if r != rank]).sum())
-        fine = int(owners.size - local - bulk)
+        strategy = self.workload.strategy
+        owner_counts = self._group_owner_counts[strategy.ep_rank(rank)]
+        local = int(owner_counts[rank])
+        bulk = int(owner_counts[strategy.tp_group_of(rank)].sum()) - local
+        fine = int(owner_counts.sum()) - local - bulk
         return local, bulk, fine
 
 

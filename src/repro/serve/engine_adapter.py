@@ -24,42 +24,28 @@ Cost model (documented approximations):
   buckets, and the bucket rounding models the padded/quantised batch
   shapes real engines run anyway.
 
-The workload behind each bucket is cached *across* systems (module-level
-cache keyed by config/cluster/strategy/tokens), so every system prices
-the identical batch geometry — the serving analogue of the one-workload-
-per-grid-point sharing in :mod:`repro.api.scenario`.
+Caching goes through :mod:`repro.perf` at every level: the bucket
+workload comes from the process-wide bounded
+:data:`~repro.perf.WORKLOAD_CACHE` (so every system prices the identical
+batch geometry), the MoE layer timing from the cross-stack
+:data:`~repro.perf.TIMING_CACHE` (shared with grids and training steps),
+and the composed per-bucket step cost lives in a bounded, instrumented
+per-instance cache with an explicit ``clear()`` — replacing the old
+module-level ``_WORKLOAD_CACHE`` dict that grew without bound across
+grids.
 """
 
 from __future__ import annotations
 
+from repro import perf
 from repro.hw.cluster import ClusterSpec
 from repro.moe.config import MoEConfig
 from repro.parallel.strategy import ParallelStrategy
 from repro.runtime.model_runner import attention_time_us
-from repro.runtime.workload import MoELayerWorkload, make_workload
+from repro.runtime.workload import MoELayerWorkload
 from repro.systems.base import MoESystem
 
 __all__ = ["StepCostModel"]
-
-# One shared workload per (config, cluster, strategy, tokens) bucket, so
-# all systems in a serving comparison price the same batch geometry.
-_WORKLOAD_CACHE: dict[
-    tuple[MoEConfig, ClusterSpec, ParallelStrategy, int], MoELayerWorkload
-] = {}
-
-
-def _bucket_workload(
-    config: MoEConfig,
-    cluster: ClusterSpec,
-    strategy: ParallelStrategy,
-    tokens: int,
-) -> MoELayerWorkload:
-    key = (config, cluster, strategy, tokens)
-    workload = _WORKLOAD_CACHE.get(key)
-    if workload is None:
-        workload = make_workload(config, cluster, strategy, tokens)
-        _WORKLOAD_CACHE[key] = workload
-    return workload
 
 
 class StepCostModel:
@@ -106,18 +92,28 @@ class StepCostModel:
         world = cluster.world_size
         self.bucket = max(world, (bucket_tokens + world - 1) // world * world)
         self.step_overhead_us = step_overhead_us
-        self._step_cache: dict[int, float] = {}
+        self._step_cache = perf.BoundedCache(maxsize=1024, name="serve-step")
         # Fail fast on fundamentally unsupported (system, strategy) pairs.
         system.check_supported(self._workload(self.bucket))
 
     def _workload(self, tokens: int) -> MoELayerWorkload:
-        return _bucket_workload(self.config, self.cluster, self.strategy, tokens)
+        return perf.shared_workload(
+            self.config, self.cluster, self.strategy, tokens
+        )
 
     def bucketed(self, tokens: int) -> int:
         """Round a batch token count up to the bucket quantum."""
         if tokens <= 0:
             raise ValueError(f"tokens must be positive, got {tokens}")
         return (tokens + self.bucket - 1) // self.bucket * self.bucket
+
+    def clear(self) -> None:
+        """Drop the per-bucket step memo (the shared caches stay)."""
+        self._step_cache.clear()
+
+    def cache_stats(self) -> dict:
+        """Hit/miss statistics of the per-bucket step memo."""
+        return self._step_cache.stats()
 
     def step_us(self, prefill_tokens: int, decode_tokens: int) -> float:
         """One engine iteration over ``P`` prefill + ``D`` decode tokens."""
@@ -128,13 +124,14 @@ class StepCostModel:
         cached = self._step_cache.get(tokens)
         if cached is None:
             workload = self._workload(tokens)
-            moe_us = self.system.time_layer(workload).total_us
+            moe_us = perf.cached_time_layer(self.system, workload).total_us
             tokens_per_dp = max(1, tokens // self.strategy.ep_size)
             attention_us = attention_time_us(
                 self.config, self.cluster, self.strategy.tp_size, tokens_per_dp
             )
-            cached = self.config.num_layers * (attention_us + moe_us)
-            self._step_cache[tokens] = cached
+            cached = self._step_cache.put(
+                tokens, self.config.num_layers * (attention_us + moe_us)
+            )
         return cached + self.step_overhead_us
 
     def step_ms(self, prefill_tokens: int, decode_tokens: int) -> float:

@@ -216,23 +216,40 @@ class ServeSpec:
         for scenario in dict.fromkeys(self.scenarios):
             yield scenario, scenario.build_trace()
 
-    def run(self) -> ServeResultSet:
-        """Serve every (scenario, system) pair and collect the reports."""
+    def _serve_one(
+        self, scenario: ServeScenario, trace: tuple[Request, ...], name: str
+    ) -> ServeReport | ServeSkip:
+        """Serve one (scenario, system) pair — self-contained per thread."""
         registry = self.registry if self.registry is not None else SYSTEM_REGISTRY
-        names = self.system_names()
-        reports: list[ServeReport] = []
-        skips: list[ServeSkip] = []
-        for scenario, trace in self.traces():
-            for name in names:
-                system = registry.create(name)
-                try:
-                    reports.append(scenario.run_system(system, trace=trace))
-                except UnsupportedWorkload as exc:
-                    skips.append(
-                        ServeSkip(
-                            scenario_label=scenario.label,
-                            system=system.name,
-                            reason=str(exc),
-                        )
-                    )
-        return ServeResultSet(reports=tuple(reports), skips=tuple(skips))
+        system = registry.create(name)
+        try:
+            return scenario.run_system(system, trace=trace)
+        except UnsupportedWorkload as exc:
+            return ServeSkip(
+                scenario_label=scenario.label,
+                system=system.name,
+                reason=str(exc),
+            )
+
+    def run(self, workers: int | None = None) -> ServeResultSet:
+        """Serve every (scenario, system) pair and collect the reports.
+
+        ``workers`` > 1 serves pairs on that many threads; report and
+        skip ordering is reassembled to match the serial run exactly, so
+        every export is byte-identical either way.
+        """
+        tasks = [
+            (scenario, trace, name)
+            for scenario, trace in self.traces()
+            for name in self.system_names()
+        ]
+        if workers is not None and workers > 1 and len(tasks) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(lambda t: self._serve_one(*t), tasks))
+        else:
+            outcomes = [self._serve_one(*task) for task in tasks]
+        reports = tuple(o for o in outcomes if isinstance(o, ServeReport))
+        skips = tuple(o for o in outcomes if isinstance(o, ServeSkip))
+        return ServeResultSet(reports=reports, skips=skips)

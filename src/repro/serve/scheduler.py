@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator
 
 from repro.api.registry import Registry
+from repro.perf import CONFIG as PERF_CONFIG
 from repro.serve.engine_adapter import StepCostModel
 from repro.serve.metrics import RequestRecord, TimelinePoint
 from repro.sim.engine import Environment, Event
@@ -148,7 +149,7 @@ class ContinuousBatchingScheduler:
             if self._wakeup is not None and not self._wakeup.triggered:
                 self._wakeup.succeed()
 
-    def _admit(self, now: float) -> list[_Sequence]:
+    def _admit(self, now: float, running_count: int) -> list[_Sequence]:
         """Pop waiting sequences into this iteration, policy-ordered.
 
         The budget covers one token per running decode plus each admitted
@@ -165,14 +166,14 @@ class ContinuousBatchingScheduler:
             )
         )
         admitted: list[_Sequence] = []
-        used = len(self._running)
-        slots = self.max_batch_size - len(self._running)
+        used = running_count
+        slots = self.max_batch_size - running_count
         remaining: list[_Sequence] = []
         for index, seq in enumerate(self._waiting):
             prompt = seq.request.prompt_tokens
             if (
                 not admitted
-                and not self._running
+                and not running_count
                 and prompt > self.max_batch_tokens
             ):
                 # A prompt longer than the whole budget on an idle engine:
@@ -198,7 +199,7 @@ class ContinuousBatchingScheduler:
                 continue
 
             now = env.now
-            admitted = self._admit(now)
+            admitted = self._admit(now, len(self._running))
             prefill_tokens = sum(s.request.prompt_tokens for s in admitted)
             decode_tokens = len(self._running)
             self.timeline.append(
@@ -238,23 +239,171 @@ class ContinuousBatchingScheduler:
                     still_running.append(seq)
             self._running = still_running
 
+    # -- fast sequential loop -------------------------------------------------
+    def _run_fast(self) -> None:
+        """Sequential transcription of the DES run — bit-identical output.
+
+        The DES above only ever has two event streams in flight: the
+        arrival process's next timeout (or its process-done event) and
+        the engine's step timeout (or its wakeup).  This loop replays
+        exactly those events, including the environment's
+        ``(time, seq)`` tie-breaking (``seq`` counters are incremented at
+        the same points ``Environment._schedule`` would), so records and
+        timeline match the DES byte for byte — the equivalence tests
+        enforce it.  What it drops is the generator/event machinery and
+        the per-token bookkeeping: a sequence admitted at engine
+        iteration ``k`` with ``o`` output tokens deterministically
+        completes at iteration ``k + o - 1``, so completions come from a
+        per-iteration map instead of per-step counter increments over
+        every running sequence.
+        """
+        trace = self.trace
+        n = len(trace)
+        eid = 2  # the two process-Initialize events consumed eids 1 and 2
+
+        # Arrival channel: ("timeout", fire_time, eid) or exhausted (None).
+        a_event: tuple[float, int] | None = None
+        a_index = 0
+        # Engine channel: pending step timeout, or a triggered wakeup, or
+        # sleeping (no event at all).
+        e_event: tuple[float, int] | None = None
+        w_event: tuple[float, int] | None = None
+        engine_sleeping = False
+
+        running_count = 0
+        steps_launched = 0
+        completes_at: dict[int, list[_Sequence]] = {}
+        pending_admitted: list[_Sequence] = []
+
+        def resume_arrivals(t: float) -> None:
+            """The arrival generator's resume: append due requests, then
+            schedule its next timeout (or finish)."""
+            nonlocal a_index, a_event, eid, w_event, engine_sleeping
+            while a_index < n:
+                request = trace[a_index]
+                delay = request.arrival_ms - t
+                if delay > 0:
+                    eid += 1
+                    a_event = (t + delay, eid)
+                    return
+                self._waiting.append(_Sequence(request))
+                a_index += 1
+                self._pending_arrivals -= 1
+                if engine_sleeping and w_event is None:
+                    eid += 1  # wakeup.succeed() schedules at the current time
+                    w_event = (t, eid)
+            eid += 1  # the arrival Process event triggers (a no-op pop)
+            a_event = None
+
+        def resume_engine(t: float, finish_step: bool) -> None:
+            """The engine generator's resume: close the previous step (if
+            any), then run the loop until it suspends again."""
+            nonlocal eid, e_event, engine_sleeping, running_count
+            nonlocal steps_launched
+            if finish_step:
+                for seq in pending_admitted:
+                    seq.first_token_ms = t
+                    seq.generated = 1
+                completed = completes_at.pop(steps_launched - 1, [])
+                for seq in completed:
+                    self.records.append(
+                        RequestRecord(
+                            rid=seq.request.rid,
+                            arrival_ms=seq.request.arrival_ms,
+                            first_token_ms=seq.first_token_ms,
+                            completion_ms=t,
+                            prompt_tokens=seq.request.prompt_tokens,
+                            output_tokens=seq.request.output_tokens,
+                        )
+                    )
+                running_count += len(pending_admitted) - len(completed)
+                pending_admitted.clear()
+            if not (self._pending_arrivals or self._waiting or running_count):
+                eid += 1  # the engine Process event triggers; run() returns
+                e_event = None
+                return
+            if not self._waiting and not running_count:
+                engine_sleeping = True  # wakeup Event created, not scheduled
+                e_event = None
+                return
+            admitted = self._admit(t, running_count)
+            prefill_tokens = sum(s.request.prompt_tokens for s in admitted)
+            decode_tokens = running_count
+            self.timeline.append(
+                TimelinePoint(
+                    t_ms=t,
+                    queue_depth=len(self._waiting),
+                    batch_tokens=prefill_tokens + decode_tokens,
+                    running=running_count + len(admitted),
+                )
+            )
+            step_index = steps_launched
+            steps_launched += 1
+            for seq in admitted:
+                completes_at.setdefault(
+                    step_index + seq.request.output_tokens - 1, []
+                ).append(seq)
+            pending_admitted.extend(admitted)
+            eid += 1
+            e_event = (
+                t + self.cost_model.step_ms(prefill_tokens, decode_tokens),
+                eid,
+            )
+
+        # Initialize events fire in creation order at t=0.
+        resume_arrivals(0.0)
+        resume_engine(0.0, finish_step=False)
+
+        while True:
+            # Pop the earliest pending event; (time, eid) tie-breaking
+            # matches the DES queue ordering exactly.
+            candidates = []
+            if a_event is not None:
+                candidates.append((a_event, "arrival"))
+            if w_event is not None:
+                candidates.append((w_event, "wakeup"))
+            if e_event is not None:
+                candidates.append((e_event, "step"))
+            if not candidates:
+                return
+            (when, _), kind = min(candidates)
+            if kind == "arrival":
+                a_event = None
+                resume_arrivals(when)
+            elif kind == "wakeup":
+                w_event = None
+                engine_sleeping = False
+                resume_engine(when, finish_step=False)
+            else:
+                e_event = None
+                resume_engine(when, finish_step=True)
+
     # -- entry point ----------------------------------------------------------
+    def _run_des(self) -> None:
+        """The original discrete-event run (retained reference path)."""
+        env = Environment()
+        env.process(self._arrivals(env))
+        engine = env.process(self._engine(env))
+        env.run(until=engine)
+
     def run(self) -> tuple[tuple[RequestRecord, ...], tuple[TimelinePoint, ...]]:
         """Simulate the full trace to completion; returns (records, timeline).
 
         Every request is served (the scheduler never drops), so the run
         terminates once the backlog drains.  Records are sorted by
         request id, making the output order independent of completion
-        interleaving.
+        interleaving.  The fast sequential loop and the DES produce
+        byte-identical results; :data:`repro.perf.CONFIG` selects which
+        one runs.
         """
         self.records.clear()
         self.timeline.clear()
         self._waiting.clear()
         self._running.clear()
         self._pending_arrivals = len(self.trace)
-        env = Environment()
-        env.process(self._arrivals(env))
-        engine = env.process(self._engine(env))
-        env.run(until=engine)
+        if PERF_CONFIG.fast_serve_loop:
+            self._run_fast()
+        else:
+            self._run_des()
         self.records.sort(key=lambda r: r.rid)
         return tuple(self.records), tuple(self.timeline)

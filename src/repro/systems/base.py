@@ -143,6 +143,30 @@ class MoESystem(ABC):
         variant.gemm_scale = self.gemm_scale * 2.0
         return variant
 
+    def fingerprint(self) -> tuple:
+        """Hashable identity of everything that affects ``time_layer``.
+
+        Keys the cross-stack :data:`repro.perf.TIMING_CACHE`: two system
+        instances with equal fingerprints must time every workload
+        identically.  The default covers stateless systems (behaviour
+        fixed by the class plus ``gemm_scale``); systems with
+        constructor-time knobs override and extend it.
+        """
+        return (type(self).__qualname__, float(self.gemm_scale))
+
+    def timing_state_token(self) -> object | None:
+        """Instance token isolating history-dependent timing state.
+
+        ``None`` (the default) declares ``time_layer`` a pure function of
+        ``(fingerprint, workload)``, so cached timings may be shared
+        across instances.  Systems whose results depend on what the
+        *instance* timed before (e.g. COMET's adaptive assignment
+        profile, whose power-of-two token buckets are recorded from the
+        first workload that probes them) return a unique per-instance
+        token instead, scoping cache reuse to one instance's history.
+        """
+        return None
+
     def supports(self, workload: MoELayerWorkload) -> bool:
         """Whether this system can execute the workload at all."""
         return True

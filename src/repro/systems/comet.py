@@ -26,6 +26,7 @@ the GEMM prologue/epilogue); ``fixed_nc`` disables adaptivity.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,6 +49,7 @@ from repro.kernels.fused import (
     simulate_layer1_vertical,
 )
 from repro.moe.experts import ExpertWeights
+from repro.perf import CONFIG as PERF_CONFIG
 from repro.runtime.workload import MoELayerWorkload
 from repro.systems.base import LayerTiming, MoESystem
 from repro.tensor.dependency import resolve_decomposition
@@ -64,6 +66,10 @@ from repro.tensor.reschedule import (
 from repro.tensor.shared_tensor import layer0_shared_tensor, layer1_shared_tensor
 
 __all__ = ["Comet"]
+
+# Monotonic per-instance tokens for timing_state_token (id() could be
+# recycled by the allocator and alias two instances' cache entries).
+_COMET_EPOCH = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -106,6 +112,10 @@ class Comet(MoESystem):
         self.fabric_contention = fabric_contention
         # Profiled metadata per (cluster, model): ProfileKey -> SweepResult.
         self._profiles: dict[tuple[str, str], AssignmentProfile] = {}
+        # Adaptive profiles are recorded from the first workload hitting a
+        # power-of-two token bucket, so timing results depend on this
+        # instance's probe history — scope timing-cache reuse to it.
+        self._timing_epoch = next(_COMET_EPOCH)
 
     def backward_variant(self) -> "Comet":
         """Backward copy: doubled GEMM work, fresh assignment metadata.
@@ -123,6 +133,22 @@ class Comet(MoESystem):
             fabric_contention=self.fabric_contention,
         )
         return variant
+
+    def fingerprint(self) -> tuple:
+        """Extend the base fingerprint with COMET's ablation knobs."""
+        return super().fingerprint() + (
+            self.reschedule,
+            self.adaptive,
+            self.fixed_nc,
+            self.specialized,
+            self.fabric_contention,
+        )
+
+    def timing_state_token(self) -> object | None:
+        """Adaptive profiling makes timing depend on instance history."""
+        if self.adaptive and self.fixed_nc is None:
+            return self._timing_epoch
+        return None
 
     # -- timing ----------------------------------------------------------------
     def time_layer(self, workload: MoELayerWorkload) -> LayerTiming:
@@ -171,17 +197,32 @@ class Comet(MoESystem):
             if self.fabric_contention and workload.world_size > 1
             else [None] * workload.world_size
         )
+        # Rank dedup: the schedule is a pure function of the rank's pair
+        # matrix *in ring order* (local row first), so ranks whose rolled
+        # matrices coincide run identical fused kernels — simulate each
+        # distinct one once.  Fabric mode gives every rank its own arrival
+        # curve, so dedup only applies to the independent-ingress model.
+        dedup = PERF_CONFIG.rank_dedup and all(fn is None for fn in arrival_fns)
+        memo: dict[bytes, FusedKernelResult] = {}
         results = []
         for rank in range(workload.world_size):
             rank_workload = geometry.rank_workload(rank)
-            schedule = build_layer0_schedule(
-                rank_workload.pairs_by_src_expert, rank, policy=policy
+            key = (
+                np.roll(rank_workload.pairs_by_src_expert, -rank, axis=0).tobytes()
+                if dedup
+                else None
             )
-            results.append(
-                self._run_layer0_kernel(
+            result = memo.get(key) if dedup else None
+            if result is None:
+                schedule = build_layer0_schedule(
+                    rank_workload.pairs_by_src_expert, rank, policy=policy
+                )
+                result = self._run_layer0_kernel(
                     workload, schedule, cols, nc, arrival_fn=arrival_fns[rank]
                 )
-            )
+                if dedup:
+                    memo[key] = result
+            results.append(result)
         return self._aggregate(results, nc)
 
     def _fabric_arrivals(self, workload: MoELayerWorkload, nc: int):
@@ -249,20 +290,28 @@ class Comet(MoESystem):
         nc = self.division_point(workload, layer=1)
         k = config.ffn_size // workload.strategy.tp_size
         policy = POLICY_COLUMN_MAJOR if self.reschedule else POLICY_EXPERT_MAJOR
+        # Rank dedup: the layer1 kernel is determined by the GroupGEMM row
+        # structure plus the combine traffic split, both hashable.
+        dedup = PERF_CONFIG.rank_dedup
+        memo: dict[tuple, FusedKernelResult] = {}
         results = []
         any_remote = False
         for rank in range(workload.world_size):
             rank_workload = geometry.rank_workload(rank)
-            schedule = build_layer1_schedule(
-                rank_workload.expert_rows, cols=config.hidden_size, policy=policy
-            )
             comm = self.layer1_comm_work(workload, rank)
             any_remote = any_remote or (
                 comm.remote_bulk_rows + comm.remote_fine_rows > 0
             )
-            results.append(
-                self._run_layer1_kernel(workload, schedule, comm, k, nc)
-            )
+            key = (rank_workload.expert_rows.tobytes(), comm) if dedup else None
+            result = memo.get(key) if dedup else None
+            if result is None:
+                schedule = build_layer1_schedule(
+                    rank_workload.expert_rows, cols=config.hidden_size, policy=policy
+                )
+                result = self._run_layer1_kernel(workload, schedule, comm, k, nc)
+                if dedup:
+                    memo[key] = result
+            results.append(result)
         sim = self._aggregate(results, nc)
         if not any_remote:
             # Single-GPU (or fully local) layer: the top-k reduce is local

@@ -120,22 +120,21 @@ def build_layer0_schedule(
     num_local = int(pairs[rank].sum())
     num_remote = int(pairs.sum() - num_local)
 
-    # fetch_pos[src, e] = fetch index of the *first* token of run (src, e).
-    run_lengths = np.array(
-        [pairs[src, e] for src in remote_srcs for e in range(num_local_experts)],
-        dtype=np.int64,
-    )
-    run_starts = np.concatenate(([0], np.cumsum(run_lengths)[:-1]))
-    fetch_start = {}
-    idx = 0
-    for src in remote_srcs:
-        for e in range(num_local_experts):
-            fetch_start[(src, e)] = int(run_starts[idx])
-            idx += 1
+    # fetch_start[r, e] = fetch index of the *first* token of run
+    # (remote_srcs[r], e): the fetch sequence is source-major (ring
+    # order), expert-minor, so starts are the exclusive prefix sum of
+    # the remote count matrix in that order.
+    remote_pairs = pairs[remote_srcs]  # (W - 1, E_local)
+    run_lengths = remote_pairs.reshape(-1)
+    if run_lengths.size:
+        run_starts = np.concatenate(([0], np.cumsum(run_lengths)[:-1]))
+    else:
+        run_starts = run_lengths
+    fetch_start = run_starts.reshape(remote_pairs.shape)
 
-    rb_expert: list[int] = []
-    rb_rows: list[int] = []
-    rb_last: list[int] = []
+    rb_expert_parts: list[np.ndarray] = []
+    rb_rows_parts: list[np.ndarray] = []
+    rb_last_parts: list[np.ndarray] = []
 
     if rng is None:
         rng = np.random.default_rng(1234)
@@ -144,43 +143,53 @@ def build_layer0_schedule(
         rows_e = int(pairs[:, e].sum())
         if rows_e == 0:
             continue
-        # Per-row fetch position within this expert: -1 for local rows.
-        if policy == POLICY_SORTED:
-            positions = np.empty(rows_e, dtype=np.int64)
-            cursor = 0
-            positions[cursor : cursor + pairs[rank, e]] = -1
-            cursor += int(pairs[rank, e])
-            for src in remote_srcs:
-                n = int(pairs[src, e])
-                if n:
-                    base = fetch_start[(src, e)]
-                    positions[cursor : cursor + n] = np.arange(base, base + n)
-                    cursor += n
+        # Per-row fetch position within this expert: -1 for local rows,
+        # then each remote source's contiguous run of fetch indices, in
+        # ring order — a non-decreasing sequence assembled vectorised.
+        counts = remote_pairs[:, e]
+        total_remote = int(counts.sum())
+        if total_remote:
+            seg = np.repeat(np.arange(counts.size), counts)
+            offsets = np.arange(total_remote) - np.repeat(
+                np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            )
+            remote_positions = fetch_start[:, e][seg] + offsets
         else:
+            remote_positions = np.empty(0, dtype=np.int64)
+        positions = np.concatenate(
+            (np.full(int(pairs[rank, e]), -1, dtype=np.int64), remote_positions)
+        )
+        if policy != POLICY_SORTED:
             # token_order ablation: the same rows, randomly interleaved, so
             # nearly every block touches a late-arriving token.
-            positions_sorted = np.empty(rows_e, dtype=np.int64)
-            cursor = 0
-            positions_sorted[cursor : cursor + pairs[rank, e]] = -1
-            cursor += int(pairs[rank, e])
-            for src in remote_srcs:
-                n = int(pairs[src, e])
-                if n:
-                    base = fetch_start[(src, e)]
-                    positions_sorted[cursor : cursor + n] = np.arange(base, base + n)
-                    cursor += n
-            positions = rng.permutation(positions_sorted)
+            positions = rng.permutation(positions)
 
-        for start in range(0, rows_e, tile_tm):
-            block = positions[start : start + tile_tm]
-            rb_expert.append(e)
-            rb_rows.append(len(block))
-            rb_last.append(int(block.max()))
+        num_blocks = -(-rows_e // tile_tm)
+        block_ends = np.minimum(
+            np.arange(1, num_blocks + 1, dtype=np.int64) * tile_tm, rows_e
+        )
+        block_starts = np.concatenate(([0], block_ends[:-1]))
+        rb_expert_parts.append(np.full(num_blocks, e, dtype=np.int64))
+        rb_rows_parts.append(block_ends - block_starts)
+        if policy == POLICY_SORTED:
+            # positions is non-decreasing: a block's max is its last row.
+            rb_last_parts.append(positions[block_ends - 1])
+        else:
+            rb_last_parts.append(
+                np.maximum.reduceat(positions, block_starts)
+            )
+
+    if rb_expert_parts:
+        rb_expert = np.concatenate(rb_expert_parts)
+        rb_rows = np.concatenate(rb_rows_parts)
+        rb_last = np.concatenate(rb_last_parts)
+    else:
+        rb_expert = rb_rows = rb_last = np.empty(0, dtype=np.int64)
 
     return Layer0Schedule(
-        rowblock_expert=np.asarray(rb_expert, dtype=np.int64),
-        rowblock_rows=np.asarray(rb_rows, dtype=np.int64),
-        rowblock_last_fetch=np.asarray(rb_last, dtype=np.int64),
+        rowblock_expert=rb_expert.astype(np.int64, copy=False),
+        rowblock_rows=rb_rows.astype(np.int64, copy=False),
+        rowblock_last_fetch=rb_last.astype(np.int64, copy=False),
         num_remote=num_remote,
         num_local=num_local,
         tile_tm=tile_tm,

@@ -1,0 +1,162 @@
+"""Unit behaviour of the perf layer: caches, fingerprints, config."""
+
+import pytest
+
+from repro import (
+    MIXTRAL_8X7B,
+    ParallelStrategy,
+    SYSTEM_REGISTRY,
+    StepCostModel,
+    h800_node,
+    perf,
+)
+from repro.runtime.workload import make_workload
+from repro.systems import Comet, MegatronCutlass, Tutel
+
+CLUSTER = h800_node()
+STRATEGY = ParallelStrategy(1, 8)
+
+
+def _workload(tokens=1024, seed=0):
+    return make_workload(MIXTRAL_8X7B, CLUSTER, STRATEGY, tokens, seed=seed)
+
+
+class TestBoundedCache:
+    def test_hit_miss_counters(self):
+        cache = perf.BoundedCache(maxsize=4, name="t")
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.misses == 1 and cache.hits == 1
+        assert cache.stats()["hit_rate"] == 0.5
+
+    def test_lru_eviction_is_bounded(self):
+        cache = perf.BoundedCache(maxsize=2, name="t")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b (least recently used)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_clear_resets_counters(self):
+        cache = perf.BoundedCache(maxsize=2, name="t")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == cache.misses == cache.evictions == 0
+
+    def test_rejects_none_and_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            perf.BoundedCache(maxsize=0)
+        with pytest.raises(ValueError):
+            perf.BoundedCache(maxsize=1).put("k", None)
+
+
+class TestFingerprints:
+    def test_workload_fingerprint_deterministic(self):
+        assert _workload().fingerprint() == _workload().fingerprint()
+
+    def test_workload_fingerprint_sensitive_to_inputs(self):
+        base = _workload().fingerprint()
+        assert _workload(tokens=2048).fingerprint() != base
+        assert _workload(seed=1).fingerprint() != base
+
+    def test_system_fingerprint_covers_knobs(self):
+        assert Comet().fingerprint() == Comet().fingerprint()
+        assert Comet().fingerprint() != Comet(reschedule=False).fingerprint()
+        assert Comet().fingerprint() != Comet(fixed_nc=8).fingerprint()
+        assert Tutel().fingerprint() != MegatronCutlass().fingerprint()
+
+    def test_backward_variant_fingerprint_differs(self):
+        system = Tutel()
+        assert system.fingerprint() != system.backward_variant().fingerprint()
+
+    def test_state_token_scopes_adaptive_comet(self):
+        # Adaptive COMET's timing depends on instance history: each
+        # instance gets its own token.  Non-adaptive variants are pure.
+        assert Comet().timing_state_token() != Comet().timing_state_token()
+        assert Comet(fixed_nc=8).timing_state_token() is None
+        assert Comet(adaptive=False).timing_state_token() is None
+        assert Tutel().timing_state_token() is None
+
+
+class TestTimingCache:
+    def test_cached_time_layer_hits_and_counts(self):
+        perf.clear_caches()
+        workload = _workload()
+        system = MegatronCutlass()
+        first = perf.cached_time_layer(system, workload)
+        second = perf.cached_time_layer(MegatronCutlass(), workload)
+        assert first == second
+        assert perf.TIMING_CACHE.hits >= 1
+        assert perf.time_layer_calls() == 1
+
+    def test_disabled_config_bypasses_cache(self):
+        perf.clear_caches()
+        workload = _workload()
+        with perf.disabled():
+            perf.cached_time_layer(MegatronCutlass(), workload)
+            perf.cached_time_layer(MegatronCutlass(), workload)
+        assert len(perf.TIMING_CACHE) == 0
+        assert perf.time_layer_calls() == 2
+
+    def test_configure_restores_flags(self):
+        assert perf.CONFIG.analytic_layer0
+        with perf.configure(analytic_layer0=False):
+            assert not perf.CONFIG.analytic_layer0
+        assert perf.CONFIG.analytic_layer0
+        with pytest.raises(ValueError):
+            with perf.configure(nonsense=True):
+                pass
+
+    def test_shared_workload_returns_same_object(self):
+        perf.clear_caches()
+        a = perf.shared_workload(MIXTRAL_8X7B, CLUSTER, STRATEGY, 1024)
+        b = perf.shared_workload(MIXTRAL_8X7B, CLUSTER, STRATEGY, 1024)
+        assert a is b
+        assert perf.WORKLOAD_CACHE.hits == 1
+
+
+class TestStepCostModelCache:
+    def test_step_cache_bounded_with_stats_and_clear(self):
+        perf.clear_caches()
+        model = StepCostModel(
+            SYSTEM_REGISTRY.create("megatron-cutlass"),
+            MIXTRAL_8X7B,
+            CLUSTER,
+            STRATEGY,
+            bucket_tokens=256,
+        )
+        cost = model.step_us(100, 20)
+        assert model.step_us(90, 30) == cost  # same bucket -> memoised
+        stats = model.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["maxsize"] > 0
+        model.clear()
+        assert model.cache_stats()["hits"] == 0
+        assert model.step_us(100, 20) == cost  # recomputed identically
+
+    def test_workload_shared_across_systems(self):
+        """Every system prices the identical bucket geometry (the old
+        module-level workload cache contract, now bounded in repro.perf)."""
+        perf.clear_caches()
+        kwargs = dict(
+            config=MIXTRAL_8X7B,
+            cluster=CLUSTER,
+            strategy=STRATEGY,
+            bucket_tokens=256,
+        )
+        a = StepCostModel(SYSTEM_REGISTRY.create("comet"), **kwargs)
+        b = StepCostModel(SYSTEM_REGISTRY.create("tutel"), **kwargs)
+        assert a._workload(512) is b._workload(512)
+
+    def test_cache_stats_shape(self):
+        stats = perf.cache_stats()
+        assert set(stats) == {"timing", "workload"}
+        for doc in stats.values():
+            assert {"hits", "misses", "evictions", "size", "maxsize"} <= set(doc)

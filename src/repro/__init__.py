@@ -75,6 +75,40 @@ above.  Every registered system is servable through the same names::
 See ``examples/online_serving.py`` for a walkthrough and
 ``python -m repro serve --help`` for the CLI equivalent.
 
+Whole-model schedule graph and overlap policies.  :mod:`repro.graph`
+lifts the per-layer timings into a cross-layer IR: every layer lowers
+(via :meth:`MoESystem.lower_layer`) into typed nodes — attention, gate,
+dispatch, expert GEMM, combine, grad-sync, optimizer — tagged with
+compute/comm resource streams, and a deterministic list scheduler (with
+a discrete-event reference executor cross-checked to exact float
+equality) computes end-to-end makespans under three **overlap
+policies**, a new sweep axis::
+
+    from repro import run_model, run_training_step
+
+    per_layer = run_model(Comet(), MIXTRAL_8X7B, cluster, strategy, 16384)
+    cross = run_model(Comet(), MIXTRAL_8X7B, cluster, strategy, 16384,
+                      overlap_policy="cross_layer")   # Lancet-style
+    short = run_model(Comet(), MIXTRAL_8X7B, cluster, strategy, 16384,
+                      overlap_policy="shortcut")      # ScMoE-style
+    print(per_layer.total_ms, cross.makespan_ms, short.makespan_ms)
+
+    spec = ExperimentSpec.grid(
+        overlap_policies=("per_layer", "cross_layer", "shortcut"),
+        systems=("comet", "megatron-cutlass"),
+    )
+    results = spec.run(level="model")   # policy column in every export
+
+``per_layer`` reproduces the legacy additive totals *byte-identically*
+(the equivalence tests assert ``==`` on the floats), so existing numbers
+never move; ``cross_layer`` overlaps each layer's combine with the next
+layer's attention (plus bucketed gradient all-reduce in training) and
+``shortcut`` additionally overlaps dispatch with the dense path.  The
+same knob serves online: ``ServeScenario(..., overlap_policy=...)`` (CLI
+``repro serve --overlap-policy``), and ``repro model --report`` prints
+the critical path through the scheduled graph.  See
+``examples/cross_layer_overlap.py``.
+
 Performance architecture.  Simulation speed is a feature: the same
 ``MoESystem.time_layer`` core prices figure grids, training steps, and
 tens of thousands of serving iterations, so :mod:`repro.perf` layers
@@ -112,6 +146,14 @@ wholesale::
 """
 
 from repro import perf
+from repro.graph import (
+    OVERLAP_POLICIES,
+    GraphSchedule,
+    LayerPhase,
+    NodeKind,
+    ScheduleGraph,
+    list_schedule,
+)
 from repro.api import (
     CLUSTER_REGISTRY,
     MODEL_REGISTRY,
@@ -138,11 +180,13 @@ from repro.parallel import ParallelStrategy
 from repro.runtime import (
     ModelTiming,
     MoELayerWorkload,
+    TrainStepTiming,
     compare_systems,
     make_workload,
     overlap_report,
     run_layer,
     run_model,
+    run_training_step,
 )
 from repro.serve import (
     ContinuousBatchingScheduler,
@@ -167,7 +211,7 @@ from repro.systems import (
     UnsupportedWorkload,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALL_SYSTEMS",
@@ -179,6 +223,8 @@ __all__ = [
     "ExpertWeights",
     "FasterMoE",
     "GpuSpec",
+    "GraphSchedule",
+    "LayerPhase",
     "LayerTiming",
     "LinkSpec",
     "MIXTRAL_8X7B",
@@ -189,6 +235,8 @@ __all__ = [
     "MoEConfig",
     "MoELayerWorkload",
     "MoESystem",
+    "NodeKind",
+    "OVERLAP_POLICIES",
     "PAPER_MODELS",
     "PHI35_MOE",
     "ParallelStrategy",
@@ -200,6 +248,7 @@ __all__ = [
     "RoutingPlan",
     "SYSTEM_REGISTRY",
     "Scenario",
+    "ScheduleGraph",
     "ServeReport",
     "ServeResultSet",
     "ServeScenario",
@@ -209,12 +258,14 @@ __all__ = [
     "SystemRegistry",
     "TopKGate",
     "TraceSpec",
+    "TrainStepTiming",
     "Tutel",
     "UnknownNameError",
     "UnsupportedWorkload",
     "compare_systems",
     "h800_node",
     "l20_node",
+    "list_schedule",
     "make_workload",
     "overlap_report",
     "perf",
@@ -222,4 +273,5 @@ __all__ = [
     "register_system",
     "run_layer",
     "run_model",
+    "run_training_step",
 ]

@@ -81,9 +81,13 @@ class ResultRow:
     @property
     def value_ms(self) -> float:
         """The row's headline metric: end-to-end ms at model level,
-        layer ms at layer level."""
+        layer ms at layer level.
+
+        Model-level rows report the graph-backed makespan under the
+        scenario's overlap policy — identical to the additive total for
+        ``per_layer`` (the equivalence tests enforce bit equality)."""
         if self.model_timing is not None:
-            return self.model_timing.total_ms
+            return self.model_timing.makespan_ms
         return self.layer_ms
 
 
@@ -123,7 +127,7 @@ def _scenario_matches(scenario: "Scenario", **criteria: Any) -> bool:
         wanted = criteria.get(key)
         if wanted is not None and getattr(scenario.strategy, attr) != wanted:
             return False
-    for key in ("tokens", "imbalance_std", "seed"):
+    for key in ("tokens", "imbalance_std", "seed", "overlap_policy"):
         wanted = criteria.get(key)
         if wanted is not None and getattr(scenario, key) != wanted:
             return False
@@ -213,6 +217,7 @@ class ResultSet:
         tokens: int | None = None,
         imbalance_std: float | None = None,
         seed: int | None = None,
+        overlap_policy: str | None = None,
         system: str | None = None,
         predicate: Callable[[ResultRow], bool] | None = None,
     ) -> "ResultSet":
@@ -224,6 +229,7 @@ class ResultSet:
         criteria = dict(
             model=model, cluster=cluster, strategy=strategy, tp=tp, ep=ep,
             tokens=tokens, imbalance_std=imbalance_std, seed=seed,
+            overlap_policy=overlap_policy,
         )
 
         def keep_scenario(scenario: "Scenario") -> bool:
@@ -276,15 +282,29 @@ class ResultSet:
             )
         return sum(speedups.values()) / len(speedups)
 
+    def _has_overlap_axis(self) -> bool:
+        """Whether any scenario uses a non-default overlap policy.
+
+        Gates the extra ``policy`` export column so legacy (per-layer
+        only) exports stay byte-identical."""
+        return any(s.overlap_policy != "per_layer" for s in self.scenarios())
+
     # -- export ---------------------------------------------------------------
     def to_rows(self) -> tuple[list[str], list[list[Any]]]:
-        """Flat ``(headers, rows)`` — one row per (scenario, system)."""
+        """Flat ``(headers, rows)`` — one row per (scenario, system).
+
+        A ``policy`` column is appended when the set sweeps the
+        overlap-policy axis."""
+        with_policy = self._has_overlap_axis()
         headers = [
             "model", "cluster", "strategy", "M", "imbalance", "seed",
             "system", "ms",
         ]
-        table = [
-            [
+        if with_policy:
+            headers.insert(6, "policy")
+        table = []
+        for r in self.rows:
+            cells: list[Any] = [
                 r.scenario.config.name,
                 r.scenario.cluster.name,
                 str(r.scenario.strategy),
@@ -294,8 +314,9 @@ class ResultSet:
                 r.system,
                 r.value_ms,
             ]
-            for r in self.rows
-        ]
+            if with_policy:
+                cells.insert(6, r.scenario.overlap_policy)
+            table.append(cells)
         return headers, table
 
     def to_table(
@@ -304,7 +325,11 @@ class ResultSet:
         """Pivoted ``(headers, rows)``: one row per scenario, one column
         per system (``nan`` marks skipped pairs)."""
         order = tuple(systems) if systems is not None else self.systems()
-        headers = ["model", "cluster", "strategy", "M", "imbalance"] + list(order)
+        with_policy = self._has_overlap_axis()
+        headers = ["model", "cluster", "strategy", "M", "imbalance"]
+        if with_policy:
+            headers.append("policy")
+        headers += list(order)
         table = []
         for scenario in self.scenarios():
             by_system = {r.system: r.value_ms for r in self.rows_for(scenario)}
@@ -315,6 +340,8 @@ class ResultSet:
                 scenario.tokens,
                 scenario.imbalance_std,
             ]
+            if with_policy:
+                cells.append(scenario.overlap_policy)
             for name in order:
                 value = by_system.get(name)
                 if value is None:
@@ -336,6 +363,8 @@ class ResultSet:
         """Compact machine-readable dump of rows and skip reasons."""
         import dataclasses
 
+        with_policy = self._has_overlap_axis()
+
         def row_doc(row: ResultRow) -> dict[str, Any]:
             doc: dict[str, Any] = {
                 "model": row.scenario.config.name,
@@ -352,6 +381,13 @@ class ResultSet:
             if row.model_timing is not None:
                 doc["model_total_ms"] = row.model_timing.total_ms
                 doc["attention_us"] = row.model_timing.attention_us
+                # Policy-swept sets carry the policy fields on every
+                # model row (per_layer included, where the makespan
+                # equals the additive total), so consumers can group by
+                # policy; policy-free sets stay byte-identical.
+                if with_policy:
+                    doc["overlap_policy"] = row.model_timing.overlap_policy
+                    doc["model_makespan_ms"] = row.model_timing.makespan_ms
             return doc
 
         payload: dict[str, Any] = {

@@ -67,8 +67,12 @@ class Scenario:
     tokens: int
     imbalance_std: float = 0.0
     seed: int = 0
+    overlap_policy: str = "per_layer"
 
     def __post_init__(self) -> None:
+        from repro.graph.lower import check_policy
+
+        check_policy(self.overlap_policy)
         if self.strategy.world_size != self.cluster.world_size:
             raise ValueError(
                 f"strategy {self.strategy} needs world size "
@@ -97,6 +101,8 @@ class Scenario:
             parts.append(f"std{self.imbalance_std}")
         if self.seed:
             parts.append(f"seed{self.seed}")
+        if self.overlap_policy != "per_layer":
+            parts.append(self.overlap_policy)
         return "/".join(parts)
 
     def build_workload(self) -> MoELayerWorkload:
@@ -172,6 +178,7 @@ class ExperimentSpec:
         tokens: Any = 16384,
         imbalance_stds: Any = (0.0,),
         seeds: Any = (0,),
+        overlap_policies: Any = "per_layer",
         systems: Any = None,
         registry: SystemRegistry | None = None,
     ) -> "ExperimentSpec":
@@ -182,9 +189,12 @@ class ExperimentSpec:
         ``"sweep"`` (all TP x EP factorisations of each cluster's world
         size — Figure 12's x-axis), one strategy (a
         :class:`ParallelStrategy` or ``(tp, ep)`` pair), or a sequence of
-        strategies.  Expansion order is models, clusters, strategies,
-        tokens, imbalance, seeds (outer to inner) — the row order of the
-        paper's figure tables.
+        strategies.  ``overlap_policies`` sweeps the cross-layer
+        scheduling model (``"per_layer"`` | ``"cross_layer"`` |
+        ``"shortcut"``) used at ``level="model"``.  Expansion order is
+        models, clusters, strategies, tokens, imbalance, seeds, overlap
+        policies (outer to inner) — the row order of the paper's figure
+        tables.
         """
         reg = registry if registry is not None else SYSTEM_REGISTRY
         model_list = [
@@ -197,6 +207,7 @@ class ExperimentSpec:
         token_list = [int(t) for t in _as_sequence(tokens, (int,))]
         std_list = [float(s) for s in _as_sequence(imbalance_stds, (int, float))]
         seed_list = [int(s) for s in _as_sequence(seeds, (int,))]
+        overlap_list = list(_as_sequence(overlap_policies, (str,)))
 
         scenarios = []
         for config in model_list:
@@ -205,16 +216,18 @@ class ExperimentSpec:
                     for token_count in token_list:
                         for std in std_list:
                             for seed in seed_list:
-                                scenarios.append(
-                                    Scenario(
-                                        config=config,
-                                        cluster=cluster,
-                                        strategy=strategy,
-                                        tokens=token_count,
-                                        imbalance_std=std,
-                                        seed=seed,
+                                for overlap in overlap_list:
+                                    scenarios.append(
+                                        Scenario(
+                                            config=config,
+                                            cluster=cluster,
+                                            strategy=strategy,
+                                            tokens=token_count,
+                                            imbalance_std=std,
+                                            seed=seed,
+                                            overlap_policy=overlap,
+                                        )
                                     )
-                                )
         if systems is None:
             names: tuple[str, ...] = ()
         else:
@@ -296,6 +309,7 @@ class ExperimentSpec:
                         scenario.strategy,
                         total_tokens=scenario.tokens,
                         workload=workload,
+                        overlap_policy=scenario.overlap_policy,
                     )
                 except UnsupportedWorkload as exc:
                     record_skip(

@@ -6,7 +6,10 @@ Examples::
     python -m repro figure table3 --json out.json
     python -m repro layer --model mixtral --tp 1 --ep 8 --tokens 16384
     python -m repro layer --systems comet,tutel --tokens 8192
+    python -m repro model --tokens 16384 --overlap-policy per_layer cross_layer
+    python -m repro model --training --report     # critical path through the graph
     python -m repro sweep --models mixtral qwen2 --tokens 4096 8192
+    python -m repro sweep --overlap-policy per_layer cross_layer shortcut
     python -m repro sweep-nc --tp 4 --ep 2 --tokens 16384
     python -m repro trace --out timeline.json
     python -m repro serve --trace poisson --rps 160 --duration 30 \
@@ -34,6 +37,7 @@ from repro.api import (
 from repro.bench import figures as _figures
 from repro.bench.export import save_json
 from repro.bench.report import format_table
+from repro.graph import OVERLAP_POLICIES
 from repro.parallel.strategy import ParallelStrategy
 from repro.runtime.visualize import render_breakdown_bars, render_overlap_lanes
 from repro.systems import Comet
@@ -83,6 +87,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print the overlap report (hidden-communication fractions)",
     )
 
+    model = sub.add_parser(
+        "model",
+        help="time a full model under the cross-layer overlap policies",
+    )
+    model.add_argument(
+        "--model", choices=sorted(MODEL_REGISTRY.names()), default="mixtral"
+    )
+    model.add_argument(
+        "--cluster", choices=sorted(CLUSTER_REGISTRY.names()), default="h800"
+    )
+    model.add_argument("--tp", type=int, default=1)
+    model.add_argument("--ep", type=int, default=8)
+    model.add_argument("--tokens", type=int, default=16384)
+    model.add_argument("--imbalance-std", type=float, default=0.0)
+    model.add_argument("--seed", type=int, default=0)
+    model.add_argument(
+        "--systems",
+        help="comma-separated registry names (default: all registered systems)",
+    )
+    model.add_argument(
+        "--overlap-policy", nargs="+", choices=OVERLAP_POLICIES,
+        default=list(OVERLAP_POLICIES), metavar="POLICY",
+        help="overlap policies to compare: per_layer, cross_layer, shortcut "
+        "(default: all three)",
+    )
+    model.add_argument(
+        "--training", action="store_true",
+        help="time one training step (fwd + bwd + grad sync + optimizer) "
+        "instead of the forward pass",
+    )
+    model.add_argument(
+        "--report", action="store_true",
+        help="also print the critical path through the schedule graph",
+    )
+
     sweep = sub.add_parser(
         "sweep", help="run a declarative scenario grid and tabulate it"
     )
@@ -109,6 +148,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--imbalance-std", nargs="+", type=float, default=[0.0])
     sweep.add_argument("--seed", nargs="+", type=int, default=[0])
+    sweep.add_argument(
+        "--overlap-policy", nargs="+", choices=OVERLAP_POLICIES, default=None,
+        metavar="POLICY",
+        help="sweep cross-layer overlap policies (runs the grid at model "
+        "level: per_layer, cross_layer, shortcut)",
+    )
     sweep.add_argument("--json", metavar="PATH", help="also export raw data")
     sweep.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -166,6 +211,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="continuous-batching token budget per iteration")
     serve.add_argument("--prompt-mean", type=int, default=512)
     serve.add_argument("--output-mean", type=int, default=128)
+    serve.add_argument(
+        "--overlap-policy", choices=OVERLAP_POLICIES, default="per_layer",
+        help="cross-layer overlap policy for the step cost model "
+        "(default: per_layer)",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", metavar="PATH", help="also export the report")
     serve.add_argument("--csv", metavar="PATH", help="also export a CSV table")
@@ -294,6 +344,128 @@ def _cmd_layer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_critical_path(schedule, max_rows: int = 20) -> str:
+    """Tabulate the critical path of a scheduled graph."""
+    path = schedule.critical_path()
+    shown = path[:max_rows]
+    rows = [
+        [
+            node.label,
+            f"{start / 1000:.3f}",
+            f"{(start + node.duration_us) / 1000:.3f}",
+            f"{node.duration_us / 1000:.3f}",
+        ]
+        for node in shown
+        for start in (schedule.start_us[node.id],)
+    ]
+    title = (
+        f"Critical path ({len(path)} nodes, makespan "
+        f"{schedule.makespan_us / 1000:.3f} ms, overlap saves "
+        f"{schedule.overlap_saved_us() / 1000:.3f} ms vs serial)"
+    )
+    text = format_table(
+        ["node", "start ms", "finish ms", "dur ms"], rows, title=title
+    )
+    if len(path) > max_rows:
+        text += f"\n  ... {len(path) - max_rows} more nodes"
+    return text
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.api.scenario import default_system_names
+    from repro.graph.lower import forward_schedule, training_schedule
+    from repro.runtime.model_runner import run_model
+    from repro.runtime.training import run_training_step
+    from repro.systems.base import UnsupportedWorkload
+
+    try:
+        systems = _resolve_systems(args.systems)
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cluster = CLUSTER_REGISTRY.get(args.cluster)()
+    config = MODEL_REGISTRY.get(args.model)
+    try:
+        scenario = Scenario(
+            config=config,
+            cluster=cluster,
+            strategy=ParallelStrategy(tp_size=args.tp, ep_size=args.ep),
+            tokens=args.tokens,
+            imbalance_std=args.imbalance_std,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    policies = list(dict.fromkeys(args.overlap_policy))
+    names = systems or default_system_names()
+    workload = scenario.build_workload()
+    runner = run_training_step if args.training else run_model
+    kind = "training step" if args.training else "forward pass"
+    print(
+        f"{config.name}, {scenario.strategy}, M={args.tokens}, "
+        f"{cluster.name} — {kind}, {config.num_layers} layers\n"
+    )
+    rows = []
+    report_lines = []
+    for name in names:
+        system = SYSTEM_REGISTRY.create(name)
+        cells = [system.name]
+        timings = {}
+        try:
+            for policy in policies:
+                timing = runner(
+                    system, config, cluster, scenario.strategy,
+                    total_tokens=args.tokens, workload=workload,
+                    overlap_policy=policy,
+                )
+                timings[policy] = timing
+                cells.append(f"{timing.makespan_us / 1000:.3f}")
+        except UnsupportedWorkload as exc:
+            print(f"{system.name:>18s} |  skipped: {exc}")
+            continue
+        best = min(timings.values(), key=lambda t: t.makespan_us)
+        serial = timings.get("per_layer")
+        baseline_us = serial.makespan_us if serial else best.total_us
+        cells.append(f"{baseline_us / best.makespan_us:.3f}x")
+        rows.append(cells)
+        if args.report:
+            for policy in policies:
+                timing = timings[policy]
+                if args.training:
+                    schedule = training_schedule(
+                        system.lower_layer(timing.moe_fwd),
+                        system.backward_variant().lower_layer(timing.moe_bwd),
+                        timing.attention_fwd_us,
+                        timing.attention_bwd_us,
+                        timing.num_layers,
+                        timing.grad_sync_us,
+                        timing.optimizer_us,
+                        policy,
+                    )
+                else:
+                    schedule = forward_schedule(
+                        system.lower_layer(timing.moe),
+                        timing.attention_us,
+                        timing.num_layers,
+                        policy,
+                    )
+                report_lines.append(
+                    f"\n{system.name} — {policy}:\n"
+                    + _format_critical_path(schedule)
+                )
+    print(
+        format_table(
+            ["system"] + [f"{p} ms" for p in policies] + ["best speedup"],
+            rows,
+            title=f"Whole-model schedule graph makespans ({kind})",
+        )
+    )
+    for line in report_lines:
+        print(line)
+    return 0
+
+
 def _strategies_for(
     cluster, tps: Sequence[int] | None, eps: Sequence[int] | None
 ) -> list[ParallelStrategy]:
@@ -323,6 +495,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except UnknownNameError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    policies = list(dict.fromkeys(args.overlap_policy or ["per_layer"]))
     scenarios: list[Scenario] = []
     for model_name in args.models:
         config = MODEL_REGISTRY.get(model_name)
@@ -333,7 +506,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     for std in args.imbalance_std:
                         for seed in args.seed:
                             try:
-                                scenarios.append(
+                                point = [
                                     Scenario(
                                         config=config,
                                         cluster=cluster,
@@ -341,10 +514,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                         tokens=tokens,
                                         imbalance_std=std,
                                         seed=seed,
+                                        overlap_policy=policy,
                                     )
-                                )
+                                    for policy in policies
+                                ]
                             except ValueError as exc:
-                                print(f"skipping grid point: {exc}", file=sys.stderr)
+                                # Validity is policy-independent: warn
+                                # once per grid point, not per policy.
+                                print(
+                                    f"skipping grid point: {exc}",
+                                    file=sys.stderr,
+                                )
+                                continue
+                            scenarios.extend(point)
     if not scenarios:
         print(
             "error: no valid scenario in the grid (check --tp/--ep against "
@@ -355,13 +537,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         scenarios=tuple(dict.fromkeys(scenarios)), systems=systems
     )
-    results = spec.run(workers=args.workers)
+    # A policy sweep only shows at model level (the MoE layer timing is
+    # policy-independent); plain sweeps keep the layer-level default.
+    level = "model" if args.overlap_policy else "layer"
+    results = spec.run(level=level, workers=args.workers)
     headers, rows = results.to_table()
+    metric = "end-to-end model ms" if level == "model" else "MoE layer ms"
     print(
         format_table(
             headers, rows,
             title=f"Scenario sweep: {len(results.scenarios())} grid points, "
-            f"MoE layer ms per system",
+            f"{metric} per system",
         )
     )
     for key, reason in results.skipped.items():
@@ -432,6 +618,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             slo_ttft_ms=args.slo_ttft_ms,
             slo_tpot_ms=args.slo_tpot_ms,
             max_batch_tokens=args.max_batch_tokens,
+            overlap_policy=args.overlap_policy,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -441,9 +628,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     trace = scenario.trace
+    overlap = (
+        f", overlap={scenario.overlap_policy}"
+        if scenario.overlap_policy != "per_layer"
+        else ""
+    )
     print(
         f"{config.name}, {scenario.strategy}, {cluster.name} — "
-        f"{trace.label}, policy={scenario.policy}, "
+        f"{trace.label}, policy={scenario.policy}{overlap}, "
         f"SLO: TTFT<={scenario.slo_ttft_ms:g}ms TPOT<={scenario.slo_tpot_ms:g}ms\n"
     )
     rows = []
@@ -528,6 +720,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "figure": _cmd_figure,
         "layer": _cmd_layer,
+        "model": _cmd_model,
         "serve": _cmd_serve,
         "sweep": _cmd_sweep,
         "sweep-nc": _cmd_sweep_nc,

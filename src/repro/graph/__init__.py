@@ -1,0 +1,60 @@
+"""Whole-model schedule graph: cross-layer overlap IR and schedulers.
+
+The package lifts the per-layer timing substrate into a model-level
+dependency graph so cross-layer computation–communication overlap —
+Lancet's whole-graph overlapping and ScMoE's shortcut-connected expert
+parallelism — becomes a first-class, sweepable policy axis on top of the
+intra-layer overlapping the systems already model:
+
+* :mod:`repro.graph.ir` — typed nodes, resource streams, the DAG;
+* :mod:`repro.graph.scheduler` — deterministic analytic list scheduler;
+* :mod:`repro.graph.des_ref` — discrete-event reference executor
+  (cross-checked exactly equal to the analytic scheduler);
+* :mod:`repro.graph.lower` — policy-aware lowering of
+  ``MoESystem.lower_layer`` phase lists into model / training graphs.
+"""
+
+from repro.graph.des_ref import des_schedule
+from repro.graph.ir import (
+    COMM,
+    COMPUTE,
+    GraphNode,
+    LayerPhase,
+    NodeKind,
+    ScheduleGraph,
+    Stream,
+)
+from repro.graph.lower import (
+    OVERLAP_POLICIES,
+    build_forward_graph,
+    build_moe_chain,
+    build_training_graph,
+    check_policy,
+    forward_makespan,
+    forward_schedule,
+    training_makespan,
+    training_schedule,
+)
+from repro.graph.scheduler import GraphSchedule, list_schedule
+
+__all__ = [
+    "COMM",
+    "COMPUTE",
+    "GraphNode",
+    "GraphSchedule",
+    "LayerPhase",
+    "NodeKind",
+    "OVERLAP_POLICIES",
+    "ScheduleGraph",
+    "Stream",
+    "build_forward_graph",
+    "build_moe_chain",
+    "build_training_graph",
+    "check_policy",
+    "des_schedule",
+    "forward_makespan",
+    "forward_schedule",
+    "list_schedule",
+    "training_makespan",
+    "training_schedule",
+]

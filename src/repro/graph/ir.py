@@ -1,0 +1,207 @@
+"""Typed schedule-graph IR: nodes, resource streams, and the DAG builder.
+
+The IR lifts the repository's timing substrate from per-layer scalars to
+a whole-model dependency graph.  A :class:`GraphNode` is one phase of
+model execution (attention, gate, dispatch, expert GEMM, activation,
+combine, host, grad-sync, optimizer) priced in microseconds; every node
+carries a :class:`Stream` resource tag — the compute stream or the
+communication stream of one rank — and explicit dependency edges.
+
+Nodes on one stream execute serially (a stream is one queue of one
+device engine); nodes on different streams overlap freely once their
+dependencies allow it.  The deterministic semantics of "which ready node
+runs next on a stream" (lowest node id) are implemented twice — by the
+analytic list scheduler in :mod:`repro.graph.scheduler` and by the
+discrete-event reference executor in :mod:`repro.graph.des_ref` — and
+the test suite asserts both agree exactly on every graph.
+
+The IR is deliberately backend-agnostic: it knows nothing about MoE
+systems.  :mod:`repro.graph.lower` builds model-level graphs out of
+:meth:`repro.systems.base.MoESystem.lower_layer` phase lists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+__all__ = [
+    "COMM",
+    "COMPUTE",
+    "GraphNode",
+    "LayerPhase",
+    "NodeKind",
+    "ScheduleGraph",
+    "Stream",
+]
+
+
+class NodeKind(str, Enum):
+    """Execution phase a node represents (the paper's Figure 11 segments
+    plus the training-step extensions)."""
+
+    ATTENTION = "attention"
+    ATTENTION_BWD = "attention_bwd"
+    GATE = "gate"
+    DISPATCH = "dispatch"
+    EXPERT = "expert"
+    ACTIVATION = "activation"
+    COMBINE = "combine"
+    HOST = "host"
+    GRAD_SYNC = "grad_sync"
+    OPTIMIZER = "optimizer"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+COMPUTE = "compute"
+COMM = "comm"
+
+
+@dataclass(frozen=True)
+class Stream:
+    """One serial execution engine: the compute or comm stream of a rank.
+
+    The simulator prices the bottleneck rank, so ``rank`` defaults to 0;
+    multi-rank graphs (e.g. hand-built test graphs) tag nodes with other
+    ranks to model per-rank engines.
+    """
+
+    kind: str = COMPUTE
+    rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (COMPUTE, COMM):
+            raise ValueError(f"stream kind must be {COMPUTE!r} or {COMM!r}")
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.rank}"
+
+
+@dataclass(frozen=True)
+class LayerPhase:
+    """One phase of a single MoE layer, as emitted by ``lower_layer``.
+
+    ``comm=True`` places the phase on the communication stream; the
+    duration is the phase's *standalone* time (for comm phases, the
+    exposed remainder after whatever intra-layer overlapping the system
+    already performs — cross-layer policies compound on top of it).
+    """
+
+    kind: NodeKind
+    duration_us: float
+    comm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError(f"duration_us must be >= 0, got {self.duration_us}")
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One scheduled unit of work."""
+
+    id: int
+    kind: NodeKind
+    duration_us: float
+    stream: Stream
+    layer: int = -1  # transformer layer index; -1 for step-level nodes
+    tag: str = ""  # free-form qualifier, e.g. "fwd" / "bwd"
+
+    @property
+    def label(self) -> str:
+        prefix = f"L{self.layer:02d}." if self.layer >= 0 else ""
+        suffix = f".{self.tag}" if self.tag else ""
+        return f"{prefix}{self.kind.value}{suffix}[{self.stream}]"
+
+
+class ScheduleGraph:
+    """A DAG of :class:`GraphNode` with explicit dependency edges.
+
+    Nodes are added in a deterministic order; the node id doubles as the
+    scheduling priority (among simultaneously-ready nodes on one stream,
+    the lowest id runs first), so graph construction order is part of the
+    schedule's semantics — both executors honour it identically.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: list[GraphNode] = []
+        self.preds: list[tuple[int, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[GraphNode]:
+        return iter(self.nodes)
+
+    def add(
+        self,
+        kind: NodeKind,
+        duration_us: float,
+        stream: Stream,
+        deps: Iterable[int] = (),
+        layer: int = -1,
+        tag: str = "",
+    ) -> int:
+        """Append a node and return its id (= scheduling priority)."""
+        if duration_us < 0:
+            raise ValueError(f"duration_us must be >= 0, got {duration_us}")
+        node_id = len(self.nodes)
+        dep_ids = tuple(dict.fromkeys(int(d) for d in deps))
+        for dep in dep_ids:
+            if not 0 <= dep < node_id:
+                raise ValueError(
+                    f"node {node_id} depends on {dep}, which does not precede it"
+                )
+        self.nodes.append(
+            GraphNode(
+                id=node_id,
+                kind=kind,
+                duration_us=float(duration_us),
+                stream=stream,
+                layer=layer,
+                tag=tag,
+            )
+        )
+        self.preds.append(dep_ids)
+        return node_id
+
+    def streams(self) -> tuple[Stream, ...]:
+        """Distinct streams, in first-use order."""
+        return tuple(dict.fromkeys(node.stream for node in self.nodes))
+
+    def successors(self) -> list[list[int]]:
+        """Adjacency list derived from ``preds`` (computed on demand)."""
+        succs: list[list[int]] = [[] for _ in self.nodes]
+        for node_id, deps in enumerate(self.preds):
+            for dep in deps:
+                succs[dep].append(node_id)
+        return succs
+
+    @property
+    def total_work_us(self) -> float:
+        """Sum of all node durations (the zero-overlap upper bound)."""
+        return sum(node.duration_us for node in self.nodes)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the graph's structure and exact durations.
+
+        Keys :data:`repro.perf.GRAPH_CACHE`: two graphs with equal
+        fingerprints schedule identically, bit for bit, because the
+        digest covers node order, kinds, streams, dependency edges, and
+        the IEEE-754 bits of every duration.
+        """
+        digest = hashlib.sha1()
+        for node, deps in zip(self.nodes, self.preds):
+            digest.update(
+                (
+                    f"{node.kind.value}|{node.stream}|{node.layer}|{node.tag}|"
+                    f"{node.duration_us.hex()}|{','.join(map(str, deps))};"
+                ).encode()
+            )
+        return digest.hexdigest()

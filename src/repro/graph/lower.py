@@ -1,0 +1,387 @@
+"""Lower per-layer system timings into whole-model schedule graphs.
+
+This module turns the phase lists produced by
+:meth:`repro.systems.base.MoESystem.lower_layer` into model-level
+:class:`~repro.graph.ir.ScheduleGraph` instances under one of three
+**overlap policies** — the new sweep axis:
+
+* ``per_layer`` — today's execution model: every layer is a serial chain
+  (attention, gate, dispatch, experts, combine, host) and layers follow
+  each other back to back.  The makespan is *proven equal, bit for bit*,
+  to the legacy additive totals of ``run_model`` / ``run_training_step``
+  / ``StepCostModel`` (the equivalence tests enforce ``==``): a chain
+  schedule accumulates finish times in exactly the order
+  :attr:`~repro.systems.base.LayerTiming.total_us` sums its segments.
+* ``cross_layer`` — Lancet-style whole-graph overlapping: the combine
+  all-to-all of layer *i* runs on the comm stream concurrently with the
+  host epilogue and the attention of layer *i + 1*; the next gate waits
+  for both.  In training, the dense gradient all-reduce is additionally
+  bucketed per layer and overlaps the remaining backward compute.
+* ``shortcut`` — ScMoE-style shortcut-connected expert parallelism: the
+  MoE branch of a block consumes the *previous* block's output, so the
+  gate+dispatch launch before the block's attention and the dispatch
+  overlaps the dense path as well; combine still merges one block later.
+
+Comm-phase durations are the *exposed* remainders after whatever
+intra-layer overlapping each system already performs, so cross-layer
+gains compound on top of COMET's fine-grained intra-layer gains — the
+compounding Lancet and ScMoE report over per-layer overlappers.
+
+All scheduling goes through :func:`repro.perf.cached_graph_schedule`
+(keyed by :meth:`ScheduleGraph.fingerprint`), so repeated grid points and
+``workers=N`` runs stay byte-identical while scheduling each distinct
+graph once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.ir import (
+    COMM,
+    COMPUTE,
+    LayerPhase,
+    NodeKind,
+    ScheduleGraph,
+    Stream,
+)
+from repro.graph.scheduler import GraphSchedule, list_schedule
+
+__all__ = [
+    "OVERLAP_POLICIES",
+    "build_forward_graph",
+    "build_moe_chain",
+    "build_training_graph",
+    "check_policy",
+    "forward_makespan",
+    "forward_schedule",
+    "training_makespan",
+    "training_schedule",
+]
+
+OVERLAP_POLICIES = ("per_layer", "cross_layer", "shortcut")
+
+_COMPUTE = Stream(COMPUTE, 0)
+_COMM = Stream(COMM, 0)
+
+
+def check_policy(policy: str) -> str:
+    if policy not in OVERLAP_POLICIES:
+        raise ValueError(
+            f"overlap_policy must be one of {', '.join(OVERLAP_POLICIES)}; "
+            f"got {policy!r}"
+        )
+    return policy
+
+
+def _cached_schedule(graph: ScheduleGraph) -> GraphSchedule:
+    from repro import perf
+
+    return perf.cached_graph_schedule(graph)
+
+
+def build_moe_chain(phases: Sequence[LayerPhase]) -> ScheduleGraph:
+    """One MoE layer as a serial chain (the per-layer execution model).
+
+    Scheduling this chain accumulates finish times left to right in the
+    phases' order, so its makespan equals
+    :attr:`~repro.systems.base.LayerTiming.total_us` bit for bit when the
+    phases come from the default ``lower_layer`` (zero-duration phases
+    are dropped; adding ``0.0`` never changes an IEEE-754 sum).
+    """
+    graph = ScheduleGraph()
+    prev: int | None = None
+    for phase in phases:
+        if phase.duration_us == 0.0:
+            continue
+        prev = graph.add(
+            phase.kind,
+            phase.duration_us,
+            _COMM if phase.comm else _COMPUTE,
+            deps=() if prev is None else (prev,),
+            layer=0,
+        )
+    return graph
+
+
+class _LayerState:
+    """Cross-layer context threaded through the per-layer builders."""
+
+    __slots__ = ("exit_ids", "combine_id")
+
+    def __init__(self) -> None:
+        self.exit_ids: tuple[int, ...] = ()  # serial compute-path exit
+        self.combine_id: int | None = None  # detached trailing combine
+
+
+def _add_layer(
+    graph: ScheduleGraph,
+    phases: Sequence[LayerPhase],
+    attention_us: float,
+    policy: str,
+    layer: int,
+    state: _LayerState,
+    tag: str = "",
+    attention_kind: NodeKind = NodeKind.ATTENTION,
+    attention_first: bool = True,
+) -> None:
+    """Append one transformer layer (attention + MoE phases) to ``graph``.
+
+    ``attention_first=False`` appends the attention node after the MoE
+    phases instead — the backward pass runs the reversed layer, where the
+    attention backward trails the expert backward and is what the
+    detached combine overlaps with.
+    """
+    active = [p for p in phases if p.duration_us > 0.0]
+    # The detachable boundary comm phase: the trailing combine, whose
+    # output is only needed at the next layer's merge point.
+    combine_pos = None
+    if policy != "per_layer":
+        for idx in range(len(active) - 1, -1, -1):
+            if active[idx].comm and active[idx].kind is NodeKind.COMBINE:
+                combine_pos = idx
+                break
+
+    entry_deps = state.exit_ids
+    combine_dep = () if state.combine_id is None else (state.combine_id,)
+    merge_deps = (*entry_deps, *combine_dep)
+
+    has_attention = attention_first and attention_us > 0.0
+    overlap_dense = policy == "shortcut" and has_attention and active
+
+    attn_id: int | None = None
+    prev: tuple[int, ...]
+    remaining = list(enumerate(active))
+    if overlap_dense:
+        # ScMoE: the MoE branch consumes the previous block's output, so
+        # the gate launches before this block's attention (lower node id
+        # wins the compute-stream tie) and the dispatch overlaps the
+        # dense path; the paths merge again at the layer exit.
+        first_idx, first_phase = remaining.pop(0)
+        first_id = graph.add(
+            first_phase.kind,
+            first_phase.duration_us,
+            _COMM if first_phase.comm else _COMPUTE,
+            deps=merge_deps,
+            layer=layer,
+            tag=tag,
+        )
+        attn_id = graph.add(
+            attention_kind, attention_us, _COMPUTE, deps=entry_deps,
+            layer=layer, tag=tag,
+        )
+        prev = (first_id,) if first_idx != combine_pos else merge_deps
+        combine_id = first_id if first_idx == combine_pos else None
+    elif has_attention:
+        # per_layer keeps the strict chain; cross_layer lets attention
+        # skip the previous combine (Lancet's boundary overlap) while
+        # the gate — which needs the merged output — waits for both.
+        attn_deps = entry_deps if policy == "cross_layer" else merge_deps
+        attn_id = graph.add(
+            attention_kind, attention_us, _COMPUTE, deps=attn_deps,
+            layer=layer, tag=tag,
+        )
+        prev = (attn_id, *combine_dep) if policy == "cross_layer" else (attn_id,)
+        combine_id = None
+    else:
+        prev = merge_deps
+        combine_id = None
+
+    for idx, phase in remaining:
+        stream = _COMM if phase.comm else _COMPUTE
+        node = graph.add(
+            phase.kind, phase.duration_us, stream, deps=prev, layer=layer, tag=tag
+        )
+        if idx == combine_pos:
+            combine_id = node  # detached: the chain continues without it
+        else:
+            prev = (node,)
+
+    if not attention_first and attention_us > 0.0:
+        attn_id = graph.add(
+            attention_kind, attention_us, _COMPUTE, deps=prev, layer=layer, tag=tag
+        )
+        prev = (attn_id,)
+    elif overlap_dense and attn_id is not None and attn_id not in prev:
+        # Merge the dense path back in: the layer's serial exit requires
+        # both the expert chain and the attention output.
+        prev = (*prev, attn_id)
+
+    state.exit_ids = prev if prev else entry_deps
+    state.combine_id = combine_id
+
+
+def build_forward_graph(
+    phases: Sequence[LayerPhase],
+    attention_us: float,
+    num_layers: int,
+    policy: str,
+) -> ScheduleGraph:
+    """Whole-model forward graph: ``num_layers`` identical layers."""
+    check_policy(policy)
+    if num_layers <= 0:
+        raise ValueError(f"num_layers must be positive, got {num_layers}")
+    graph = ScheduleGraph()
+    state = _LayerState()
+    for layer in range(num_layers):
+        _add_layer(graph, phases, attention_us, policy, layer, state)
+    return graph
+
+
+def build_training_graph(
+    fwd_phases: Sequence[LayerPhase],
+    bwd_phases: Sequence[LayerPhase],
+    attention_fwd_us: float,
+    attention_bwd_us: float,
+    num_layers: int,
+    grad_sync_us: float,
+    optimizer_us: float,
+    policy: str,
+) -> ScheduleGraph:
+    """One full training step: forward sweep, backward sweep, sync, update.
+
+    Under ``cross_layer``/``shortcut`` the dense gradient all-reduce is
+    bucketed into one chunk per layer, released as that layer's backward
+    finishes — the standard DDP bucketing overlap — and the optimizer
+    waits for every bucket plus the final backward compute.
+    """
+    check_policy(policy)
+    if num_layers <= 0:
+        raise ValueError(f"num_layers must be positive, got {num_layers}")
+    graph = ScheduleGraph()
+    state = _LayerState()
+    for layer in range(num_layers):
+        _add_layer(
+            graph, fwd_phases, attention_fwd_us, policy, layer, state, tag="fwd"
+        )
+    sync_chunks: list[int] = []
+    bucketed = policy != "per_layer" and grad_sync_us > 0.0
+    chunk_us = grad_sync_us / num_layers if bucketed else 0.0
+    for layer in range(num_layers - 1, -1, -1):
+        _add_layer(
+            graph,
+            bwd_phases,
+            attention_bwd_us,
+            policy,
+            layer,
+            state,
+            tag="bwd",
+            attention_kind=NodeKind.ATTENTION_BWD,
+            attention_first=False,
+        )
+        if bucketed:
+            sync_chunks.append(
+                graph.add(
+                    NodeKind.GRAD_SYNC,
+                    chunk_us,
+                    _COMM,
+                    deps=state.exit_ids,
+                    layer=layer,
+                    tag="bwd",
+                )
+            )
+    tail_deps = state.exit_ids
+    if not bucketed and grad_sync_us > 0.0:
+        tail_deps = (
+            graph.add(NodeKind.GRAD_SYNC, grad_sync_us, _COMM, deps=tail_deps),
+        )
+    if optimizer_us > 0.0:
+        graph.add(
+            NodeKind.OPTIMIZER,
+            optimizer_us,
+            _COMPUTE,
+            deps=(*tail_deps, *sync_chunks),
+        )
+    return graph
+
+
+def forward_schedule(
+    phases: Sequence[LayerPhase],
+    attention_us: float,
+    num_layers: int,
+    policy: str,
+) -> GraphSchedule:
+    """Schedule the flat forward graph (cached by graph fingerprint)."""
+    return _cached_schedule(
+        build_forward_graph(phases, attention_us, num_layers, policy)
+    )
+
+
+def forward_makespan(
+    phases: Sequence[LayerPhase],
+    attention_us: float,
+    num_layers: int,
+    policy: str,
+) -> float:
+    """End-to-end forward makespan under ``policy``.
+
+    ``per_layer`` composes the scheduled single-layer chain exactly the
+    way the legacy additive path does — ``num_layers x (attention +
+    chain makespan)`` — so the result is bit-identical to
+    ``ModelTiming.total_us`` (and to ``StepCostModel``'s per-bucket
+    cost); the unrolled flat graph agrees to float associativity and is
+    what the DES cross-check executes.
+    """
+    check_policy(policy)
+    if policy == "per_layer":
+        moe_us = list_schedule(build_moe_chain(phases)).makespan_us
+        return num_layers * (attention_us + moe_us)
+    return forward_schedule(phases, attention_us, num_layers, policy).makespan_us
+
+
+def training_schedule(
+    fwd_phases: Sequence[LayerPhase],
+    bwd_phases: Sequence[LayerPhase],
+    attention_fwd_us: float,
+    attention_bwd_us: float,
+    num_layers: int,
+    grad_sync_us: float,
+    optimizer_us: float,
+    policy: str,
+) -> GraphSchedule:
+    """Schedule the flat training-step graph (cached by fingerprint)."""
+    return _cached_schedule(
+        build_training_graph(
+            fwd_phases,
+            bwd_phases,
+            attention_fwd_us,
+            attention_bwd_us,
+            num_layers,
+            grad_sync_us,
+            optimizer_us,
+            policy,
+        )
+    )
+
+
+def training_makespan(
+    fwd_phases: Sequence[LayerPhase],
+    bwd_phases: Sequence[LayerPhase],
+    attention_fwd_us: float,
+    attention_bwd_us: float,
+    num_layers: int,
+    grad_sync_us: float,
+    optimizer_us: float,
+    policy: str,
+) -> float:
+    """Training-step makespan under ``policy``.
+
+    ``per_layer`` reproduces :attr:`TrainStepTiming.step_us` bit for bit
+    (same summation order and association as the legacy formula).
+    """
+    check_policy(policy)
+    if policy == "per_layer":
+        moe_fwd_us = list_schedule(build_moe_chain(fwd_phases)).makespan_us
+        moe_bwd_us = list_schedule(build_moe_chain(bwd_phases)).makespan_us
+        layer_us = attention_fwd_us + attention_bwd_us + moe_fwd_us + moe_bwd_us
+        return num_layers * layer_us + grad_sync_us + optimizer_us
+    return training_schedule(
+        fwd_phases,
+        bwd_phases,
+        attention_fwd_us,
+        attention_bwd_us,
+        num_layers,
+        grad_sync_us,
+        optimizer_us,
+        policy,
+    ).makespan_us

@@ -1,0 +1,201 @@
+"""Deterministic analytic list scheduler for :class:`ScheduleGraph`.
+
+The scheduler assigns every node a start and finish time under the IR's
+execution semantics:
+
+* a node may start once all its dependency predecessors have finished;
+* nodes sharing a :class:`~repro.graph.ir.Stream` execute serially;
+* when a stream is free and several nodes are ready, the lowest node id
+  runs first (ids are assigned in graph construction order).
+
+This is the same analytic event-loop style as the PR 3 wave scheduler in
+:mod:`repro.kernels.fused`: a heap of completion events, per-stream
+ready queues, no per-tick stepping.  All completions sharing one
+timestamp are drained before any stream dispatches again, which makes
+the dispatch order — and therefore every start/finish float — exactly
+equal to the discrete-event reference executor in
+:mod:`repro.graph.des_ref` (the cross-check tests assert ``==``, not
+approximate agreement).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.graph.ir import GraphNode, ScheduleGraph, Stream
+
+__all__ = ["GraphSchedule", "list_schedule"]
+
+
+@dataclass(frozen=True)
+class GraphSchedule:
+    """The result of scheduling one graph: per-node times and makespan."""
+
+    graph: ScheduleGraph = field(repr=False)
+    start_us: tuple[float, ...]
+    finish_us: tuple[float, ...]
+
+    @property
+    def makespan_us(self) -> float:
+        """End-to-end wall clock of the scheduled graph."""
+        return max(self.finish_us, default=0.0)
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.makespan_us / 1000.0
+
+    def stream_busy_us(self) -> dict[Stream, float]:
+        """Total occupied time per stream (utilisation numerator)."""
+        busy: dict[Stream, float] = {}
+        for node in self.graph.nodes:
+            busy[node.stream] = busy.get(node.stream, 0.0) + node.duration_us
+        return busy
+
+    def overlap_saved_us(self) -> float:
+        """Work hidden by overlap: total work minus the makespan."""
+        return self.graph.total_work_us - self.makespan_us
+
+    def critical_path(self) -> list[GraphNode]:
+        """One chain of nodes that paces the makespan, source to sink.
+
+        Each step walks from a node to the predecessor that determined
+        its start time: a dependency predecessor whose finish equals the
+        start, or the node that ran immediately before it on the same
+        stream (a resource wait).  Ties break toward the lowest id, so
+        the path is deterministic.
+        """
+        if not self.graph.nodes:
+            return []
+        stream_prev = _stream_predecessors(self.graph, self.start_us)
+        # Sink: latest finish, lowest id on ties.
+        sink = min(
+            range(len(self.graph)),
+            key=lambda i: (-self.finish_us[i], i),
+        )
+        path = [sink]
+        current = sink
+        while self.start_us[current] > 0.0:
+            candidates = [
+                p
+                for p in self.graph.preds[current]
+                if self.finish_us[p] == self.start_us[current]
+            ]
+            prev_on_stream = stream_prev[current]
+            if (
+                prev_on_stream is not None
+                and self.finish_us[prev_on_stream] == self.start_us[current]
+            ):
+                candidates.append(prev_on_stream)
+            if not candidates:  # start pinned by a zero-length wait chain
+                break
+            current = min(candidates)
+            path.append(current)
+        path.reverse()
+        return [self.graph.nodes[i] for i in path]
+
+
+def _stream_predecessors(
+    graph: ScheduleGraph, start_us: tuple[float, ...]
+) -> list[int | None]:
+    """For each node, the node that ran just before it on its stream."""
+    order: dict[Stream, list[int]] = {}
+    for node in graph.nodes:
+        order.setdefault(node.stream, []).append(node.id)
+    for ids in order.values():
+        ids.sort(key=lambda i: (start_us[i], i))
+    prev: list[int | None] = [None] * len(graph)
+    for ids in order.values():
+        for before, after in zip(ids, ids[1:]):
+            prev[after] = before
+    return prev
+
+
+class _StreamState:
+    __slots__ = ("busy", "free_at", "ready")
+
+    def __init__(self) -> None:
+        self.busy = False
+        self.free_at = 0.0
+        self.ready: list[int] = []  # heap of ready node ids
+
+
+def list_schedule(graph: ScheduleGraph) -> GraphSchedule:
+    """Schedule ``graph`` and return every node's start/finish time.
+
+    Raises :class:`ValueError` if the graph contains a dependency cycle
+    (impossible via :meth:`ScheduleGraph.add`, which only accepts edges
+    from earlier nodes, but hand-built graphs are validated anyway).
+    """
+    n = len(graph)
+    start = [0.0] * n
+    finish = [0.0] * n
+    if n == 0:
+        return GraphSchedule(graph=graph, start_us=(), finish_us=())
+
+    indegree = [len(deps) for deps in graph.preds]
+    ready_at = [0.0] * n
+    succs = graph.successors()
+    streams: dict[Stream, _StreamState] = {
+        stream: _StreamState() for stream in graph.streams()
+    }
+
+    events: list[tuple[float, int, int]] = []  # (finish, dispatch seq, node)
+    seq = 0
+    scheduled = 0
+
+    def make_ready(node_id: int) -> None:
+        heapq.heappush(streams[graph.nodes[node_id].stream].ready, node_id)
+
+    def dispatch(state: _StreamState) -> None:
+        nonlocal seq, scheduled
+        if state.busy or not state.ready:
+            return
+        node_id = heapq.heappop(state.ready)
+        node = graph.nodes[node_id]
+        begin = state.free_at if state.free_at > ready_at[node_id] else ready_at[node_id]
+        start[node_id] = begin
+        finish[node_id] = begin + node.duration_us
+        state.busy = True
+        seq += 1
+        scheduled += 1
+        heapq.heappush(events, (finish[node_id], seq, node_id))
+
+    for node_id in range(n):
+        if indegree[node_id] == 0:
+            make_ready(node_id)
+    for state in streams.values():
+        dispatch(state)
+
+    while events:
+        now = events[0][0]
+        touched: dict[Stream, _StreamState] = {}
+        # Drain every completion at this timestamp before dispatching,
+        # mirroring the event ordering of the DES reference executor.
+        while events and events[0][0] == now:
+            _, _, node_id = heapq.heappop(events)
+            node = graph.nodes[node_id]
+            state = streams[node.stream]
+            state.busy = False
+            state.free_at = finish[node_id]
+            touched[node.stream] = state
+            for succ in succs[node_id]:
+                if finish[node_id] > ready_at[succ]:
+                    ready_at[succ] = finish[node_id]
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    make_ready(succ)
+                    touched[graph.nodes[succ].stream] = streams[
+                        graph.nodes[succ].stream
+                    ]
+        for state in touched.values():
+            dispatch(state)
+
+    if scheduled != n:
+        raise ValueError(
+            f"schedule graph has a dependency cycle: scheduled {scheduled} "
+            f"of {n} nodes"
+        )
+    return GraphSchedule(
+        graph=graph, start_us=tuple(start), finish_us=tuple(finish)
+    )

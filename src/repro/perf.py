@@ -48,12 +48,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 __all__ = [
     "CONFIG",
+    "GRAPH_CACHE",
     "TIMING_CACHE",
     "WORKLOAD_CACHE",
     "BoundedCache",
     "PerfConfig",
     "TimingCache",
     "cache_stats",
+    "cached_graph_schedule",
     "cached_time_layer",
     "clear_caches",
     "configure",
@@ -220,6 +222,28 @@ class TimingCache(BoundedCache):
 
 TIMING_CACHE = TimingCache(maxsize=4096, name="timing")
 WORKLOAD_CACHE = BoundedCache(maxsize=256, name="workload")
+GRAPH_CACHE = BoundedCache(maxsize=1024, name="graph")
+
+
+def cached_graph_schedule(graph: Any) -> Any:
+    """Schedule a :class:`repro.graph.ir.ScheduleGraph` through the
+    bounded :data:`GRAPH_CACHE`.
+
+    Keyed by :meth:`~repro.graph.ir.ScheduleGraph.fingerprint`, which
+    covers structure, streams, and the exact IEEE-754 duration bits, so
+    a cache hit is byte-identical to rescheduling — grids with
+    ``workers=N`` and warm-cache reruns produce the same floats.  Honours
+    the ``timing_cache`` perf flag (:func:`disabled` bypasses it).
+    """
+    from repro.graph.scheduler import list_schedule
+
+    if not CONFIG.timing_cache:
+        return list_schedule(graph)
+    key = graph.fingerprint()
+    schedule = GRAPH_CACHE.get(key)
+    if schedule is None:
+        schedule = GRAPH_CACHE.put(key, list_schedule(graph))
+    return schedule
 
 
 def cached_time_layer(
@@ -272,9 +296,10 @@ def shared_workload(
 
 
 def clear_caches() -> None:
-    """Empty both global caches and reset their counters."""
+    """Empty the global caches and reset their counters."""
     TIMING_CACHE.clear()
     WORKLOAD_CACHE.clear()
+    GRAPH_CACHE.clear()
 
 
 def cache_stats() -> dict[str, dict[str, Any]]:
@@ -282,4 +307,5 @@ def cache_stats() -> dict[str, dict[str, Any]]:
     return {
         TIMING_CACHE.name: TIMING_CACHE.stats(),
         WORKLOAD_CACHE.name: WORKLOAD_CACHE.stats(),
+        GRAPH_CACHE.name: GRAPH_CACHE.stats(),
     }

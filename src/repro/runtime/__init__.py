@@ -4,6 +4,7 @@ from repro.runtime.workload import MoELayerWorkload, WorkloadGeometry, make_work
 from repro.runtime.executor import run_layer, compare_systems
 from repro.runtime.model_runner import ModelTiming, run_model
 from repro.runtime.profiler import OverlapReport, overlap_report
+from repro.runtime.timing_base import StepTimingMixin
 from repro.runtime.training import TrainStepTiming, run_training_step
 from repro.runtime.visualize import render_breakdown_bars, render_overlap_lanes
 
@@ -13,6 +14,7 @@ __all__ = [
     "ModelTiming",
     "MoELayerWorkload",
     "OverlapReport",
+    "StepTimingMixin",
     "TrainStepTiming",
     "WorkloadGeometry",
     "compare_systems",

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.hw.cluster import ClusterSpec
 from repro.moe.config import MoEConfig
 from repro.parallel.strategy import ParallelStrategy
+from repro.runtime.timing_base import StepTimingMixin
 from repro.runtime.workload import MoELayerWorkload, make_workload
 from repro.systems.base import LayerTiming, MoESystem
 
@@ -67,32 +68,30 @@ def attention_time_us(
 
 
 @dataclass(frozen=True)
-class ModelTiming:
-    """End-to-end forward timing of one MoE model under one system."""
+class ModelTiming(StepTimingMixin):
+    """End-to-end forward timing of one MoE model under one system.
+
+    ``layer_us`` / ``total_us`` / ``moe_fraction`` come from
+    :class:`~repro.runtime.timing_base.StepTimingMixin` (shared with
+    :class:`~repro.runtime.training.TrainStepTiming`) and keep the
+    additive per-layer semantics; ``makespan_us`` is the graph-backed
+    end-to-end time under :attr:`overlap_policy` (equal to ``total_us``
+    for ``per_layer``).
+    """
 
     model: str
     system: str
     num_layers: int
     attention_us: float  # per transformer layer (identical across systems)
     moe: LayerTiming
+    overlap_policy: str = "per_layer"
+    graph_makespan_us: float | None = None
 
-    @property
-    def layer_us(self) -> float:
-        """One transformer layer: attention + MoE."""
-        return self.attention_us + self.moe.total_us
+    def _layer_parts(self) -> tuple[float, ...]:
+        return (self.attention_us, self.moe.total_us)
 
-    @property
-    def total_us(self) -> float:
-        return self.num_layers * self.layer_us
-
-    @property
-    def total_ms(self) -> float:
-        return self.total_us / 1000.0
-
-    @property
-    def moe_fraction(self) -> float:
-        """Share of end-to-end time spent in MoE layers (Figure 1a)."""
-        return self.moe.total_us / self.layer_us
+    def _moe_parts(self) -> tuple[float, ...]:
+        return (self.moe.total_us,)
 
     @property
     def comm_fraction(self) -> float:
@@ -109,6 +108,7 @@ def run_model(
     imbalance_std: float = 0.0,
     seed: int = 0,
     workload: MoELayerWorkload | None = None,
+    overlap_policy: str = "per_layer",
 ) -> ModelTiming:
     """Time a full forward pass of ``config`` under ``system``.
 
@@ -117,23 +117,40 @@ def run_model(
             the world (Figure 10's convention).
         workload: pre-built MoE workload (otherwise synthesised with
             ``imbalance_std`` / ``seed``).
+        overlap_policy: cross-layer scheduling model — ``"per_layer"``
+            (serial layers, the legacy additive totals, byte-identical
+            to before the graph IR existed), ``"cross_layer"``
+            (Lancet-style layer-boundary overlap), or ``"shortcut"``
+            (ScMoE shortcut-connected expert parallelism).  Non-default
+            policies lower the layer through
+            :meth:`~repro.systems.base.MoESystem.lower_layer` and record
+            the whole-model graph makespan on the returned timing.
     """
+    from repro import perf
+    from repro.graph.lower import check_policy, forward_makespan
+
+    check_policy(overlap_policy)
     dp_size = strategy.ep_size  # W / TP
     if workload is None:
         workload = make_workload(
             config, cluster, strategy, total_tokens, imbalance_std, seed
         )
-    from repro import perf
-
     tokens_per_dp = max(1, workload.total_tokens // dp_size)
     moe = perf.cached_time_layer(system, workload)
     attention = attention_time_us(
         config, cluster, strategy.tp_size, tokens_per_dp
     )
+    makespan = None
+    if overlap_policy != "per_layer":
+        makespan = forward_makespan(
+            system.lower_layer(moe), attention, config.num_layers, overlap_policy
+        )
     return ModelTiming(
         model=config.name,
         system=system.name,
         num_layers=config.num_layers,
         attention_us=attention,
         moe=moe,
+        overlap_policy=overlap_policy,
+        graph_makespan_us=makespan,
     )

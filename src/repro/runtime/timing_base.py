@@ -1,0 +1,114 @@
+"""Shared accessors for model-level timing records.
+
+:class:`ModelTiming` (forward pass) and :class:`TrainStepTiming`
+(training step) used to duplicate their ``layer_us`` / ``total`` /
+``moe_fraction`` arithmetic; :class:`StepTimingMixin` hosts one
+implementation of the additive per-layer totals plus the new
+graph-backed makespan accessors.
+
+Bit-compatibility contract: the mixin reproduces the historical floats
+exactly.  ``layer_us`` and the step tail accumulate left to right in the
+subclasses' declared part order (the same association the old inline
+formulas used), and the graph-backed :attr:`makespan_us` falls back to
+the additive total when no cross-layer schedule was computed — so
+``overlap_policy="per_layer"`` records are byte-identical to the
+pre-graph ones.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StepTimingMixin"]
+
+
+class StepTimingMixin:
+    """Additive per-layer totals + graph-backed makespans.
+
+    Subclasses provide:
+
+    * ``num_layers`` — transformer layer count;
+    * ``_layer_parts()`` — the per-layer durations summed left to right
+      (the legacy association order);
+    * ``_moe_parts()`` — the MoE subset of those durations;
+    * ``_step_tail_parts()`` — per-step extras outside the layer loop
+      (gradient sync, optimizer); empty for forward-only records;
+    * optionally ``overlap_policy`` / ``graph_makespan_us`` fields set
+      by the graph-aware runners.
+    """
+
+    num_layers: int
+    overlap_policy: str = "per_layer"
+    graph_makespan_us: float | None = None
+
+    def _layer_parts(self) -> tuple[float, ...]:
+        raise NotImplementedError
+
+    def _moe_parts(self) -> tuple[float, ...]:
+        raise NotImplementedError
+
+    def _step_tail_parts(self) -> tuple[float, ...]:
+        return ()
+
+    # -- additive (per-layer serial) totals ----------------------------------
+    @property
+    def layer_us(self) -> float:
+        """One transformer layer, all phases serial (legacy model)."""
+        total = 0.0
+        for part in self._layer_parts():
+            total += part
+        return total
+
+    @property
+    def moe_layer_us(self) -> float:
+        """MoE share of one layer (fwd, or fwd + bwd for training)."""
+        total = 0.0
+        for part in self._moe_parts():
+            total += part
+        return total
+
+    @property
+    def total_us(self) -> float:
+        """End-to-end additive total: layers plus any step tail."""
+        total = self.num_layers * self.layer_us
+        for part in self._step_tail_parts():
+            total += part
+        return total
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1000.0
+
+    @property
+    def moe_fraction(self) -> float:
+        """Share of end-to-end time spent in MoE layers.
+
+        For forward-only records (no step tail) this is the per-layer
+        share — the historical Figure 1a definition; with a tail the MoE
+        work is scaled to the full step before dividing.
+        """
+        if self._step_tail_parts():
+            return self.num_layers * self.moe_layer_us / self.total_us
+        return self.moe_layer_us / self.layer_us
+
+    # -- graph-backed totals --------------------------------------------------
+    @property
+    def makespan_us(self) -> float:
+        """End-to-end makespan under the record's overlap policy.
+
+        Equals :attr:`total_us` for ``per_layer`` (proven bit-identical
+        by the equivalence tests); for ``cross_layer`` / ``shortcut`` it
+        is the scheduled whole-model graph makespan.
+        """
+        if self.graph_makespan_us is not None:
+            return self.graph_makespan_us
+        return self.total_us
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.makespan_us / 1000.0
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Additive serial total over the scheduled makespan (>= 1)."""
+        if self.makespan_us <= 0:
+            return 1.0
+        return self.total_us / self.makespan_us

@@ -27,6 +27,7 @@ from repro.hw.cluster import ClusterSpec
 from repro.moe.config import MoEConfig
 from repro.parallel.strategy import ParallelStrategy
 from repro.runtime.model_runner import attention_time_us
+from repro.runtime.timing_base import StepTimingMixin
 from repro.runtime.workload import MoELayerWorkload, make_workload
 from repro.systems.base import LayerTiming, MoESystem
 
@@ -38,8 +39,14 @@ _OPTIMIZER_BYTES_PER_PARAM = 2 + 2 + 3 * 2 * 4
 
 
 @dataclass(frozen=True)
-class TrainStepTiming:
-    """One training step of an MoE model under one system (µs)."""
+class TrainStepTiming(StepTimingMixin):
+    """One training step of an MoE model under one system (µs).
+
+    ``layer_us`` / ``moe_fraction`` and the graph-backed ``makespan_us``
+    come from :class:`~repro.runtime.timing_base.StepTimingMixin`
+    (shared with :class:`~repro.runtime.model_runner.ModelTiming`);
+    ``step_us`` is the step-level alias for the mixin's ``total_us``.
+    """
 
     model: str
     system: str
@@ -50,30 +57,30 @@ class TrainStepTiming:
     moe_bwd: LayerTiming
     grad_sync_us: float
     optimizer_us: float
+    overlap_policy: str = "per_layer"
+    graph_makespan_us: float | None = None
 
-    @property
-    def layer_us(self) -> float:
-        """Forward + backward of one transformer layer."""
+    def _layer_parts(self) -> tuple[float, ...]:
         return (
-            self.attention_fwd_us
-            + self.attention_bwd_us
-            + self.moe_fwd.total_us
-            + self.moe_bwd.total_us
+            self.attention_fwd_us,
+            self.attention_bwd_us,
+            self.moe_fwd.total_us,
+            self.moe_bwd.total_us,
         )
+
+    def _moe_parts(self) -> tuple[float, ...]:
+        return (self.moe_fwd.total_us, self.moe_bwd.total_us)
+
+    def _step_tail_parts(self) -> tuple[float, ...]:
+        return (self.grad_sync_us, self.optimizer_us)
 
     @property
     def step_us(self) -> float:
-        return self.num_layers * self.layer_us + self.grad_sync_us + self.optimizer_us
+        return self.total_us
 
     @property
     def step_ms(self) -> float:
         return self.step_us / 1000.0
-
-    @property
-    def moe_fraction(self) -> float:
-        """Share of the step spent in MoE layers (fwd + bwd)."""
-        moe = self.num_layers * (self.moe_fwd.total_us + self.moe_bwd.total_us)
-        return moe / self.step_us
 
 
 def _expert_params_per_rank(config: MoEConfig, strategy: ParallelStrategy) -> float:
@@ -128,18 +135,43 @@ def run_training_step(
     imbalance_std: float = 0.0,
     seed: int = 0,
     workload: MoELayerWorkload | None = None,
+    overlap_policy: str = "per_layer",
 ) -> TrainStepTiming:
-    """Time one full training step (fwd + bwd + sync + optimizer)."""
-    from repro import perf
+    """Time one full training step (fwd + bwd + sync + optimizer).
 
+    ``overlap_policy`` selects the cross-layer scheduling model (see
+    :func:`repro.runtime.model_runner.run_model`); non-default policies
+    additionally bucket the dense gradient all-reduce per layer so it
+    overlaps the remaining backward compute, and record the scheduled
+    step makespan on the returned timing.
+    """
+    from repro import perf
+    from repro.graph.lower import check_policy, training_makespan
+
+    check_policy(overlap_policy)
     if workload is None:
         workload = make_workload(
             config, cluster, strategy, total_tokens, imbalance_std, seed
         )
     moe_fwd = perf.cached_time_layer(system, workload)
-    moe_bwd = perf.cached_time_layer(system.backward_variant(), workload)
+    bwd_system = system.backward_variant()
+    moe_bwd = perf.cached_time_layer(bwd_system, workload)
     tokens_per_dp = max(1, workload.total_tokens // strategy.ep_size)
     attention_fwd = attention_time_us(config, cluster, strategy.tp_size, tokens_per_dp)
+    grad_sync = _grad_sync_us(config, cluster, strategy)
+    optimizer = _optimizer_us(config, cluster, strategy)
+    makespan = None
+    if overlap_policy != "per_layer":
+        makespan = training_makespan(
+            system.lower_layer(moe_fwd),
+            bwd_system.lower_layer(moe_bwd),
+            attention_fwd,
+            2.0 * attention_fwd,
+            config.num_layers,
+            grad_sync,
+            optimizer,
+            overlap_policy,
+        )
     return TrainStepTiming(
         model=config.name,
         system=system.name,
@@ -148,6 +180,8 @@ def run_training_step(
         attention_bwd_us=2.0 * attention_fwd,
         moe_fwd=moe_fwd,
         moe_bwd=moe_bwd,
-        grad_sync_us=_grad_sync_us(config, cluster, strategy),
-        optimizer_us=_optimizer_us(config, cluster, strategy),
+        grad_sync_us=grad_sync,
+        optimizer_us=optimizer,
+        overlap_policy=overlap_policy,
+        graph_makespan_us=makespan,
     )

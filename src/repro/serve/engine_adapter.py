@@ -63,6 +63,12 @@ class StepCostModel:
             calls but coarser step costs.
         step_overhead_us: fixed per-iteration host cost (scheduler bookkeeping,
             batch reshaping, sampling) added once per step.
+        overlap_policy: cross-layer scheduling model for the iteration
+            (``"per_layer"`` | ``"cross_layer"`` | ``"shortcut"``).  The
+            default reproduces the additive per-layer step cost byte for
+            byte; the others price the iteration as the makespan of the
+            whole-model schedule graph (:mod:`repro.graph`), making the
+            overlap policy a serving knob.
 
     Raises:
         UnsupportedWorkload: eagerly at construction if the system cannot
@@ -78,13 +84,17 @@ class StepCostModel:
         strategy: ParallelStrategy,
         bucket_tokens: int = 256,
         step_overhead_us: float = 150.0,
+        overlap_policy: str = "per_layer",
     ):
+        from repro.graph.lower import check_policy
+
         if bucket_tokens <= 0:
             raise ValueError(f"bucket_tokens must be positive, got {bucket_tokens}")
         if step_overhead_us < 0:
             raise ValueError(
                 f"step_overhead_us must be >= 0, got {step_overhead_us}"
             )
+        self.overlap_policy = check_policy(overlap_policy)
         self.system = system
         self.config = config
         self.cluster = cluster
@@ -124,14 +134,25 @@ class StepCostModel:
         cached = self._step_cache.get(tokens)
         if cached is None:
             workload = self._workload(tokens)
-            moe_us = perf.cached_time_layer(self.system, workload).total_us
+            moe = perf.cached_time_layer(self.system, workload)
             tokens_per_dp = max(1, tokens // self.strategy.ep_size)
             attention_us = attention_time_us(
                 self.config, self.cluster, self.strategy.tp_size, tokens_per_dp
             )
-            cached = self._step_cache.put(
-                tokens, self.config.num_layers * (attention_us + moe_us)
-            )
+            if self.overlap_policy == "per_layer":
+                iteration_us = self.config.num_layers * (
+                    attention_us + moe.total_us
+                )
+            else:
+                from repro.graph.lower import forward_makespan
+
+                iteration_us = forward_makespan(
+                    self.system.lower_layer(moe),
+                    attention_us,
+                    self.config.num_layers,
+                    self.overlap_policy,
+                )
+            cached = self._step_cache.put(tokens, iteration_us)
         return cached + self.step_overhead_us
 
     def step_ms(self, prefill_tokens: int, decode_tokens: int) -> float:

@@ -50,8 +50,11 @@ class ServeScenario:
     slo_ttft_ms: float = 500.0
     slo_tpot_ms: float = 75.0
     bucket_tokens: int = 256
+    overlap_policy: str = "per_layer"
 
     def __post_init__(self) -> None:
+        from repro.graph.lower import check_policy
+
         if self.strategy.world_size != self.cluster.world_size:
             raise ValueError(
                 f"strategy {self.strategy} needs world size "
@@ -66,18 +69,20 @@ class ServeScenario:
             )
         if self.slo_ttft_ms <= 0 or self.slo_tpot_ms <= 0:
             raise ValueError("SLO targets must be positive")
+        check_policy(self.overlap_policy)
 
     @property
     def label(self) -> str:
-        return "/".join(
-            (
-                self.config.name,
-                self.cluster.name,
-                str(self.strategy),
-                self.trace.label,
-                self.policy,
-            )
-        )
+        parts = [
+            self.config.name,
+            self.cluster.name,
+            str(self.strategy),
+            self.trace.label,
+            self.policy,
+        ]
+        if self.overlap_policy != "per_layer":
+            parts.append(self.overlap_policy)
+        return "/".join(parts)
 
     def build_trace(self) -> tuple[Request, ...]:
         return self.trace.build()
@@ -98,6 +103,7 @@ class ServeScenario:
             self.cluster,
             self.strategy,
             bucket_tokens=self.bucket_tokens,
+            overlap_policy=self.overlap_policy,
         )
         scheduler = ContinuousBatchingScheduler(
             cost_model=cost_model,
@@ -139,6 +145,7 @@ class ServeSpec:
         slo_ttft_ms: Any = 500.0,
         slo_tpot_ms: Any = 75.0,
         max_batch_tokens: Any = 8192,
+        overlap_policies: Any = "per_layer",
         systems: Any = None,
         registry: SystemRegistry | None = None,
     ) -> "ServeSpec":
@@ -148,8 +155,10 @@ class ServeSpec:
         EP=world) on each cluster and otherwise accepts everything
         :meth:`repro.api.scenario.ExperimentSpec.grid` does (``"sweep"``,
         one strategy, a ``(tp, ep)`` pair, or a sequence); ``traces``
-        defaults to one Poisson :class:`TraceSpec`.  Every axis accepts
-        a single value or a sequence.
+        defaults to one Poisson :class:`TraceSpec`; ``overlap_policies``
+        sweeps the cross-layer scheduling model of the step cost
+        (``"per_layer"`` | ``"cross_layer"`` | ``"shortcut"``).  Every
+        axis accepts a single value or a sequence.
         """
         from repro.api.scenario import _as_sequence, _as_strategies
 
@@ -167,6 +176,7 @@ class ServeSpec:
         ttft_list = [float(v) for v in _as_sequence(slo_ttft_ms, (int, float))]
         tpot_list = [float(v) for v in _as_sequence(slo_tpot_ms, (int, float))]
         budget_list = [int(v) for v in _as_sequence(max_batch_tokens, (int,))]
+        overlap_list = list(_as_sequence(overlap_policies, (str,)))
 
         scenarios: list[ServeScenario] = []
         for config in model_list:
@@ -185,18 +195,20 @@ class ServeSpec:
                             for ttft in ttft_list:
                                 for tpot in tpot_list:
                                     for budget in budget_list:
-                                        scenarios.append(
-                                            ServeScenario(
-                                                config=config,
-                                                cluster=cluster,
-                                                strategy=strategy,
-                                                trace=trace,
-                                                policy=policy,
-                                                slo_ttft_ms=ttft,
-                                                slo_tpot_ms=tpot,
-                                                max_batch_tokens=budget,
+                                        for overlap in overlap_list:
+                                            scenarios.append(
+                                                ServeScenario(
+                                                    config=config,
+                                                    cluster=cluster,
+                                                    strategy=strategy,
+                                                    trace=trace,
+                                                    policy=policy,
+                                                    slo_ttft_ms=ttft,
+                                                    slo_tpot_ms=tpot,
+                                                    max_batch_tokens=budget,
+                                                    overlap_policy=overlap,
+                                                )
                                             )
-                                        )
         if systems is None:
             names: tuple[str, ...] = ()
         else:

@@ -181,6 +181,42 @@ class MoESystem(ABC):
     def time_layer(self, workload: MoELayerWorkload) -> LayerTiming:
         """Simulate the layer's execution and return its timing."""
 
+    def lower_layer(self, timing: LayerTiming) -> tuple:
+        """Lower one timed MoE layer into schedule-graph phases.
+
+        Returns the :class:`repro.graph.ir.LayerPhase` sequence the
+        whole-model graph builders consume
+        (:mod:`repro.graph.lower`).  The default derives the phases from
+        the :class:`LayerTiming` breakdown — gate, exposed dispatch,
+        layer-0 GEMM, activation, layer-1 GEMM, exposed combine, host —
+        in exactly the order :attr:`LayerTiming.total_us` sums them, so
+        a serial chain of these phases reproduces the layer's wall clock
+        bit for bit and every system (COMET, Tutel, FasterMoE, Megatron)
+        lowers without a per-system rewrite.  Comm phases carry the
+        *exposed* durations, so cross-layer overlap policies compound on
+        top of whatever intra-layer hiding the system already performs.
+
+        Systems with a different phase structure may override; the
+        policy builders key on :class:`~repro.graph.ir.NodeKind` (in
+        particular, ``COMBINE`` marks the detachable layer-boundary
+        communication).
+        """
+        from repro.graph.ir import LayerPhase, NodeKind
+
+        return (
+            LayerPhase(NodeKind.GATE, timing.gate_us),
+            LayerPhase(
+                NodeKind.DISPATCH, timing.exposed_layer0_comm_us, comm=True
+            ),
+            LayerPhase(NodeKind.EXPERT, timing.layer0_comp_us),
+            LayerPhase(NodeKind.ACTIVATION, timing.activation_us),
+            LayerPhase(NodeKind.EXPERT, timing.layer1_comp_us),
+            LayerPhase(
+                NodeKind.COMBINE, timing.exposed_layer1_comm_us, comm=True
+            ),
+            LayerPhase(NodeKind.HOST, timing.host_us),
+        )
+
     def execute(
         self,
         x: np.ndarray,

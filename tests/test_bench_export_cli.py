@@ -101,6 +101,66 @@ class TestCli:
         out = capsys.readouterr().out
         assert "skipped: FasterMoE does not support TP2xEP4" in out
 
+    def test_model_command(self, capsys):
+        assert main(
+            ["model", "--tokens", "2048", "--systems", "comet,megatron-cutlass"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Whole-model schedule graph makespans" in out
+        assert "per_layer ms" in out and "cross_layer ms" in out
+        assert "shortcut ms" in out and "best speedup" in out
+
+    def test_model_report_prints_critical_path(self, capsys):
+        assert main(
+            [
+                "model", "--tokens", "2048", "--systems", "comet",
+                "--overlap-policy", "per_layer", "cross_layer", "--report",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Critical path" in out
+        assert "L00.attention[compute0]" in out
+        assert "overlap saves" in out
+
+    def test_model_training_mode(self, capsys):
+        assert main(
+            [
+                "model", "--tokens", "2048", "--systems", "comet",
+                "--training", "--overlap-policy", "per_layer", "cross_layer",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "training step" in out
+
+    def test_model_annotates_skipped_systems(self, capsys):
+        assert main(
+            ["model", "--tokens", "2048", "--tp", "2", "--ep", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "skipped: FasterMoE does not support TP2xEP4" in out
+
+    def test_sweep_overlap_policy_axis(self, capsys):
+        assert main(
+            [
+                "sweep", "--tokens", "2048", "--tp", "1", "--ep", "8",
+                "--systems", "comet",
+                "--overlap-policy", "per_layer", "shortcut",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end model ms" in out
+        assert "per_layer" in out and "shortcut" in out
+
+    def test_serve_overlap_policy_flag(self, capsys):
+        assert main(
+            [
+                "serve", "--rps", "8", "--duration", "2", "--systems", "comet",
+                "--overlap-policy", "cross_layer",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "overlap=cross_layer" in out
+
     def test_sweep_command(self, capsys, tmp_path):
         path = tmp_path / "sweep.json"
         assert main(

@@ -1,0 +1,154 @@
+"""Cross-validation: analytic list scheduler vs DES execution of graphs.
+
+The analytic scheduler in :mod:`repro.graph.scheduler` and the
+process-based executor in :mod:`repro.graph.des_ref` are developed
+independently; on identical graphs they must produce *identical* floats
+— same finish time for every node, same makespan — because both resolve
+same-timestamp readiness before dispatching and break ties by node id.
+This extends the :mod:`test_fused_des_crosscheck` pattern from the fused
+kernel to whole-model schedule graphs (and asserts exact equality, not
+a tile-sized tolerance).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    COMM,
+    COMPUTE,
+    LayerPhase,
+    NodeKind,
+    OVERLAP_POLICIES,
+    ScheduleGraph,
+    Stream,
+    build_forward_graph,
+    build_training_graph,
+    des_schedule,
+    list_schedule,
+)
+
+
+def assert_exact_match(graph: ScheduleGraph) -> None:
+    analytic = list_schedule(graph)
+    des_finish, des_makespan = des_schedule(graph)
+    assert analytic.finish_us == des_finish
+    assert analytic.makespan_us == des_makespan
+
+
+def random_graph(seed: int, nodes: int, edge_p: float, ranks: int) -> ScheduleGraph:
+    rng = np.random.default_rng(seed)
+    graph = ScheduleGraph()
+    kinds = list(NodeKind)
+    for i in range(nodes):
+        deps = [d for d in range(i) if rng.random() < edge_p]
+        stream = Stream(
+            COMPUTE if rng.random() < 0.5 else COMM, int(rng.integers(0, ranks))
+        )
+        graph.add(
+            kinds[int(rng.integers(0, len(kinds)))],
+            float(rng.uniform(0.05, 25.0)),
+            stream,
+            deps=deps,
+        )
+    return graph
+
+
+class TestFixedCases:
+    def test_single_node(self):
+        graph = ScheduleGraph()
+        graph.add(NodeKind.EXPERT, 5.0, Stream(COMPUTE, 0))
+        assert_exact_match(graph)
+
+    def test_diamond(self):
+        graph = ScheduleGraph()
+        a = graph.add(NodeKind.GATE, 2.0, Stream(COMPUTE, 0))
+        b = graph.add(NodeKind.DISPATCH, 7.0, Stream(COMM, 0), deps=(a,))
+        c = graph.add(NodeKind.EXPERT, 5.0, Stream(COMPUTE, 0), deps=(a,))
+        graph.add(NodeKind.COMBINE, 1.0, Stream(COMM, 0), deps=(b, c))
+        assert_exact_match(graph)
+
+    def test_contended_stream_with_equal_ready_times(self):
+        """Several nodes ready at the same instant on one stream: the
+        executors must pick the same (lowest-id) order."""
+        graph = ScheduleGraph()
+        root = graph.add(NodeKind.GATE, 3.0, Stream(COMPUTE, 0))
+        for _ in range(5):
+            graph.add(NodeKind.EXPERT, 2.0, Stream(COMPUTE, 1), deps=(root,))
+        assert_exact_match(graph)
+
+    def test_multi_rank_fan_in(self):
+        graph = ScheduleGraph()
+        sources = [
+            graph.add(NodeKind.EXPERT, float(3 + r), Stream(COMPUTE, r))
+            for r in range(4)
+        ]
+        graph.add(NodeKind.COMBINE, 2.0, Stream(COMM, 0), deps=sources)
+        assert_exact_match(graph)
+
+    def test_equal_durations_everywhere(self):
+        """Maximum tie pressure: every completion lands on the same
+        timestamps."""
+        graph = ScheduleGraph()
+        prev = ()
+        for i in range(12):
+            prev = (
+                graph.add(
+                    NodeKind.EXPERT, 1.0, Stream(COMPUTE, i % 2), deps=prev
+                ),
+            )
+            graph.add(NodeKind.COMBINE, 1.0, Stream(COMM, 0), deps=prev)
+        assert_exact_match(graph)
+
+
+class TestModelGraphs:
+    PHASES = (
+        LayerPhase(NodeKind.GATE, 11.0),
+        LayerPhase(NodeKind.DISPATCH, 6.0, comm=True),
+        LayerPhase(NodeKind.EXPERT, 19.0),
+        LayerPhase(NodeKind.ACTIVATION, 2.5),
+        LayerPhase(NodeKind.EXPERT, 14.0),
+        LayerPhase(NodeKind.COMBINE, 8.0, comm=True),
+        LayerPhase(NodeKind.HOST, 1.5),
+    )
+
+    @pytest.mark.parametrize("policy", OVERLAP_POLICIES)
+    def test_forward(self, policy):
+        assert_exact_match(build_forward_graph(self.PHASES, 9.0, 10, policy))
+
+    @pytest.mark.parametrize("policy", OVERLAP_POLICIES)
+    def test_training(self, policy):
+        assert_exact_match(
+            build_training_graph(
+                self.PHASES, self.PHASES, 9.0, 18.0, 6, 40.0, 25.0, policy
+            )
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    nodes=st.integers(min_value=1, max_value=60),
+    edge_p=st.floats(min_value=0.0, max_value=0.4),
+    ranks=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_cross_check_random(seed, nodes, edge_p, ranks):
+    assert_exact_match(random_graph(seed, nodes, edge_p, ranks))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    layers=st.integers(min_value=1, max_value=12),
+    attention=st.floats(min_value=0.1, max_value=50.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_cross_check_random_model_phases(seed, layers, attention):
+    """Policy graphs built from random phase durations cross-check too."""
+    rng = np.random.default_rng(seed)
+    phases = tuple(
+        LayerPhase(phase.kind, float(rng.uniform(0.0, 30.0)), comm=phase.comm)
+        for phase in TestModelGraphs.PHASES
+    )
+    for policy in OVERLAP_POLICIES:
+        assert_exact_match(build_forward_graph(phases, attention, layers, policy))

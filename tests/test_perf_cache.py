@@ -157,6 +157,6 @@ class TestStepCostModelCache:
 
     def test_cache_stats_shape(self):
         stats = perf.cache_stats()
-        assert set(stats) == {"timing", "workload"}
+        assert set(stats) == {"timing", "workload", "graph"}
         for doc in stats.values():
             assert {"hits", "misses", "evictions", "size", "maxsize"} <= set(doc)

@@ -1,0 +1,139 @@
+"""Straggler & skew walkthrough: per-rank schedule graphs in action.
+
+A synchronous MoE step is paced by its slowest rank: every dispatch and
+combine all-to-all is a barrier, so one throttled device, one degraded
+NIC, or a skewed expert placement drags every rank's timeline.  The
+per-rank schedule graphs (:class:`repro.StragglerSpec` +
+:mod:`repro.graph`) model exactly that — one compute/comm stream pair
+per rank with cross-rank dependency edges at the collectives — while
+the uniform spec provably reduces to the single-rank graphs bit for
+bit.
+
+The walkthrough covers:
+
+1. a slow-rank multiplier sweep per system (how much one straggler
+   costs each execution mechanism, per overlap policy),
+2. per-rank makespans, the imbalance accessor, and the straggler
+   critical path,
+3. scenario-family constructors: degraded NIC and correlated-routing
+   placement skew,
+4. the declarative grid with ``stragglers`` as a sweep axis.
+
+Run:
+    python examples/straggler_sweep.py
+"""
+
+from repro import (
+    MIXTRAL_8X7B,
+    ExperimentSpec,
+    OVERLAP_POLICIES,
+    ParallelStrategy,
+    StragglerSpec,
+    h800_node,
+    run_model,
+)
+from repro.api import SYSTEM_REGISTRY
+from repro.graph import build_forward_graph, list_schedule
+from repro.hw.multinode import IB_400G
+from repro.hw.presets import NVLINK_H800
+
+CLUSTER = h800_node()
+STRATEGY = ParallelStrategy(tp_size=1, ep_size=8)
+TOKENS = 16384
+SYSTEMS = ("megatron-cutlass", "tutel", "comet")
+MULTS = (1.0, 1.2, 1.5, 2.0)
+
+
+def slow_rank_sweep() -> None:
+    print("=== 1. slow-rank multiplier sweep (forward makespan, ms) ===")
+    header = f"{'system':>18s} " + "".join(f"{m:>10.1f}x" for m in MULTS)
+    print(header)
+    for name in SYSTEMS:
+        cells = []
+        for mult in MULTS:
+            spec = (
+                None
+                if mult == 1.0
+                else StragglerSpec.slow_rank(8, rank=0, compute_mult=mult)
+            )
+            timing = run_model(
+                SYSTEM_REGISTRY.create(name), MIXTRAL_8X7B, CLUSTER,
+                STRATEGY, TOKENS, stragglers=spec,
+            )
+            cells.append(f"{timing.makespan_us / 1000:>10.2f} ")
+        print(f"{name:>18s} " + "".join(cells))
+    print()
+
+
+def rank_detail() -> None:
+    print("=== 2. per-rank makespans and the straggler critical path ===")
+    system = SYSTEM_REGISTRY.create("comet")
+    spec = StragglerSpec.slow_rank(8, rank=3, compute_mult=1.5)
+    timing = run_model(
+        system, MIXTRAL_8X7B, CLUSTER, STRATEGY, TOKENS, stragglers=spec,
+    )
+    for rank, span in timing.rank_makespans().items():
+        bar = "#" * int(40 * span / timing.makespan_us)
+        print(f"  rank {rank}: {span / 1000:8.2f} ms  {bar}")
+    print(f"  imbalance: {timing.imbalance_us / 1000:.3f} ms")
+    schedule = list_schedule(
+        build_forward_graph(
+            system.lower_rank_phases(timing.moe, spec),
+            timing.attention_us, timing.num_layers, "per_layer", spec,
+        )
+    )
+    path = schedule.critical_path()
+    on_slow_rank = sum(1 for node in path if node.stream.rank == 3)
+    print(
+        f"  critical path: {len(path)} nodes, {on_slow_rank} on the slow "
+        f"rank — the straggler's chain feeds every barrier, so it paces "
+        f"all ranks (residual imbalance is only the post-barrier tail)\n"
+    )
+
+
+def scenario_families() -> None:
+    print("=== 3. degraded NIC and placement-skew scenario families ===")
+    base = run_model(
+        SYSTEM_REGISTRY.create("comet"), MIXTRAL_8X7B, CLUSTER, STRATEGY,
+        TOKENS,
+    )
+    nic = StragglerSpec.degraded_link(8, 5, IB_400G, NVLINK_H800)
+    skew = StragglerSpec.skewed_placement(
+        8, MIXTRAL_8X7B.num_experts, correlation=0.9, seed=0
+    )
+    for label, spec in (("baseline", None), (nic.label, nic), (skew.label, skew)):
+        timing = run_model(
+            SYSTEM_REGISTRY.create("comet"), MIXTRAL_8X7B, CLUSTER,
+            STRATEGY, TOKENS, stragglers=spec,
+        )
+        print(
+            f"  {label:>16s}: {timing.makespan_us / 1000:8.2f} ms "
+            f"(+{100 * (timing.makespan_us / base.total_us - 1):5.1f}% vs "
+            f"balanced)"
+        )
+    print()
+
+
+def declarative_grid() -> None:
+    print("=== 4. the stragglers grid axis ===")
+    spec = ExperimentSpec.grid(
+        models="mixtral", clusters="h800", strategies=(1, 8), tokens=4096,
+        overlap_policies=OVERLAP_POLICIES, stragglers=(1.0, 1.5),
+        systems=SYSTEMS,
+    )
+    results = spec.run(level="model")
+    headers, rows = results.to_table()
+    print("  " + "  ".join(f"{h:>16s}" for h in headers[5:]))
+    for row in rows:
+        cells = [
+            f"{c:16.2f}" if isinstance(c, float) else f"{str(c):>16s}"
+            for c in row[5:]
+        ]
+        print("  " + "  ".join(cells))
+
+
+if __name__ == "__main__":
+    slow_rank_sweep()
+    rank_detail()
+    scenario_families()
+    declarative_grid()

@@ -109,6 +109,41 @@ same knob serves online: ``ServeScenario(..., overlap_policy=...)`` (CLI
 the critical path through the scheduled graph.  See
 ``examples/cross_layer_overlap.py``.
 
+Stragglers and skew — per-rank schedule graphs.  A synchronous MoE step
+is paced by its *slowest* rank: every dispatch/combine all-to-all (and
+the gradient all-reduce) is a barrier.  A :class:`StragglerSpec` carries
+per-rank compute/comm/expert-load multipliers and turns the lowering
+per-rank: one compute+comm stream pair per rank, cross-rank dependency
+edges at every collective, ranks sharing a multiplier triple sharing one
+lowered phase tuple::
+
+    from repro import StragglerSpec, run_model
+
+    slow = StragglerSpec.slow_rank(8, rank=0, compute_mult=1.5)
+    timing = run_model(Comet(), MIXTRAL_8X7B, cluster, strategy, 16384,
+                       stragglers=slow)
+    print(timing.makespan_ms, timing.rank_makespans(), timing.imbalance_us)
+
+    spec = ExperimentSpec.grid(stragglers=(1.0, 1.5), systems="comet")
+    results = spec.run(level="model")   # 'stragglers' column when swept
+
+Scenario families: ``StragglerSpec.slow_rank`` (one throttled device),
+``StragglerSpec.degraded_link`` (a rank's NIC demoted to another link
+tier, e.g. :data:`repro.hw.multinode.IB_400G`), and
+``StragglerSpec.skewed_placement`` (per-rank expert load from
+temporally correlated routing).  **Uniform-case bit identity is a
+guarantee**: the uniform spec (all multipliers 1.0) lowers to per-rank
+graphs whose scheduled makespan equals the single-rank graph's makespan
+``==``-exactly for every system and policy — each rank's chain performs
+the same IEEE-754 accumulations and the barrier maxima take maxima of
+bit-equal values — so opting into the per-rank model never moves a
+balanced number (the straggler test suite asserts it).  The same knob
+serves online (``StepCostModel(..., stragglers=...)``, CLI ``repro
+serve --straggler-mult``) and sweeps offline (``repro sweep
+--straggler-mult 1.0 1.5``; ``repro model --stragglers 1.5 --report``
+prints per-rank makespans, the imbalance, and the straggler critical
+path).  See ``examples/straggler_sweep.py``.
+
 Performance architecture.  Simulation speed is a feature: the same
 ``MoESystem.time_layer`` core prices figure grids, training steps, and
 tens of thousands of serving iterations, so :mod:`repro.perf` layers
@@ -152,6 +187,7 @@ from repro.graph import (
     LayerPhase,
     NodeKind,
     ScheduleGraph,
+    StragglerSpec,
     list_schedule,
 )
 from repro.api import (
@@ -255,6 +291,7 @@ __all__ = [
     "ServeSpec",
     "SkipRecord",
     "StepCostModel",
+    "StragglerSpec",
     "SystemRegistry",
     "TopKGate",
     "TraceSpec",

@@ -131,7 +131,45 @@ def _scenario_matches(scenario: "Scenario", **criteria: Any) -> bool:
         wanted = criteria.get(key)
         if wanted is not None and getattr(scenario, key) != wanted:
             return False
+    stragglers = criteria.get("stragglers")
+    if stragglers is not None:
+        if isinstance(stragglers, (int, float)) and not isinstance(
+            stragglers, bool
+        ):
+            # The float slow-rank shorthand, resolved per scenario
+            # (against that scenario's world size) by the same helper
+            # the grid axes use, so filter criteria and grid inputs can
+            # never drift apart; 1.0 normalises to the baseline.
+            from repro.api.scenario import _as_straggler_axis
+
+            (stragglers,) = _as_straggler_axis(
+                (stragglers,), scenario.cluster.world_size
+            )
+            if stragglers is None:
+                stragglers = "uniform"
+        if isinstance(stragglers, str):
+            if _straggler_label(scenario).lower() != stragglers.lower():
+                return False
+        elif getattr(stragglers, "is_uniform", False):
+            # A uniform spec is the baseline, which scenarios store as
+            # None (or an explicit uniform spec) — both label forms
+            # ("uniform") and spec forms must select the same rows.
+            if not (
+                scenario.stragglers is None or scenario.stragglers.is_uniform
+            ):
+                return False
+        elif scenario.stragglers != stragglers:
+            return False
     return True
+
+
+def _straggler_label(scenario: "Scenario") -> str:
+    """Export-cell value of a scenario's straggler axis (``uniform``
+    for the baseline, whether unset or an explicit uniform spec)."""
+    spec = scenario.stragglers
+    if spec is None or spec.is_uniform:
+        return "uniform"
+    return spec.label
 
 
 @dataclass(frozen=True)
@@ -218,18 +256,21 @@ class ResultSet:
         imbalance_std: float | None = None,
         seed: int | None = None,
         overlap_policy: str | None = None,
+        stragglers: Any = None,
         system: str | None = None,
         predicate: Callable[[ResultRow], bool] | None = None,
     ) -> "ResultSet":
         """Narrow to matching rows (skips and grid narrow consistently).
 
         String criteria are case-insensitive; ``strategy`` accepts a
-        :class:`ParallelStrategy`, a ``(tp, ep)`` tuple, or ``"TP1xEP8"``.
+        :class:`ParallelStrategy`, a ``(tp, ep)`` tuple, or ``"TP1xEP8"``;
+        ``stragglers`` accepts a spec or its label (``"uniform"`` matches
+        the baseline).
         """
         criteria = dict(
             model=model, cluster=cluster, strategy=strategy, tp=tp, ep=ep,
             tokens=tokens, imbalance_std=imbalance_std, seed=seed,
-            overlap_policy=overlap_policy,
+            overlap_policy=overlap_policy, stragglers=stragglers,
         )
 
         def keep_scenario(scenario: "Scenario") -> bool:
@@ -286,20 +327,43 @@ class ResultSet:
         """Whether any scenario uses a non-default overlap policy.
 
         Gates the extra ``policy`` export column so legacy (per-layer
-        only) exports stay byte-identical."""
+        only) exports stay byte-identical.  **Every** export —
+        :meth:`to_rows` (and therefore :meth:`to_csv`),
+        :meth:`to_table`, and :meth:`to_json` — applies this one
+        predicate, so a single-policy set and a swept set can never
+        disagree across formats, and the column carries a cell on every
+        row (default policies included) whenever it is present at all.
+        """
         return any(s.overlap_policy != "per_layer" for s in self.scenarios())
+
+    def _has_straggler_axis(self) -> bool:
+        """Whether any scenario carries a non-uniform straggler spec.
+
+        Same gating rule (and the same every-export consistency
+        guarantee) as :meth:`_has_overlap_axis`: baseline-only sets stay
+        byte-identical, swept sets label every row — ``uniform`` for
+        the baseline points."""
+        return any(
+            s.stragglers is not None and not s.stragglers.is_uniform
+            for s in self.scenarios()
+        )
 
     # -- export ---------------------------------------------------------------
     def to_rows(self) -> tuple[list[str], list[list[Any]]]:
         """Flat ``(headers, rows)`` — one row per (scenario, system).
 
         A ``policy`` column is appended when the set sweeps the
-        overlap-policy axis."""
+        overlap-policy axis, and a ``stragglers`` column when it sweeps
+        the straggler axis (same rule in :meth:`to_table` and
+        :meth:`to_json`)."""
         with_policy = self._has_overlap_axis()
+        with_stragglers = self._has_straggler_axis()
         headers = [
             "model", "cluster", "strategy", "M", "imbalance", "seed",
             "system", "ms",
         ]
+        if with_stragglers:
+            headers.insert(6, "stragglers")
         if with_policy:
             headers.insert(6, "policy")
         table = []
@@ -314,6 +378,8 @@ class ResultSet:
                 r.system,
                 r.value_ms,
             ]
+            if with_stragglers:
+                cells.insert(6, _straggler_label(r.scenario))
             if with_policy:
                 cells.insert(6, r.scenario.overlap_policy)
             table.append(cells)
@@ -326,9 +392,12 @@ class ResultSet:
         per system (``nan`` marks skipped pairs)."""
         order = tuple(systems) if systems is not None else self.systems()
         with_policy = self._has_overlap_axis()
+        with_stragglers = self._has_straggler_axis()
         headers = ["model", "cluster", "strategy", "M", "imbalance"]
         if with_policy:
             headers.append("policy")
+        if with_stragglers:
+            headers.append("stragglers")
         headers += list(order)
         table = []
         for scenario in self.scenarios():
@@ -342,6 +411,8 @@ class ResultSet:
             ]
             if with_policy:
                 cells.append(scenario.overlap_policy)
+            if with_stragglers:
+                cells.append(_straggler_label(scenario))
             for name in order:
                 value = by_system.get(name)
                 if value is None:
@@ -360,10 +431,19 @@ class ResultSet:
         return rows_to_csv(headers, table, path)
 
     def to_json(self, indent: int = 2) -> str:
-        """Compact machine-readable dump of rows and skip reasons."""
+        """Compact machine-readable dump of rows and skip reasons.
+
+        The ``overlap_policy`` and ``stragglers`` fields follow exactly
+        the :meth:`to_rows` column rule — present on *every* row when
+        the respective axis is swept, absent everywhere otherwise — so
+        CSV headers and JSON keys can never disagree (they used to:
+        layer-level swept sets emitted the CSV column but no JSON
+        field).
+        """
         import dataclasses
 
         with_policy = self._has_overlap_axis()
+        with_stragglers = self._has_straggler_axis()
 
         def row_doc(row: ResultRow) -> dict[str, Any]:
             doc: dict[str, Any] = {
@@ -378,16 +458,24 @@ class ResultSet:
                 "timing_us": dataclasses.asdict(row.timing),
                 "layer_ms": row.layer_ms,
             }
+            # Swept-axis fields come from the scenario, so layer-level
+            # and model-level rows export them identically (per_layer /
+            # uniform rows included — consumers can group by axis).
+            if with_policy:
+                doc["overlap_policy"] = row.scenario.overlap_policy
+            if with_stragglers:
+                doc["stragglers"] = _straggler_label(row.scenario)
             if row.model_timing is not None:
                 doc["model_total_ms"] = row.model_timing.total_ms
                 doc["attention_us"] = row.model_timing.attention_us
-                # Policy-swept sets carry the policy fields on every
-                # model row (per_layer included, where the makespan
-                # equals the additive total), so consumers can group by
-                # policy; policy-free sets stay byte-identical.
-                if with_policy:
-                    doc["overlap_policy"] = row.model_timing.overlap_policy
+                if with_policy or with_stragglers:
                     doc["model_makespan_ms"] = row.model_timing.makespan_ms
+                if with_stragglers and row.model_timing.rank_makespans_us:
+                    doc["rank_makespans_ms"] = [
+                        span / 1000.0
+                        for span in row.model_timing.rank_makespans_us
+                    ]
+                    doc["imbalance_ms"] = row.model_timing.imbalance_us / 1000.0
             return doc
 
         payload: dict[str, Any] = {

@@ -35,6 +35,7 @@ from repro.api.registry import (
     resolve_model,
 )
 from repro.api.results import ResultRow, ResultSet, SkipRecord
+from repro.graph.straggler import StragglerSpec
 from repro.hw.cluster import ClusterSpec
 from repro.moe.config import MoEConfig
 from repro.parallel.strategy import ParallelStrategy
@@ -68,11 +69,20 @@ class Scenario:
     imbalance_std: float = 0.0
     seed: int = 0
     overlap_policy: str = "per_layer"
+    stragglers: StragglerSpec | None = None
 
     def __post_init__(self) -> None:
         from repro.graph.lower import check_policy
 
         check_policy(self.overlap_policy)
+        if (
+            self.stragglers is not None
+            and self.stragglers.num_ranks != self.cluster.world_size
+        ):
+            raise ValueError(
+                f"straggler spec covers {self.stragglers.num_ranks} ranks, "
+                f"cluster {self.cluster.name} has {self.cluster.world_size}"
+            )
         if self.strategy.world_size != self.cluster.world_size:
             raise ValueError(
                 f"strategy {self.strategy} needs world size "
@@ -103,6 +113,8 @@ class Scenario:
             parts.append(f"seed{self.seed}")
         if self.overlap_policy != "per_layer":
             parts.append(self.overlap_policy)
+        if self.stragglers is not None and not self.stragglers.is_uniform:
+            parts.append(self.stragglers.label)
         return "/".join(parts)
 
     def build_workload(self) -> MoELayerWorkload:
@@ -131,6 +143,46 @@ def _as_sequence(value: Any, scalar_types: tuple[type, ...]) -> tuple:
     if isinstance(value, scalar_types) or not isinstance(value, Iterable):
         return (value,)
     return tuple(value)
+
+
+def _as_straggler_axis(
+    value: Any, world_size: int
+) -> tuple[StragglerSpec | None, ...]:
+    """Normalise one straggler-axis input against a cluster's world size.
+
+    Each entry may be ``None`` (baseline), a :class:`StragglerSpec`
+    (rank count checked by :class:`Scenario` validation), or a float
+    shorthand for the rank-0 slow-rank preset at that compute
+    multiplier.  Every spelling of the baseline — ``None``, ``1.0``,
+    an explicit uniform spec — normalises to ``None``, so the axis is
+    canonical (no duplicate indistinguishable grid points) and a
+    ``(1.0, 1.5)`` sweep keeps its baseline point byte-identical to an
+    unswept grid.
+    """
+    entries = _as_sequence(value, (StragglerSpec, int, float, type(None)))
+    out: list[StragglerSpec | None] = []
+    for entry in entries:
+        if entry is None:
+            out.append(None)
+        elif isinstance(entry, StragglerSpec):
+            out.append(None if entry.is_uniform else entry)
+        elif isinstance(entry, (int, float)):
+            mult = float(entry)
+            if mult <= 0:
+                raise ValueError(
+                    f"straggler multiplier must be positive, got {mult}"
+                )
+            out.append(
+                None
+                if mult == 1.0
+                else StragglerSpec.slow_rank(world_size, compute_mult=mult)
+            )
+        else:
+            raise ValueError(
+                f"straggler axis entries must be None, a StragglerSpec, or "
+                f"a slow-rank multiplier; got {entry!r}"
+            )
+    return tuple(out)
 
 
 def _as_strategies(value: Any, world_size: int) -> tuple[ParallelStrategy, ...]:
@@ -179,6 +231,7 @@ class ExperimentSpec:
         imbalance_stds: Any = (0.0,),
         seeds: Any = (0,),
         overlap_policies: Any = "per_layer",
+        stragglers: Any = None,
         systems: Any = None,
         registry: SystemRegistry | None = None,
     ) -> "ExperimentSpec":
@@ -191,10 +244,16 @@ class ExperimentSpec:
         :class:`ParallelStrategy` or ``(tp, ep)`` pair), or a sequence of
         strategies.  ``overlap_policies`` sweeps the cross-layer
         scheduling model (``"per_layer"`` | ``"cross_layer"`` |
-        ``"shortcut"``) used at ``level="model"``.  Expansion order is
-        models, clusters, strategies, tokens, imbalance, seeds, overlap
-        policies (outer to inner) — the row order of the paper's figure
-        tables.
+        ``"shortcut"``) used at ``level="model"``.  ``stragglers`` sweeps
+        per-rank straggler scenarios at ``level="model"`` — each entry is
+        ``None`` (baseline), a
+        :class:`~repro.graph.straggler.StragglerSpec`, or a float
+        shorthand for the rank-0 slow-rank preset at that compute
+        multiplier (resolved against each cluster's world size; ``1.0``
+        means baseline).  Expansion order is models, clusters,
+        strategies, tokens, imbalance, seeds, overlap policies,
+        stragglers (outer to inner) — the row order of the paper's
+        figure tables.
         """
         reg = registry if registry is not None else SYSTEM_REGISTRY
         model_list = [
@@ -212,22 +271,27 @@ class ExperimentSpec:
         scenarios = []
         for config in model_list:
             for cluster in cluster_list:
+                straggler_list = _as_straggler_axis(
+                    stragglers, cluster.world_size
+                )
                 for strategy in _as_strategies(strategies, cluster.world_size):
                     for token_count in token_list:
                         for std in std_list:
                             for seed in seed_list:
                                 for overlap in overlap_list:
-                                    scenarios.append(
-                                        Scenario(
-                                            config=config,
-                                            cluster=cluster,
-                                            strategy=strategy,
-                                            tokens=token_count,
-                                            imbalance_std=std,
-                                            seed=seed,
-                                            overlap_policy=overlap,
+                                    for spec in straggler_list:
+                                        scenarios.append(
+                                            Scenario(
+                                                config=config,
+                                                cluster=cluster,
+                                                strategy=strategy,
+                                                tokens=token_count,
+                                                imbalance_std=std,
+                                                seed=seed,
+                                                overlap_policy=overlap,
+                                                stragglers=spec,
+                                            )
                                         )
-                                    )
         if systems is None:
             names: tuple[str, ...] = ()
         else:
@@ -310,6 +374,7 @@ class ExperimentSpec:
                         total_tokens=scenario.tokens,
                         workload=workload,
                         overlap_policy=scenario.overlap_policy,
+                        stragglers=scenario.stragglers,
                     )
                 except UnsupportedWorkload as exc:
                     record_skip(
@@ -352,6 +417,19 @@ class ExperimentSpec:
         """
         if level not in ("layer", "model"):
             raise ValueError(f"level must be 'layer' or 'model', got {level!r}")
+        if level == "layer" and any(
+            s.stragglers is not None and not s.stragglers.is_uniform
+            for s in self.scenarios
+        ):
+            # The MoE layer timing is priced on the bottleneck rank and
+            # never sees the straggler spec; running such a grid at
+            # layer level would export baseline numbers labelled as
+            # straggler measurements.
+            raise ValueError(
+                "straggler-swept grids must run at level='model' (the "
+                "per-rank schedule graph is a whole-model construct; "
+                "layer timings are straggler-independent)"
+            )
         names = self.system_names()
         scenarios = list(dict.fromkeys(self.scenarios))
         parallel = workers is not None and workers > 1 and len(scenarios) > 1

@@ -118,6 +118,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "instead of the forward pass",
     )
     model.add_argument(
+        "--stragglers", type=float, default=None, metavar="MULT",
+        help="model one straggling rank: lower per-rank schedule graphs "
+        "with rank 0 slowed by MULT (e.g. 1.5) and report per-rank "
+        "makespans and imbalance",
+    )
+    model.add_argument(
         "--report", action="store_true",
         help="also print the critical path through the schedule graph",
     )
@@ -153,6 +159,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="POLICY",
         help="sweep cross-layer overlap policies (runs the grid at model "
         "level: per_layer, cross_layer, shortcut)",
+    )
+    sweep.add_argument(
+        "--straggler-mult", nargs="+", type=float, default=None, metavar="MULT",
+        help="sweep slow-rank compute multipliers (1.0 = no straggler; "
+        "runs the grid at model level on per-rank schedule graphs)",
     )
     sweep.add_argument("--json", metavar="PATH", help="also export raw data")
     sweep.add_argument(
@@ -215,6 +226,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--overlap-policy", choices=OVERLAP_POLICIES, default="per_layer",
         help="cross-layer overlap policy for the step cost model "
         "(default: per_layer)",
+    )
+    serve.add_argument(
+        "--straggler-mult", type=float, default=None, metavar="MULT",
+        help="slow rank 0 by MULT (e.g. 1.5): every continuous-batching "
+        "step is priced on the per-rank schedule graph",
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", metavar="PATH", help="also export the report")
@@ -372,7 +388,7 @@ def _format_critical_path(schedule, max_rows: int = 20) -> str:
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
-    from repro.api.scenario import default_system_names
+    from repro.api.scenario import _as_straggler_axis, default_system_names
     from repro.graph.lower import forward_schedule, training_schedule
     from repro.runtime.model_runner import run_model
     from repro.runtime.training import run_training_step
@@ -385,6 +401,17 @@ def _cmd_model(args: argparse.Namespace) -> int:
         return 2
     cluster = CLUSTER_REGISTRY.get(args.cluster)()
     config = MODEL_REGISTRY.get(args.model)
+    stragglers = None
+    if args.stragglers is not None:
+        try:
+            # One shared rule with the grid axes: 1.0 is the baseline,
+            # anything else the rank-0 slow-rank preset.
+            (stragglers,) = _as_straggler_axis(
+                (args.stragglers,), cluster.world_size
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         scenario = Scenario(
             config=config,
@@ -393,6 +420,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
             tokens=args.tokens,
             imbalance_std=args.imbalance_std,
             seed=args.seed,
+            stragglers=stragglers,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -402,9 +430,11 @@ def _cmd_model(args: argparse.Namespace) -> int:
     workload = scenario.build_workload()
     runner = run_training_step if args.training else run_model
     kind = "training step" if args.training else "forward pass"
+    straggler_note = f", stragglers={stragglers.label}" if stragglers else ""
     print(
         f"{config.name}, {scenario.strategy}, M={args.tokens}, "
-        f"{cluster.name} — {kind}, {config.num_layers} layers\n"
+        f"{cluster.name} — {kind}, {config.num_layers} layers"
+        f"{straggler_note}\n"
     )
     rows = []
     report_lines = []
@@ -417,7 +447,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
                 timing = runner(
                     system, config, cluster, scenario.strategy,
                     total_tokens=args.tokens, workload=workload,
-                    overlap_policy=policy,
+                    overlap_policy=policy, stragglers=stragglers,
                 )
                 timings[policy] = timing
                 cells.append(f"{timing.makespan_us / 1000:.3f}")
@@ -428,35 +458,62 @@ def _cmd_model(args: argparse.Namespace) -> int:
         serial = timings.get("per_layer")
         baseline_us = serial.makespan_us if serial else best.total_us
         cells.append(f"{baseline_us / best.makespan_us:.3f}x")
+        if stragglers is not None:
+            cells.append(
+                f"{max(t.imbalance_us for t in timings.values()) / 1000:.3f}"
+            )
         rows.append(cells)
         if args.report:
+
+            def lower(sys_, moe_timing):
+                # Same lowering selection the runners used for the
+                # makespans above, so the report matches them exactly.
+                if stragglers is not None:
+                    return sys_.lower_rank_phases(moe_timing, stragglers)
+                return sys_.lower_layer(moe_timing)
+
             for policy in policies:
                 timing = timings[policy]
                 if args.training:
                     schedule = training_schedule(
-                        system.lower_layer(timing.moe_fwd),
-                        system.backward_variant().lower_layer(timing.moe_bwd),
+                        lower(system, timing.moe_fwd),
+                        lower(system.backward_variant(), timing.moe_bwd),
                         timing.attention_fwd_us,
                         timing.attention_bwd_us,
                         timing.num_layers,
                         timing.grad_sync_us,
                         timing.optimizer_us,
                         policy,
+                        stragglers,
                     )
                 else:
                     schedule = forward_schedule(
-                        system.lower_layer(timing.moe),
+                        lower(system, timing.moe),
                         timing.attention_us,
                         timing.num_layers,
                         policy,
+                        stragglers,
                     )
                 report_lines.append(
                     f"\n{system.name} — {policy}:\n"
                     + _format_critical_path(schedule)
                 )
+                if stragglers is not None:
+                    spans = ", ".join(
+                        f"r{rank}={span / 1000:.3f}"
+                        for rank, span in schedule.rank_makespans().items()
+                    )
+                    report_lines.append(
+                        f"  per-rank makespans (ms): {spans}  |  "
+                        f"imbalance {schedule.imbalance_us() / 1000:.3f} ms, "
+                        f"straggler rank {schedule.straggler_rank()}"
+                    )
+    headers = ["system"] + [f"{p} ms" for p in policies] + ["best speedup"]
+    if stragglers is not None:
+        headers.append("imbalance ms")
     print(
         format_table(
-            ["system"] + [f"{p} ms" for p in policies] + ["best speedup"],
+            headers,
             rows,
             title=f"Whole-model schedule graph makespans ({kind})",
         )
@@ -495,12 +552,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except UnknownNameError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    from repro.api.scenario import _as_straggler_axis
+
     policies = list(dict.fromkeys(args.overlap_policy or ["per_layer"]))
+    straggler_mults = list(dict.fromkeys(args.straggler_mult or [1.0]))
+    if any(mult <= 0 for mult in straggler_mults):
+        print(
+            f"error: straggler multipliers must be positive, got "
+            f"{straggler_mults}",
+            file=sys.stderr,
+        )
+        return 2
     scenarios: list[Scenario] = []
     for model_name in args.models:
         config = MODEL_REGISTRY.get(model_name)
         for cluster_name in args.clusters:
             cluster = CLUSTER_REGISTRY.get(cluster_name)()
+            straggler_list = _as_straggler_axis(
+                straggler_mults, cluster.world_size
+            )
             for strategy in _strategies_for(cluster, args.tp, args.ep):
                 for tokens in args.tokens:
                     for std in args.imbalance_std:
@@ -515,8 +585,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                         imbalance_std=std,
                                         seed=seed,
                                         overlap_policy=policy,
+                                        stragglers=spec,
                                     )
                                     for policy in policies
+                                    for spec in straggler_list
                                 ]
                             except ValueError as exc:
                                 # Validity is policy-independent: warn
@@ -537,9 +609,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         scenarios=tuple(dict.fromkeys(scenarios)), systems=systems
     )
-    # A policy sweep only shows at model level (the MoE layer timing is
-    # policy-independent); plain sweeps keep the layer-level default.
-    level = "model" if args.overlap_policy else "layer"
+    # Policy and straggler sweeps only show at model level (the MoE
+    # layer timing is independent of both); plain sweeps keep the
+    # layer-level default.
+    straggling = any(m != 1.0 for m in straggler_mults)
+    level = "model" if (args.overlap_policy or straggling) else "layer"
     results = spec.run(level=level, workers=args.workers)
     headers, rows = results.to_table()
     metric = "end-to-end model ms" if level == "model" else "MoE layer ms"
@@ -602,6 +676,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.tp <= 0:
             raise ValueError(f"tp must be positive, got {args.tp}")
         ep = args.ep if args.ep is not None else cluster.world_size // args.tp
+        stragglers = None
+        if args.straggler_mult is not None:
+            from repro.api.scenario import _as_straggler_axis
+
+            (stragglers,) = _as_straggler_axis(
+                (args.straggler_mult,), cluster.world_size
+            )
         scenario = ServeScenario(
             config=config,
             cluster=cluster,
@@ -619,6 +700,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             slo_tpot_ms=args.slo_tpot_ms,
             max_batch_tokens=args.max_batch_tokens,
             overlap_policy=args.overlap_policy,
+            stragglers=stragglers,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -633,11 +715,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if scenario.overlap_policy != "per_layer"
         else ""
     )
+    straggler_note = (
+        f", stragglers={scenario.stragglers.label}" if scenario.stragglers else ""
+    )
     print(
         f"{config.name}, {scenario.strategy}, {cluster.name} — "
-        f"{trace.label}, policy={scenario.policy}{overlap}, "
+        f"{trace.label}, policy={scenario.policy}{overlap}{straggler_note}, "
         f"SLO: TTFT<={scenario.slo_ttft_ms:g}ms TPOT<={scenario.slo_tpot_ms:g}ms\n"
     )
+
+    def fmt(value: float, spec: str, scale: float = 1.0) -> str:
+        # Zero-arrival traces have no latency percentiles (NaN): render
+        # an em-dash cell instead of leaking "nan" into the table.
+        if value != value:
+            return "-"
+        return format(value * scale, spec)
+
     rows = []
     for report in results:
         ttft = report.ttft_percentiles()
@@ -646,11 +739,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rows.append([
             report.system,
             report.num_requests,
-            f"{ttft['p50']:.1f}",
-            f"{ttft['p99']:.1f}",
-            f"{tpot['p50']:.2f}",
-            f"{tpot['p99']:.2f}",
-            f"{e2e['p99'] / 1000:.2f}",
+            fmt(ttft["p50"], ".1f"),
+            fmt(ttft["p99"], ".1f"),
+            fmt(tpot["p50"], ".2f"),
+            fmt(tpot["p99"], ".2f"),
+            fmt(e2e["p99"], ".2f", scale=1e-3),
             f"{100 * report.slo_attainment:.1f}",
             f"{report.goodput_rps:.2f}",
             f"{report.output_tokens_per_s:.0f}",

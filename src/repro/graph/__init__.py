@@ -11,7 +11,12 @@ intra-layer overlapping the systems already model:
 * :mod:`repro.graph.des_ref` — discrete-event reference executor
   (cross-checked exactly equal to the analytic scheduler);
 * :mod:`repro.graph.lower` — policy-aware lowering of
-  ``MoESystem.lower_layer`` phase lists into model / training graphs.
+  ``MoESystem.lower_layer`` phase lists into model / training graphs,
+  single-rank or per-rank;
+* :mod:`repro.graph.straggler` — per-rank straggler/skew multiplier
+  specs (slow ranks, degraded links, skewed expert placement) that turn
+  the lowering per-rank, with cross-rank barrier edges at every
+  dispatch/combine/grad-sync collective.
 """
 
 from repro.graph.des_ref import des_schedule
@@ -35,7 +40,8 @@ from repro.graph.lower import (
     training_makespan,
     training_schedule,
 )
-from repro.graph.scheduler import GraphSchedule, list_schedule
+from repro.graph.scheduler import GraphSchedule, list_schedule, rank_makespans
+from repro.graph.straggler import StragglerSpec
 
 __all__ = [
     "COMM",
@@ -46,6 +52,7 @@ __all__ = [
     "NodeKind",
     "OVERLAP_POLICIES",
     "ScheduleGraph",
+    "StragglerSpec",
     "Stream",
     "build_forward_graph",
     "build_moe_chain",
@@ -55,6 +62,7 @@ __all__ = [
     "forward_makespan",
     "forward_schedule",
     "list_schedule",
+    "rank_makespans",
     "training_makespan",
     "training_schedule",
 ]

@@ -188,13 +188,18 @@ class ScheduleGraph:
         """Sum of all node durations (the zero-overlap upper bound)."""
         return sum(node.duration_us for node in self.nodes)
 
+    def ranks(self) -> tuple[int, ...]:
+        """Distinct stream ranks, ascending (single-rank graphs: ``(0,)``)."""
+        return tuple(sorted({node.stream.rank for node in self.nodes}))
+
     def fingerprint(self) -> str:
         """Stable digest of the graph's structure and exact durations.
 
         Keys :data:`repro.perf.GRAPH_CACHE`: two graphs with equal
         fingerprints schedule identically, bit for bit, because the
-        digest covers node order, kinds, streams, dependency edges, and
-        the IEEE-754 bits of every duration.
+        digest covers node order, kinds, streams (and therefore every
+        per-rank stream tag), dependency edges, and the IEEE-754 bits
+        of every duration.
         """
         digest = hashlib.sha1()
         for node, deps in zip(self.nodes, self.preds):

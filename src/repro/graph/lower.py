@@ -22,15 +22,33 @@ This module turns the phase lists produced by
   gate+dispatch launch before the block's attention and the dispatch
   overlaps the dense path as well; combine still merges one block later.
 
+**Per-rank lowering.**  Every builder accepts an optional
+:class:`~repro.graph.straggler.StragglerSpec`; when given, the graph
+carries one compute + comm stream pair *per rank* instead of the single
+bottleneck-rank pair.  Ranks sharing a multiplier triple share one
+scaled phase tuple (the PR 3 rank-deduplication idea applied to
+lowering), and every communication phase — dispatch, combine,
+grad-sync — becomes a cross-rank barrier: its node on rank *r* depends
+on the chain predecessors of *all* ranks, because an all-to-all cannot
+complete before the slowest participant reaches it.  The uniform spec
+is the proven degenerate case: each rank's chain performs exactly the
+float accumulations of the single-rank chain, barrier maxima take the
+maximum of bit-equal values, and the per-rank makespan therefore equals
+the single-rank graph's makespan ``==``-exactly (the straggler tests
+assert it per system x policy).  ``phases`` may also be a pre-lowered
+per-rank table (a sequence of phase sequences), which is how
+:meth:`repro.systems.base.MoESystem.lower_rank_phases` feeds
+system-aware re-exposure of hidden communication into the builders.
+
 Comm-phase durations are the *exposed* remainders after whatever
 intra-layer overlapping each system already performs, so cross-layer
 gains compound on top of COMET's fine-grained intra-layer gains — the
 compounding Lancet and ScMoE report over per-layer overlappers.
 
 All scheduling goes through :func:`repro.perf.cached_graph_schedule`
-(keyed by :meth:`ScheduleGraph.fingerprint`), so repeated grid points and
-``workers=N`` runs stay byte-identical while scheduling each distinct
-graph once.
+(keyed by :meth:`ScheduleGraph.fingerprint`, whose stream inventory
+covers the per-rank streams), so repeated grid points and ``workers=N``
+runs stay byte-identical while scheduling each distinct graph once.
 """
 
 from __future__ import annotations
@@ -46,6 +64,7 @@ from repro.graph.ir import (
     Stream,
 )
 from repro.graph.scheduler import GraphSchedule, list_schedule
+from repro.graph.straggler import StragglerSpec
 
 __all__ = [
     "OVERLAP_POLICIES",
@@ -104,6 +123,66 @@ def build_moe_chain(phases: Sequence[LayerPhase]) -> ScheduleGraph:
     return graph
 
 
+def _is_rank_table(phases: Sequence) -> bool:
+    """Whether ``phases`` is a per-rank table (sequence of sequences)."""
+    return bool(phases) and not isinstance(phases[0], LayerPhase)
+
+
+def _phase_table(
+    phases: Sequence, stragglers: StragglerSpec | None
+) -> list[tuple[LayerPhase, ...]]:
+    """Normalise ``phases`` to one phase tuple per rank.
+
+    A flat phase list replicates across the spec's ranks through
+    :meth:`StragglerSpec.scale_phases`, memoised per multiplier triple so
+    identical ranks share one tuple; a pre-lowered per-rank table passes
+    through (validated against the spec's rank count).  Structural
+    alignment across ranks — same phase kinds at the same positions, the
+    same zero/non-zero pattern — is guaranteed for scaled tables because
+    every multiplier is positive; per-rank tables from
+    ``lower_rank_phases`` preserve it by construction.
+    """
+    if _is_rank_table(phases):
+        table = [tuple(rank_phases) for rank_phases in phases]
+        if stragglers is not None and len(table) != stragglers.num_ranks:
+            raise ValueError(
+                f"per-rank phase table has {len(table)} ranks, straggler "
+                f"spec has {stragglers.num_ranks}"
+            )
+        # Structural alignment is a hard requirement of the barrier
+        # lowering: every rank must carry the same phase kinds on the
+        # same streams at the same positions (durations may differ,
+        # including down to zero).
+        shape = [(p.kind, p.comm) for p in table[0]]
+        for rank, rank_phases in enumerate(table[1:], start=1):
+            if [(p.kind, p.comm) for p in rank_phases] != shape:
+                raise ValueError(
+                    f"per-rank phase table rank {rank} is structurally "
+                    f"misaligned with rank 0 (same kinds/streams per "
+                    f"position required)"
+                )
+        return table
+    flat = tuple(phases)
+    if stragglers is None:
+        return [flat]
+    return list(
+        stragglers.per_rank_table(
+            lambda rank: stragglers.scale_phases(flat, rank)
+        )
+    )
+
+
+def _attention_table(
+    attention_us: float, num_ranks: int, stragglers: StragglerSpec | None
+) -> list[float]:
+    if stragglers is None:
+        return [attention_us] * num_ranks
+    return [
+        stragglers.scale_compute(attention_us, rank)
+        for rank in range(num_ranks)
+    ]
+
+
 class _LayerState:
     """Cross-layer context threaded through the per-layer builders."""
 
@@ -114,230 +193,377 @@ class _LayerState:
         self.combine_id: int | None = None  # detached trailing combine
 
 
+def _barrier_deps(dep_sets: Sequence[tuple[int, ...]]) -> tuple[int, ...]:
+    """Union of every rank's dependency set, in first-seen order.
+
+    Comm nodes are collectives: rank *r*'s dispatch/combine/grad-sync
+    cannot finish before every rank reached the collective, so its
+    dependency set is the union of all ranks' chain predecessors.  With
+    one rank this is the rank's own set, so single-rank graphs are
+    unchanged bit for bit.
+    """
+    merged: list[int] = []
+    for deps in dep_sets:
+        merged.extend(deps)
+    return tuple(dict.fromkeys(merged))
+
+
 def _add_layer(
     graph: ScheduleGraph,
-    phases: Sequence[LayerPhase],
-    attention_us: float,
+    phase_table: Sequence[Sequence[LayerPhase]],
+    attention_table: Sequence[float],
     policy: str,
     layer: int,
-    state: _LayerState,
+    states: Sequence[_LayerState],
+    streams: Sequence[tuple[Stream, Stream]],
     tag: str = "",
     attention_kind: NodeKind = NodeKind.ATTENTION,
     attention_first: bool = True,
 ) -> None:
-    """Append one transformer layer (attention + MoE phases) to ``graph``.
+    """Append one transformer layer for every rank to ``graph``.
+
+    Nodes are added phase-major, rank-minor: each structural position is
+    emitted for all ranks before the next position, so cross-rank
+    barrier edges always point at earlier nodes.  Within one rank the
+    add order — and therefore the id-based stream tie-breaking — is
+    identical to the historical single-rank builder, which this function
+    reproduces exactly when called with one rank.
 
     ``attention_first=False`` appends the attention node after the MoE
     phases instead — the backward pass runs the reversed layer, where the
     attention backward trails the expert backward and is what the
     detached combine overlaps with.
     """
-    active = [p for p in phases if p.duration_us > 0.0]
+    ranks = range(len(states))
+    # A position is active when ANY rank has nonzero duration there:
+    # system-aware re-exposure can zero one rank's comm phase (fully
+    # hidden) while another rank's stays exposed, so pruning by rank 0
+    # alone would silently drop the other ranks' collectives.  Ranks
+    # with a zero duration at an active position emit a zero-length
+    # node — timing-neutral (both executors handle zero nodes exactly)
+    # and keeps the barrier structure aligned.  With one rank this is
+    # the historical drop-if-zero rule, node for node.
+    active_idx = [
+        i
+        for i in range(len(phase_table[0]))
+        if any(phases[i].duration_us > 0.0 for phases in phase_table)
+    ]
+    actives = [
+        [phase_table[r][i] for i in active_idx] for r in ranks
+    ]
     # The detachable boundary comm phase: the trailing combine, whose
     # output is only needed at the next layer's merge point.
     combine_pos = None
     if policy != "per_layer":
-        for idx in range(len(active) - 1, -1, -1):
-            if active[idx].comm and active[idx].kind is NodeKind.COMBINE:
+        for idx in range(len(active_idx) - 1, -1, -1):
+            if actives[0][idx].comm and actives[0][idx].kind is NodeKind.COMBINE:
                 combine_pos = idx
                 break
 
-    entry_deps = state.exit_ids
-    combine_dep = () if state.combine_id is None else (state.combine_id,)
-    merge_deps = (*entry_deps, *combine_dep)
+    entry_deps = [states[r].exit_ids for r in ranks]
+    combine_dep = [
+        () if states[r].combine_id is None else (states[r].combine_id,)
+        for r in ranks
+    ]
+    merge_deps = [(*entry_deps[r], *combine_dep[r]) for r in ranks]
 
-    has_attention = attention_first and attention_us > 0.0
-    overlap_dense = policy == "shortcut" and has_attention and active
+    has_attention = attention_first and attention_table[0] > 0.0
+    overlap_dense = policy == "shortcut" and has_attention and bool(active_idx)
 
-    attn_id: int | None = None
-    prev: tuple[int, ...]
-    remaining = list(enumerate(active))
+    attn_id: list[int | None] = [None for _ in ranks]
+    combine_id: list[int | None] = [None for _ in ranks]
+    prev: list[tuple[int, ...]]
+    remaining = list(range(len(active_idx)))
     if overlap_dense:
         # ScMoE: the MoE branch consumes the previous block's output, so
         # the gate launches before this block's attention (lower node id
         # wins the compute-stream tie) and the dispatch overlaps the
         # dense path; the paths merge again at the layer exit.
-        first_idx, first_phase = remaining.pop(0)
-        first_id = graph.add(
-            first_phase.kind,
-            first_phase.duration_us,
-            _COMM if first_phase.comm else _COMPUTE,
-            deps=merge_deps,
-            layer=layer,
-            tag=tag,
-        )
-        attn_id = graph.add(
-            attention_kind, attention_us, _COMPUTE, deps=entry_deps,
-            layer=layer, tag=tag,
-        )
-        prev = (first_id,) if first_idx != combine_pos else merge_deps
-        combine_id = first_id if first_idx == combine_pos else None
+        first_pos = remaining.pop(0)
+        first_comm = actives[0][first_pos].comm
+        first_barrier = _barrier_deps(merge_deps) if first_comm else None
+        first_ids = []
+        for r in ranks:
+            phase = actives[r][first_pos]
+            first_ids.append(
+                graph.add(
+                    phase.kind,
+                    phase.duration_us,
+                    streams[r][1] if phase.comm else streams[r][0],
+                    deps=first_barrier if first_comm else merge_deps[r],
+                    layer=layer,
+                    tag=tag,
+                )
+            )
+        for r in ranks:
+            attn_id[r] = graph.add(
+                attention_kind, attention_table[r], streams[r][0],
+                deps=entry_deps[r], layer=layer, tag=tag,
+            )
+        prev = [
+            (first_ids[r],) if first_pos != combine_pos else merge_deps[r]
+            for r in ranks
+        ]
+        if first_pos == combine_pos:
+            combine_id = list(first_ids)
     elif has_attention:
         # per_layer keeps the strict chain; cross_layer lets attention
         # skip the previous combine (Lancet's boundary overlap) while
         # the gate — which needs the merged output — waits for both.
-        attn_deps = entry_deps if policy == "cross_layer" else merge_deps
-        attn_id = graph.add(
-            attention_kind, attention_us, _COMPUTE, deps=attn_deps,
-            layer=layer, tag=tag,
-        )
-        prev = (attn_id, *combine_dep) if policy == "cross_layer" else (attn_id,)
-        combine_id = None
+        for r in ranks:
+            attn_deps = (
+                entry_deps[r] if policy == "cross_layer" else merge_deps[r]
+            )
+            attn_id[r] = graph.add(
+                attention_kind, attention_table[r], streams[r][0],
+                deps=attn_deps, layer=layer, tag=tag,
+            )
+        prev = [
+            (attn_id[r], *combine_dep[r])
+            if policy == "cross_layer"
+            else (attn_id[r],)
+            for r in ranks
+        ]
     else:
-        prev = merge_deps
-        combine_id = None
+        prev = list(merge_deps)
 
-    for idx, phase in remaining:
-        stream = _COMM if phase.comm else _COMPUTE
-        node = graph.add(
-            phase.kind, phase.duration_us, stream, deps=prev, layer=layer, tag=tag
-        )
-        if idx == combine_pos:
-            combine_id = node  # detached: the chain continues without it
+    for pos in remaining:
+        is_comm = actives[0][pos].comm
+        barrier = _barrier_deps(prev) if is_comm else None
+        ids = []
+        for r in ranks:
+            phase = actives[r][pos]
+            ids.append(
+                graph.add(
+                    phase.kind,
+                    phase.duration_us,
+                    streams[r][1] if phase.comm else streams[r][0],
+                    deps=barrier if is_comm else prev[r],
+                    layer=layer,
+                    tag=tag,
+                )
+            )
+        if pos == combine_pos:
+            combine_id = ids  # detached: the chain continues without it
         else:
-            prev = (node,)
+            prev = [(ids[r],) for r in ranks]
 
-    if not attention_first and attention_us > 0.0:
-        attn_id = graph.add(
-            attention_kind, attention_us, _COMPUTE, deps=prev, layer=layer, tag=tag
-        )
-        prev = (attn_id,)
-    elif overlap_dense and attn_id is not None and attn_id not in prev:
+    if not attention_first and attention_table[0] > 0.0:
+        for r in ranks:
+            attn_id[r] = graph.add(
+                attention_kind, attention_table[r], streams[r][0],
+                deps=prev[r], layer=layer, tag=tag,
+            )
+        prev = [(attn_id[r],) for r in ranks]
+    elif overlap_dense:
         # Merge the dense path back in: the layer's serial exit requires
         # both the expert chain and the attention output.
-        prev = (*prev, attn_id)
+        for r in ranks:
+            if attn_id[r] is not None and attn_id[r] not in prev[r]:
+                prev[r] = (*prev[r], attn_id[r])
 
-    state.exit_ids = prev if prev else entry_deps
-    state.combine_id = combine_id
+    for r in ranks:
+        states[r].exit_ids = prev[r] if prev[r] else entry_deps[r]
+        states[r].combine_id = combine_id[r]
+
+
+def _rank_streams(num_ranks: int) -> list[tuple[Stream, Stream]]:
+    """One (compute, comm) stream pair per rank."""
+    if num_ranks == 1:
+        return [(_COMPUTE, _COMM)]
+    return [
+        (Stream(COMPUTE, rank), Stream(COMM, rank))
+        for rank in range(num_ranks)
+    ]
 
 
 def build_forward_graph(
-    phases: Sequence[LayerPhase],
+    phases: Sequence,
     attention_us: float,
     num_layers: int,
     policy: str,
+    stragglers: StragglerSpec | None = None,
 ) -> ScheduleGraph:
-    """Whole-model forward graph: ``num_layers`` identical layers."""
+    """Whole-model forward graph: ``num_layers`` identical layers.
+
+    With ``stragglers`` (or a per-rank ``phases`` table) the graph
+    carries one stream pair per rank and barrier edges at every comm
+    phase; without, it is the historical single-rank graph, node for
+    node.
+    """
     check_policy(policy)
     if num_layers <= 0:
         raise ValueError(f"num_layers must be positive, got {num_layers}")
+    table = _phase_table(phases, stragglers)
+    attention = _attention_table(attention_us, len(table), stragglers)
     graph = ScheduleGraph()
-    state = _LayerState()
+    states = [_LayerState() for _ in table]
+    streams = _rank_streams(len(table))
     for layer in range(num_layers):
-        _add_layer(graph, phases, attention_us, policy, layer, state)
+        _add_layer(graph, table, attention, policy, layer, states, streams)
     return graph
 
 
 def build_training_graph(
-    fwd_phases: Sequence[LayerPhase],
-    bwd_phases: Sequence[LayerPhase],
+    fwd_phases: Sequence,
+    bwd_phases: Sequence,
     attention_fwd_us: float,
     attention_bwd_us: float,
     num_layers: int,
     grad_sync_us: float,
     optimizer_us: float,
     policy: str,
+    stragglers: StragglerSpec | None = None,
 ) -> ScheduleGraph:
     """One full training step: forward sweep, backward sweep, sync, update.
 
     Under ``cross_layer``/``shortcut`` the dense gradient all-reduce is
     bucketed into one chunk per layer, released as that layer's backward
     finishes — the standard DDP bucketing overlap — and the optimizer
-    waits for every bucket plus the final backward compute.
+    waits for every bucket plus the final backward compute.  Per-rank
+    graphs put one grad-sync node per rank behind a cross-rank barrier
+    (an all-reduce waits for the slowest contributor) and one optimizer
+    node per rank on that rank's compute stream.
     """
     check_policy(policy)
     if num_layers <= 0:
         raise ValueError(f"num_layers must be positive, got {num_layers}")
+    fwd_table = _phase_table(fwd_phases, stragglers)
+    bwd_table = _phase_table(bwd_phases, stragglers)
+    if len(fwd_table) != len(bwd_table):
+        raise ValueError(
+            f"forward table has {len(fwd_table)} ranks, backward "
+            f"{len(bwd_table)}"
+        )
+    num_ranks = len(fwd_table)
+    attention_fwd = _attention_table(attention_fwd_us, num_ranks, stragglers)
+    attention_bwd = _attention_table(attention_bwd_us, num_ranks, stragglers)
+    sync_us = [
+        grad_sync_us
+        if stragglers is None
+        else stragglers.scale_comm(grad_sync_us, rank)
+        for rank in range(num_ranks)
+    ]
+    opt_us = [
+        optimizer_us
+        if stragglers is None
+        else stragglers.scale_compute(optimizer_us, rank)
+        for rank in range(num_ranks)
+    ]
     graph = ScheduleGraph()
-    state = _LayerState()
+    states = [_LayerState() for _ in range(num_ranks)]
+    streams = _rank_streams(num_ranks)
     for layer in range(num_layers):
         _add_layer(
-            graph, fwd_phases, attention_fwd_us, policy, layer, state, tag="fwd"
+            graph, fwd_table, attention_fwd, policy, layer, states, streams,
+            tag="fwd",
         )
-    sync_chunks: list[int] = []
+    sync_chunks: list[list[int]] = [[] for _ in range(num_ranks)]
     bucketed = policy != "per_layer" and grad_sync_us > 0.0
-    chunk_us = grad_sync_us / num_layers if bucketed else 0.0
+    chunk_us = [us / num_layers if bucketed else 0.0 for us in sync_us]
     for layer in range(num_layers - 1, -1, -1):
         _add_layer(
             graph,
-            bwd_phases,
-            attention_bwd_us,
+            bwd_table,
+            attention_bwd,
             policy,
             layer,
-            state,
+            states,
+            streams,
             tag="bwd",
             attention_kind=NodeKind.ATTENTION_BWD,
             attention_first=False,
         )
         if bucketed:
-            sync_chunks.append(
-                graph.add(
-                    NodeKind.GRAD_SYNC,
-                    chunk_us,
-                    _COMM,
-                    deps=state.exit_ids,
-                    layer=layer,
-                    tag="bwd",
+            barrier = _barrier_deps([state.exit_ids for state in states])
+            for rank in range(num_ranks):
+                sync_chunks[rank].append(
+                    graph.add(
+                        NodeKind.GRAD_SYNC,
+                        chunk_us[rank],
+                        streams[rank][1],
+                        deps=barrier,
+                        layer=layer,
+                        tag="bwd",
+                    )
                 )
-            )
-    tail_deps = state.exit_ids
+    tail_deps = [state.exit_ids for state in states]
     if not bucketed and grad_sync_us > 0.0:
-        tail_deps = (
-            graph.add(NodeKind.GRAD_SYNC, grad_sync_us, _COMM, deps=tail_deps),
-        )
+        barrier = _barrier_deps(tail_deps)
+        tail_deps = [
+            (
+                graph.add(
+                    NodeKind.GRAD_SYNC, sync_us[rank], streams[rank][1],
+                    deps=barrier,
+                ),
+            )
+            for rank in range(num_ranks)
+        ]
     if optimizer_us > 0.0:
-        graph.add(
-            NodeKind.OPTIMIZER,
-            optimizer_us,
-            _COMPUTE,
-            deps=(*tail_deps, *sync_chunks),
-        )
+        for rank in range(num_ranks):
+            graph.add(
+                NodeKind.OPTIMIZER,
+                opt_us[rank],
+                streams[rank][0],
+                deps=(*tail_deps[rank], *sync_chunks[rank]),
+            )
     return graph
 
 
 def forward_schedule(
-    phases: Sequence[LayerPhase],
+    phases: Sequence,
     attention_us: float,
     num_layers: int,
     policy: str,
+    stragglers: StragglerSpec | None = None,
 ) -> GraphSchedule:
     """Schedule the flat forward graph (cached by graph fingerprint)."""
     return _cached_schedule(
-        build_forward_graph(phases, attention_us, num_layers, policy)
+        build_forward_graph(phases, attention_us, num_layers, policy, stragglers)
     )
 
 
 def forward_makespan(
-    phases: Sequence[LayerPhase],
+    phases: Sequence,
     attention_us: float,
     num_layers: int,
     policy: str,
+    stragglers: StragglerSpec | None = None,
 ) -> float:
     """End-to-end forward makespan under ``policy``.
 
-    ``per_layer`` composes the scheduled single-layer chain exactly the
-    way the legacy additive path does — ``num_layers x (attention +
-    chain makespan)`` — so the result is bit-identical to
-    ``ModelTiming.total_us`` (and to ``StepCostModel``'s per-bucket
-    cost); the unrolled flat graph agrees to float associativity and is
-    what the DES cross-check executes.
+    ``per_layer`` (without stragglers) composes the scheduled
+    single-layer chain exactly the way the legacy additive path does —
+    ``num_layers x (attention + chain makespan)`` — so the result is
+    bit-identical to ``ModelTiming.total_us`` (and to ``StepCostModel``'s
+    per-bucket cost); the unrolled flat graph agrees to float
+    associativity and is what the DES cross-check executes.  Straggler
+    specs (and per-rank phase tables) always schedule the flat per-rank
+    graph, because the cross-rank barriers are the model.
     """
     check_policy(policy)
-    if policy == "per_layer":
+    if (
+        policy == "per_layer"
+        and stragglers is None
+        and not _is_rank_table(phases)
+    ):
         moe_us = list_schedule(build_moe_chain(phases)).makespan_us
         return num_layers * (attention_us + moe_us)
-    return forward_schedule(phases, attention_us, num_layers, policy).makespan_us
+    return forward_schedule(
+        phases, attention_us, num_layers, policy, stragglers
+    ).makespan_us
 
 
 def training_schedule(
-    fwd_phases: Sequence[LayerPhase],
-    bwd_phases: Sequence[LayerPhase],
+    fwd_phases: Sequence,
+    bwd_phases: Sequence,
     attention_fwd_us: float,
     attention_bwd_us: float,
     num_layers: int,
     grad_sync_us: float,
     optimizer_us: float,
     policy: str,
+    stragglers: StragglerSpec | None = None,
 ) -> GraphSchedule:
     """Schedule the flat training-step graph (cached by fingerprint)."""
     return _cached_schedule(
@@ -350,27 +576,36 @@ def training_schedule(
             grad_sync_us,
             optimizer_us,
             policy,
+            stragglers,
         )
     )
 
 
 def training_makespan(
-    fwd_phases: Sequence[LayerPhase],
-    bwd_phases: Sequence[LayerPhase],
+    fwd_phases: Sequence,
+    bwd_phases: Sequence,
     attention_fwd_us: float,
     attention_bwd_us: float,
     num_layers: int,
     grad_sync_us: float,
     optimizer_us: float,
     policy: str,
+    stragglers: StragglerSpec | None = None,
 ) -> float:
     """Training-step makespan under ``policy``.
 
-    ``per_layer`` reproduces :attr:`TrainStepTiming.step_us` bit for bit
-    (same summation order and association as the legacy formula).
+    ``per_layer`` (without stragglers) reproduces
+    :attr:`TrainStepTiming.step_us` bit for bit (same summation order
+    and association as the legacy formula); straggler specs schedule
+    the flat per-rank graph.
     """
     check_policy(policy)
-    if policy == "per_layer":
+    if (
+        policy == "per_layer"
+        and stragglers is None
+        and not _is_rank_table(fwd_phases)
+        and not _is_rank_table(bwd_phases)
+    ):
         moe_fwd_us = list_schedule(build_moe_chain(fwd_phases)).makespan_us
         moe_bwd_us = list_schedule(build_moe_chain(bwd_phases)).makespan_us
         layer_us = attention_fwd_us + attention_bwd_us + moe_fwd_us + moe_bwd_us
@@ -384,4 +619,5 @@ def training_makespan(
         grad_sync_us,
         optimizer_us,
         policy,
+        stragglers,
     ).makespan_us

@@ -25,7 +25,25 @@ from dataclasses import dataclass, field
 
 from repro.graph.ir import GraphNode, ScheduleGraph, Stream
 
-__all__ = ["GraphSchedule", "list_schedule"]
+__all__ = ["GraphSchedule", "list_schedule", "rank_makespans"]
+
+
+def rank_makespans(
+    graph: ScheduleGraph, finish_us: tuple[float, ...]
+) -> dict[int, float]:
+    """Latest finish per rank, keyed by rank id (ascending).
+
+    Shared by the analytic :class:`GraphSchedule` and the DES reference
+    executor (which returns raw finish tuples), so both report per-rank
+    makespans through one definition: the makespan of rank *r* is the
+    latest finish over every node on one of *r*'s streams.
+    """
+    spans: dict[int, float] = {}
+    for node, finish in zip(graph.nodes, finish_us):
+        rank = node.stream.rank
+        if rank not in spans or finish > spans[rank]:
+            spans[rank] = finish
+    return dict(sorted(spans.items()))
 
 
 @dataclass(frozen=True)
@@ -55,6 +73,33 @@ class GraphSchedule:
     def overlap_saved_us(self) -> float:
         """Work hidden by overlap: total work minus the makespan."""
         return self.graph.total_work_us - self.makespan_us
+
+    # -- per-rank accessors (straggler & skew reporting) ----------------------
+    def rank_makespans(self) -> dict[int, float]:
+        """Latest finish per rank (multi-rank graphs; ``{0: makespan}``
+        for the single-rank graphs the default lowering emits)."""
+        return rank_makespans(self.graph, self.finish_us)
+
+    def imbalance_us(self) -> float:
+        """Spread between the slowest and fastest rank's makespan.
+
+        Zero for single-rank graphs and for uniform per-rank graphs
+        (every rank's timeline is identical); positive exactly when a
+        straggler or placement skew leaves fast ranks idle at the end of
+        the step.
+        """
+        spans = self.rank_makespans()
+        if not spans:
+            return 0.0
+        values = spans.values()
+        return max(values) - min(values)
+
+    def straggler_rank(self) -> int:
+        """The rank pacing the makespan (lowest id on exact ties)."""
+        spans = self.rank_makespans()
+        if not spans:
+            return 0
+        return min(spans, key=lambda rank: (-spans[rank], rank))
 
     def critical_path(self) -> list[GraphNode]:
         """One chain of nodes that paces the makespan, source to sink.

@@ -113,6 +113,15 @@ class BoundedCache:
     ``maxsize`` bounds the entry count; inserting beyond it evicts the
     least recently used entry, so long-running processes (sweep servers,
     notebook sessions) cannot grow caches without bound.
+
+    Every operation — lookups, the insert-plus-eviction loop of
+    :meth:`put`, counter resets, and the :meth:`stats` snapshot — runs
+    under one lock, so ``workers=N`` grids can hammer a cache from many
+    threads and still observe a coherent state: ``size`` never exceeds
+    ``maxsize``, counters never go backwards or negative, and a
+    :meth:`stats` snapshot is internally consistent (its ``hit_rate``
+    is computed from the same locked reads as its ``hits``/``misses``)
+    rather than a torn mix of before/after values.
     """
 
     def __init__(self, maxsize: int, name: str = "cache"):
@@ -127,7 +136,8 @@ class BoundedCache:
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: Hashable) -> Any | None:
         """The cached value, or ``None`` (which is never a stored value)."""
@@ -141,7 +151,12 @@ class BoundedCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> Any:
-        """Insert (evicting LRU entries past ``maxsize``); returns ``value``."""
+        """Insert (evicting LRU entries past ``maxsize``); returns ``value``.
+
+        The insert and the eviction loop are one atomic operation: no
+        concurrent reader can observe the cache above ``maxsize`` or an
+        eviction count mid-update.
+        """
         if value is None:
             raise ValueError("BoundedCache cannot store None")
         with self._lock:
@@ -152,20 +167,27 @@ class BoundedCache:
                 self.evictions += 1
         return value
 
+    def _reset_locked(self) -> None:
+        """Drop entries and counters; caller must hold ``_lock``."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all entries and reset the counters (atomically)."""
         with self._lock:
-            self._data.clear()
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+            self._reset_locked()
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
-    def stats(self) -> dict[str, Any]:
+    def _stats_locked(self) -> dict[str, Any]:
+        """Build the stats doc; caller must hold ``_lock``."""
+        total = self.hits + self.misses
         return {
             "name": self.name,
             "size": len(self._data),
@@ -173,8 +195,13 @@ class BoundedCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
+            "hit_rate": self.hits / total if total else 0.0,
         }
+
+    def stats(self) -> dict[str, Any]:
+        """A consistent snapshot of size and counters (single lock hold)."""
+        with self._lock:
+            return self._stats_locked()
 
 
 class TimingCache(BoundedCache):
@@ -211,12 +238,19 @@ class TimingCache(BoundedCache):
         return timing
 
     def clear(self) -> None:
-        super().clear()
-        self.computed = 0
+        with self._lock:
+            self._reset_locked()
+            self.computed = 0
 
     def stats(self) -> dict[str, Any]:
-        doc = super().stats()
-        doc["time_layer_calls"] = self.computed
+        # One lock hold for the whole snapshot, so time_layer_calls is
+        # read in the same critical section as the hit/miss counters.
+        # (computed and misses are still bumped in *separate* critical
+        # sections — a snapshot taken mid-miss can legitimately show
+        # them one apart, so don't assert equality between them.)
+        with self._lock:
+            doc = self._stats_locked()
+            doc["time_layer_calls"] = self.computed
         return doc
 
 
@@ -230,10 +264,13 @@ def cached_graph_schedule(graph: Any) -> Any:
     bounded :data:`GRAPH_CACHE`.
 
     Keyed by :meth:`~repro.graph.ir.ScheduleGraph.fingerprint`, which
-    covers structure, streams, and the exact IEEE-754 duration bits, so
-    a cache hit is byte-identical to rescheduling — grids with
-    ``workers=N`` and warm-cache reruns produce the same floats.  Honours
-    the ``timing_cache`` perf flag (:func:`disabled` bypasses it).
+    covers structure, streams (every node's per-rank stream tag, so a
+    straggler spec's per-rank graph and the single-rank graph it
+    degenerates to key separately), and the exact IEEE-754 duration
+    bits.  A cache hit is byte-identical to rescheduling — grids with
+    ``workers=N`` and warm-cache reruns produce the same floats.
+    Honours the ``timing_cache`` perf flag (:func:`disabled` bypasses
+    it).
     """
     from repro.graph.scheduler import list_schedule
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.graph.straggler import StragglerSpec
 from repro.hw.cluster import ClusterSpec
 from repro.moe.config import MoEConfig
 from repro.parallel.strategy import ParallelStrategy
@@ -86,6 +87,8 @@ class ModelTiming(StepTimingMixin):
     moe: LayerTiming
     overlap_policy: str = "per_layer"
     graph_makespan_us: float | None = None
+    stragglers: StragglerSpec | None = None
+    rank_makespans_us: tuple[float, ...] | None = None
 
     def _layer_parts(self) -> tuple[float, ...]:
         return (self.attention_us, self.moe.total_us)
@@ -109,6 +112,7 @@ def run_model(
     seed: int = 0,
     workload: MoELayerWorkload | None = None,
     overlap_policy: str = "per_layer",
+    stragglers: StragglerSpec | None = None,
 ) -> ModelTiming:
     """Time a full forward pass of ``config`` under ``system``.
 
@@ -125,11 +129,29 @@ def run_model(
             policies lower the layer through
             :meth:`~repro.systems.base.MoESystem.lower_layer` and record
             the whole-model graph makespan on the returned timing.
+        stragglers: per-rank straggler/skew multipliers
+            (:class:`~repro.graph.straggler.StragglerSpec`).  A
+            non-uniform spec lowers one stream pair per rank through
+            :meth:`~repro.systems.base.MoESystem.lower_rank_phases` —
+            for *every* policy, ``per_layer`` included — and records the
+            per-rank makespans on the returned timing; ``None`` or a
+            uniform spec keeps the bottleneck-rank model (and its
+            bit-identical legacy totals) unchanged.
     """
     from repro import perf
-    from repro.graph.lower import check_policy, forward_makespan
+    from repro.graph.lower import check_policy, forward_makespan, forward_schedule
 
     check_policy(overlap_policy)
+    active_spec = (
+        stragglers
+        if stragglers is not None and not stragglers.is_uniform
+        else None
+    )
+    if active_spec is not None and active_spec.num_ranks != strategy.world_size:
+        raise ValueError(
+            f"straggler spec covers {active_spec.num_ranks} ranks, strategy "
+            f"{strategy} has world size {strategy.world_size}"
+        )
     dp_size = strategy.ep_size  # W / TP
     if workload is None:
         workload = make_workload(
@@ -141,7 +163,18 @@ def run_model(
         config, cluster, strategy.tp_size, tokens_per_dp
     )
     makespan = None
-    if overlap_policy != "per_layer":
+    rank_spans = None
+    if active_spec is not None:
+        schedule = forward_schedule(
+            system.lower_rank_phases(moe, active_spec),
+            attention,
+            config.num_layers,
+            overlap_policy,
+            active_spec,
+        )
+        makespan = schedule.makespan_us
+        rank_spans = tuple(schedule.rank_makespans().values())
+    elif overlap_policy != "per_layer":
         makespan = forward_makespan(
             system.lower_layer(moe), attention, config.num_layers, overlap_policy
         )
@@ -153,4 +186,6 @@ def run_model(
         moe=moe,
         overlap_policy=overlap_policy,
         graph_makespan_us=makespan,
+        stragglers=active_spec,
+        rank_makespans_us=rank_spans,
     )

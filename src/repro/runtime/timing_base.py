@@ -31,13 +31,16 @@ class StepTimingMixin:
     * ``_moe_parts()`` — the MoE subset of those durations;
     * ``_step_tail_parts()`` — per-step extras outside the layer loop
       (gradient sync, optimizer); empty for forward-only records;
-    * optionally ``overlap_policy`` / ``graph_makespan_us`` fields set
-      by the graph-aware runners.
+    * optionally ``overlap_policy`` / ``graph_makespan_us`` /
+      ``stragglers`` / ``rank_makespans_us`` fields set by the
+      graph-aware runners.
     """
 
     num_layers: int
     overlap_policy: str = "per_layer"
     graph_makespan_us: float | None = None
+    stragglers = None  # StragglerSpec driving a per-rank graph, if any
+    rank_makespans_us: tuple[float, ...] | None = None
 
     def _layer_parts(self) -> tuple[float, ...]:
         raise NotImplementedError
@@ -112,3 +115,22 @@ class StepTimingMixin:
         if self.makespan_us <= 0:
             return 1.0
         return self.total_us / self.makespan_us
+
+    # -- per-rank (straggler) totals ------------------------------------------
+    def rank_makespans(self) -> dict[int, float]:
+        """Per-rank makespans of the scheduled per-rank graph.
+
+        Empty for records timed without a straggler spec (the
+        bottleneck-rank model has no per-rank timelines to report).
+        """
+        if self.rank_makespans_us is None:
+            return {}
+        return dict(enumerate(self.rank_makespans_us))
+
+    @property
+    def imbalance_us(self) -> float:
+        """Spread between the slowest and fastest rank (0 when uniform
+        or when the record was timed without a straggler spec)."""
+        if not self.rank_makespans_us:
+            return 0.0
+        return max(self.rank_makespans_us) - min(self.rank_makespans_us)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.graph.straggler import StragglerSpec
 from repro.hw.cluster import ClusterSpec
 from repro.moe.config import MoEConfig
 from repro.parallel.strategy import ParallelStrategy
@@ -59,6 +60,8 @@ class TrainStepTiming(StepTimingMixin):
     optimizer_us: float
     overlap_policy: str = "per_layer"
     graph_makespan_us: float | None = None
+    stragglers: StragglerSpec | None = None
+    rank_makespans_us: tuple[float, ...] | None = None
 
     def _layer_parts(self) -> tuple[float, ...]:
         return (
@@ -136,6 +139,7 @@ def run_training_step(
     seed: int = 0,
     workload: MoELayerWorkload | None = None,
     overlap_policy: str = "per_layer",
+    stragglers: StragglerSpec | None = None,
 ) -> TrainStepTiming:
     """Time one full training step (fwd + bwd + sync + optimizer).
 
@@ -143,12 +147,30 @@ def run_training_step(
     :func:`repro.runtime.model_runner.run_model`); non-default policies
     additionally bucket the dense gradient all-reduce per layer so it
     overlaps the remaining backward compute, and record the scheduled
-    step makespan on the returned timing.
+    step makespan on the returned timing.  A non-uniform ``stragglers``
+    spec lowers the step per rank (forward, backward, grad-sync, and
+    optimizer all carry the rank's multipliers) and records per-rank
+    makespans; ``None`` or a uniform spec keeps the bottleneck-rank
+    model unchanged.
     """
     from repro import perf
-    from repro.graph.lower import check_policy, training_makespan
+    from repro.graph.lower import (
+        check_policy,
+        training_makespan,
+        training_schedule,
+    )
 
     check_policy(overlap_policy)
+    active_spec = (
+        stragglers
+        if stragglers is not None and not stragglers.is_uniform
+        else None
+    )
+    if active_spec is not None and active_spec.num_ranks != strategy.world_size:
+        raise ValueError(
+            f"straggler spec covers {active_spec.num_ranks} ranks, strategy "
+            f"{strategy} has world size {strategy.world_size}"
+        )
     if workload is None:
         workload = make_workload(
             config, cluster, strategy, total_tokens, imbalance_std, seed
@@ -161,7 +183,22 @@ def run_training_step(
     grad_sync = _grad_sync_us(config, cluster, strategy)
     optimizer = _optimizer_us(config, cluster, strategy)
     makespan = None
-    if overlap_policy != "per_layer":
+    rank_spans = None
+    if active_spec is not None:
+        schedule = training_schedule(
+            system.lower_rank_phases(moe_fwd, active_spec),
+            bwd_system.lower_rank_phases(moe_bwd, active_spec),
+            attention_fwd,
+            2.0 * attention_fwd,
+            config.num_layers,
+            grad_sync,
+            optimizer,
+            overlap_policy,
+            active_spec,
+        )
+        makespan = schedule.makespan_us
+        rank_spans = tuple(schedule.rank_makespans().values())
+    elif overlap_policy != "per_layer":
         makespan = training_makespan(
             system.lower_layer(moe_fwd),
             bwd_system.lower_layer(moe_bwd),
@@ -184,4 +221,6 @@ def run_training_step(
         optimizer_us=optimizer,
         overlap_policy=overlap_policy,
         graph_makespan_us=makespan,
+        stragglers=active_spec,
+        rank_makespans_us=rank_spans,
     )

@@ -69,6 +69,13 @@ class StepCostModel:
             byte; the others price the iteration as the makespan of the
             whole-model schedule graph (:mod:`repro.graph`), making the
             overlap policy a serving knob.
+        stragglers: per-rank straggler/skew multipliers
+            (:class:`~repro.graph.straggler.StragglerSpec`).  A
+            non-uniform spec prices every iteration as the makespan of
+            the per-rank schedule graph — the slow rank paces each
+            continuous-batching step, which is how one degraded device
+            drags a whole serving replica's goodput.  ``None`` or a
+            uniform spec keeps the byte-identical single-rank costs.
 
     Raises:
         UnsupportedWorkload: eagerly at construction if the system cannot
@@ -85,6 +92,7 @@ class StepCostModel:
         bucket_tokens: int = 256,
         step_overhead_us: float = 150.0,
         overlap_policy: str = "per_layer",
+        stragglers=None,
     ):
         from repro.graph.lower import check_policy
 
@@ -95,6 +103,22 @@ class StepCostModel:
                 f"step_overhead_us must be >= 0, got {step_overhead_us}"
             )
         self.overlap_policy = check_policy(overlap_policy)
+        self.stragglers = (
+            stragglers
+            if stragglers is not None and not stragglers.is_uniform
+            else None
+        )
+        if (
+            self.stragglers is not None
+            and self.stragglers.num_ranks != strategy.world_size
+        ):
+            # Same rule as run_model/run_training_step: the per-rank
+            # graph spans the strategy's ranks (the replica actually
+            # serving), not whatever larger cluster hosts it.
+            raise ValueError(
+                f"straggler spec covers {self.stragglers.num_ranks} ranks, "
+                f"strategy {strategy} has world size {strategy.world_size}"
+            )
         self.system = system
         self.config = config
         self.cluster = cluster
@@ -139,7 +163,20 @@ class StepCostModel:
             attention_us = attention_time_us(
                 self.config, self.cluster, self.strategy.tp_size, tokens_per_dp
             )
-            if self.overlap_policy == "per_layer":
+            if self.stragglers is not None:
+                from repro.graph.lower import forward_makespan
+
+                # The slow rank paces the iteration: price the per-rank
+                # graph (every policy, per_layer included — the barrier
+                # edges are the model).
+                iteration_us = forward_makespan(
+                    self.system.lower_rank_phases(moe, self.stragglers),
+                    attention_us,
+                    self.config.num_layers,
+                    self.overlap_policy,
+                    self.stragglers,
+                )
+            elif self.overlap_policy == "per_layer":
                 iteration_us = self.config.num_layers * (
                     attention_us + moe.total_us
                 )

@@ -36,7 +36,13 @@ PERCENTILES = (50, 95, 99)
 
 
 def percentiles(values: list[float] | tuple[float, ...]) -> dict[str, float]:
-    """p50/p95/p99 with linear interpolation (NaN on empty input)."""
+    """p50/p95/p99 with linear interpolation (NaN on empty input).
+
+    The NaN marker is for *interactive* consumers who can render it;
+    exports must not leak it — :meth:`ServeReport.summary` guards the
+    ``count == 0`` case explicitly (``None`` instead of NaN), which both
+    the CSV and JSON paths serialise as an empty/null cell.
+    """
     if not values:
         return {f"p{q}": float("nan") for q in PERCENTILES}
     arr = np.asarray(values, dtype=np.float64)
@@ -182,9 +188,23 @@ class ServeReport:
 
     # -- export ---------------------------------------------------------------
     def summary(self) -> dict[str, Any]:
-        ttft = self.ttft_percentiles()
-        tpot = self.tpot_percentiles()
-        e2e = self.e2e_percentiles()
+        """Flat metric dict; empty-trace percentiles are ``None``.
+
+        Explicit ``count == 0`` guard: a zero-arrival trace (an idle
+        replay window, a filtered-out scenario) has no latency
+        distribution, so its percentile entries export as ``None`` —
+        never NaN, which would corrupt CSV cells and poison any
+        SLO-goodput arithmetic a consumer runs over the summary.  The
+        counting metrics (requests, attainment, goodput, occupancy) are
+        all well-defined zeros on the empty trace.
+        """
+        if not self.records:
+            empty = {f"p{q}": None for q in PERCENTILES}
+            ttft, tpot, e2e = empty, dict(empty), dict(empty)
+        else:
+            ttft = self.ttft_percentiles()
+            tpot = self.tpot_percentiles()
+            e2e = self.e2e_percentiles()
         return {
             "system": self.system,
             "scenario": self.scenario_label,
@@ -271,15 +291,25 @@ class ServeResultSet:
             "tpot_p50_ms", "tpot_p99_ms", "e2e_p99_ms",
             "slo_attainment", "goodput_rps", "output_tok_per_s",
         ]
+        def cell(value: Any) -> Any:
+            # Belt and braces: no NaN ever reaches rows_to_csv — empty
+            # cells (None) serialise as "" in CSV and null in JSON.
+            if isinstance(value, float) and value != value:
+                return None
+            return value
+
         table = []
         for r in self.reports:
             s = r.summary()
             table.append([
-                s["scenario"], s["system"], s["requests"],
-                s["ttft_p50_ms"], s["ttft_p95_ms"], s["ttft_p99_ms"],
-                s["tpot_p50_ms"], s["tpot_p99_ms"], s["e2e_p99_ms"],
-                s["slo_attainment"], s["goodput_rps"],
-                s["output_tokens_per_s"],
+                cell(s[key])
+                for key in (
+                    "scenario", "system", "requests",
+                    "ttft_p50_ms", "ttft_p95_ms", "ttft_p99_ms",
+                    "tpot_p50_ms", "tpot_p99_ms", "e2e_p99_ms",
+                    "slo_attainment", "goodput_rps",
+                    "output_tokens_per_s",
+                )
             ])
         return headers, table
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from repro.graph.straggler import StragglerSpec
+
 from repro.api.registry import (
     SYSTEM_REGISTRY,
     SystemRegistry,
@@ -51,6 +53,7 @@ class ServeScenario:
     slo_tpot_ms: float = 75.0
     bucket_tokens: int = 256
     overlap_policy: str = "per_layer"
+    stragglers: StragglerSpec | None = None
 
     def __post_init__(self) -> None:
         from repro.graph.lower import check_policy
@@ -70,6 +73,14 @@ class ServeScenario:
         if self.slo_ttft_ms <= 0 or self.slo_tpot_ms <= 0:
             raise ValueError("SLO targets must be positive")
         check_policy(self.overlap_policy)
+        if (
+            self.stragglers is not None
+            and self.stragglers.num_ranks != self.cluster.world_size
+        ):
+            raise ValueError(
+                f"straggler spec covers {self.stragglers.num_ranks} ranks, "
+                f"cluster {self.cluster.name} has {self.cluster.world_size}"
+            )
 
     @property
     def label(self) -> str:
@@ -82,6 +93,8 @@ class ServeScenario:
         ]
         if self.overlap_policy != "per_layer":
             parts.append(self.overlap_policy)
+        if self.stragglers is not None and not self.stragglers.is_uniform:
+            parts.append(self.stragglers.label)
         return "/".join(parts)
 
     def build_trace(self) -> tuple[Request, ...]:
@@ -104,6 +117,7 @@ class ServeScenario:
             self.strategy,
             bucket_tokens=self.bucket_tokens,
             overlap_policy=self.overlap_policy,
+            stragglers=self.stragglers,
         )
         scheduler = ContinuousBatchingScheduler(
             cost_model=cost_model,
@@ -146,6 +160,7 @@ class ServeSpec:
         slo_tpot_ms: Any = 75.0,
         max_batch_tokens: Any = 8192,
         overlap_policies: Any = "per_layer",
+        stragglers: Any = None,
         systems: Any = None,
         registry: SystemRegistry | None = None,
     ) -> "ServeSpec":
@@ -157,10 +172,21 @@ class ServeSpec:
         one strategy, a ``(tp, ep)`` pair, or a sequence); ``traces``
         defaults to one Poisson :class:`TraceSpec`; ``overlap_policies``
         sweeps the cross-layer scheduling model of the step cost
-        (``"per_layer"`` | ``"cross_layer"`` | ``"shortcut"``).  Every
-        axis accepts a single value or a sequence.
+        (``"per_layer"`` | ``"cross_layer"`` | ``"shortcut"``);
+        ``stragglers`` sweeps per-rank straggler scenarios (same kwarg
+        name and entry forms as :meth:`ExperimentSpec.grid`) — each
+        entry is ``None`` (the baseline), a
+        :class:`~repro.graph.straggler.StragglerSpec`, or a float
+        shorthand for a rank-0 slow-rank preset at that compute
+        multiplier (built against each cluster's world size; ``1.0``
+        means no spec).  Every axis accepts a single value or a
+        sequence.
         """
-        from repro.api.scenario import _as_sequence, _as_strategies
+        from repro.api.scenario import (
+            _as_sequence,
+            _as_straggler_axis,
+            _as_strategies,
+        )
 
         reg = registry if registry is not None else SYSTEM_REGISTRY
         model_list = [
@@ -189,6 +215,9 @@ class ServeSpec:
                     strategy_list = _as_strategies(
                         strategies, cluster.world_size
                     )
+                straggler_list = _as_straggler_axis(
+                    stragglers, cluster.world_size
+                )
                 for strategy in strategy_list:
                     for trace in trace_list:
                         for policy in policy_list:
@@ -196,19 +225,21 @@ class ServeSpec:
                                 for tpot in tpot_list:
                                     for budget in budget_list:
                                         for overlap in overlap_list:
-                                            scenarios.append(
-                                                ServeScenario(
-                                                    config=config,
-                                                    cluster=cluster,
-                                                    strategy=strategy,
-                                                    trace=trace,
-                                                    policy=policy,
-                                                    slo_ttft_ms=ttft,
-                                                    slo_tpot_ms=tpot,
-                                                    max_batch_tokens=budget,
-                                                    overlap_policy=overlap,
+                                            for spec in straggler_list:
+                                                scenarios.append(
+                                                    ServeScenario(
+                                                        config=config,
+                                                        cluster=cluster,
+                                                        strategy=strategy,
+                                                        trace=trace,
+                                                        policy=policy,
+                                                        slo_ttft_ms=ttft,
+                                                        slo_tpot_ms=tpot,
+                                                        max_batch_tokens=budget,
+                                                        overlap_policy=overlap,
+                                                        stragglers=spec,
+                                                    )
                                                 )
-                                            )
         if systems is None:
             names: tuple[str, ...] = ()
         else:

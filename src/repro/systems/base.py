@@ -129,6 +129,13 @@ class MoESystem(ABC):
 
     name: str = "abstract"
     slug: str = ""
+    #: Fraction of the intra-layer comm-hiding capacity the system can
+    #: re-apply when a straggler spec perturbs a rank's durations
+    #: (see :meth:`lower_rank_layer`).  1.0 models mechanisms whose
+    #: overlap engine adapts to the perturbed timeline (fine-grained
+    #: pipelines); 0.0 models mechanisms with no overlap machinery,
+    #: where any extra communication lands fully exposed.
+    straggler_rehide: float = 1.0
 
     def __init__(self, gemm_scale: float = 1.0):
         if gemm_scale <= 0:
@@ -215,6 +222,94 @@ class MoESystem(ABC):
                 NodeKind.COMBINE, timing.exposed_layer1_comm_us, comm=True
             ),
             LayerPhase(NodeKind.HOST, timing.host_us),
+        )
+
+    def lower_rank_layer(
+        self,
+        timing: LayerTiming,
+        compute_mult: float = 1.0,
+        comm_mult: float = 1.0,
+        expert_mult: float = 1.0,
+    ) -> tuple:
+        """Lower one timed MoE layer into phases for one *perturbed* rank.
+
+        The per-rank graph builders call this once per distinct
+        straggler multiplier triple (:meth:`lower_rank_phases`).  With
+        all multipliers exactly 1.0 it returns :meth:`lower_layer`
+        unchanged — the documented degenerate case whose per-rank graph
+        makespan is bit-identical to the single-rank graph's.
+
+        Otherwise compute phases scale by ``compute_mult`` (expert-branch
+        phases additionally by ``expert_mult``), and the comm phases are
+        **re-exposed** from the timing's standalone/exposed split rather
+        than naively scaled: the standalone collective grows by
+        ``comm_mult`` while the hiding capacity (standalone minus
+        exposed) grows with the compute it hides under, applied with the
+        system's :attr:`straggler_rehide` fraction::
+
+            exposed' = max(standalone * comm_mult
+                           - hidden * (1 + rehide * (branch_mult - 1)), 0)
+
+        For ``comm_mult == branch_mult == m`` and ``rehide = 1`` this
+        reduces to ``exposed * m`` (a uniformly slow rank keeps its
+        hiding fraction); for ``rehide = 0`` every extra communication
+        byte lands on the critical path — the behaviour of systems
+        without an overlap engine.
+        """
+        from repro.graph.ir import LayerPhase, NodeKind
+
+        if compute_mult == 1.0 and comm_mult == 1.0 and expert_mult == 1.0:
+            return self.lower_layer(timing)
+        if type(self).lower_layer is not MoESystem.lower_layer:
+            # The system lowers to a custom phase structure; the re-built
+            # 7-phase tuple below would be structurally misaligned with
+            # the unperturbed ranks' custom phases.  Scale the system's
+            # own phases generically instead (exposed comm by comm_mult,
+            # compute by the branch multipliers) — systems wanting the
+            # re-exposure refinement override lower_rank_layer in tandem.
+            from repro.graph.straggler import StragglerSpec
+
+            return StragglerSpec(
+                (compute_mult,), (comm_mult,), (expert_mult,)
+            ).scale_phases(self.lower_layer(timing), 0)
+        branch_mult = compute_mult * expert_mult  # the expert pipeline rate
+        capacity_mult = 1.0 + self.straggler_rehide * (branch_mult - 1.0)
+
+        def exposed(standalone_us: float, exposed_us: float) -> float:
+            hidden = standalone_us - exposed_us
+            return max(standalone_us * comm_mult - hidden * capacity_mult, 0.0)
+
+        return (
+            LayerPhase(NodeKind.GATE, timing.gate_us * compute_mult),
+            LayerPhase(
+                NodeKind.DISPATCH,
+                exposed(timing.layer0_comm_us, timing.exposed_layer0_comm_us),
+                comm=True,
+            ),
+            LayerPhase(NodeKind.EXPERT, timing.layer0_comp_us * branch_mult),
+            LayerPhase(NodeKind.ACTIVATION, timing.activation_us * branch_mult),
+            LayerPhase(NodeKind.EXPERT, timing.layer1_comp_us * branch_mult),
+            LayerPhase(
+                NodeKind.COMBINE,
+                exposed(timing.layer1_comm_us, timing.exposed_layer1_comm_us),
+                comm=True,
+            ),
+            LayerPhase(NodeKind.HOST, timing.host_us * compute_mult),
+        )
+
+    def lower_rank_phases(self, timing: LayerTiming, stragglers) -> tuple:
+        """Per-rank phase table for the multi-rank graph builders.
+
+        Returns one phase tuple per rank of the
+        :class:`~repro.graph.straggler.StragglerSpec`; ranks sharing a
+        multiplier triple share one lowered tuple (the rank-deduplication
+        idea of the PR 3 timing fingerprints applied to lowering, via
+        :meth:`~repro.graph.straggler.StragglerSpec.per_rank_table`).
+        """
+        return stragglers.per_rank_table(
+            lambda rank: self.lower_rank_layer(
+                timing, *stragglers.rank_multipliers(rank)
+            )
         )
 
     def execute(

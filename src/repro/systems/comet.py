@@ -88,6 +88,10 @@ class Comet(MoESystem):
     """The COMET MoE system."""
 
     name = "Comet"
+    # COMET's tile-granular fused pipeline re-balances data and compute
+    # granularity on the perturbed rank, so a straggler's extra comm can
+    # still hide under its (slower) expert GEMMs at full capacity.
+    straggler_rehide = 1.0
 
     # Host side: gate kernel + two fused kernels.
     NUM_KERNELS = 3

@@ -30,6 +30,9 @@ class MegatronCutlass(MoESystem):
     """Megatron-LM with CUTLASS grouped GEMM experts (no overlap)."""
 
     name = "Megatron-Cutlass"
+    # No overlap engine: a straggler's extra communication is fully
+    # exposed (its hidden comm is zero anyway, so this is exact).
+    straggler_rehide = 0.0
 
     def time_layer(self, workload: MoELayerWorkload) -> LayerTiming:
         self.check_supported(workload)
@@ -67,6 +70,8 @@ class MegatronTE(MoESystem):
     """
 
     name = "Megatron-TE"
+    # Same serial schedule as Megatron-Cutlass: no comm re-hiding.
+    straggler_rehide = 0.0
 
     # Per-layer Python/API overhead of TransformerEngine module dispatch.
     TE_API_OVERHEAD_US = 18.0

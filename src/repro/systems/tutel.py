@@ -31,6 +31,9 @@ class Tutel(MoESystem):
     """Tutel's adaptive MoE layer."""
 
     name = "Tutel"
+    # Tutel re-selects its pipeline degree per iteration, so a perturbed
+    # rank's chunked overlap adapts to the slower timeline.
+    straggler_rehide = 1.0
 
     CANDIDATE_DEGREES = (1, 2, 4, 8)
     # Sparse dispatch encode/decode: extra elementwise passes per token.

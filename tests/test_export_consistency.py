@@ -1,0 +1,146 @@
+"""Export-schema consistency: every format agrees on optional columns.
+
+The ``policy`` column used to disagree between formats: a layer-level
+policy-swept grid emitted the CSV column but no JSON field (the JSON
+field hung off ``model_timing``, which layer rows lack).  One predicate
+per axis now gates every export — ``to_rows`` (and therefore
+``to_csv``), ``to_table``, ``to_json`` — and the new ``stragglers``
+column follows the identical rule.
+"""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import ExperimentSpec, StragglerSpec
+
+
+def _grid(**kwargs):
+    return ExperimentSpec.grid(
+        models="mixtral", clusters="h800", strategies=(1, 8), tokens=2048,
+        systems=("comet", "megatron-cutlass"), **kwargs,
+    )
+
+
+def _headers(results):
+    headers, _ = results.to_rows()
+    return headers
+
+
+def _json_rows(results):
+    return json.loads(results.to_json())["rows"]
+
+
+class TestPolicyColumnAgreement:
+    def test_baseline_grid_has_no_policy_anywhere(self):
+        results = _grid().run()
+        assert "policy" not in _headers(results)
+        table_headers, _ = results.to_table()
+        assert "policy" not in table_headers
+        assert all("overlap_policy" not in doc for doc in _json_rows(results))
+
+    @pytest.mark.parametrize("level", ("layer", "model"))
+    def test_swept_grid_agrees_across_formats(self, level):
+        """The historical bug: at level='layer' the CSV had the policy
+        column but the JSON rows lacked the field."""
+        results = _grid(
+            overlap_policies=("per_layer", "cross_layer")
+        ).run(level=level)
+        headers = _headers(results)
+        assert "policy" in headers
+        table_headers, _ = results.to_table()
+        assert "policy" in table_headers
+        docs = _json_rows(results)
+        assert docs and all("overlap_policy" in doc for doc in docs)
+        # Every row carries a concrete cell, per_layer rows included.
+        idx = headers.index("policy")
+        _, rows = results.to_rows()
+        assert {row[idx] for row in rows} == {"per_layer", "cross_layer"}
+
+    @pytest.mark.parametrize("level", ("layer", "model"))
+    def test_single_nondefault_policy_agrees(self, level):
+        """A single-policy (non-default) grid must make the same
+        column decision in every format."""
+        results = _grid(overlap_policies="cross_layer").run(level=level)
+        decisions = {
+            "csv": "policy" in _headers(results),
+            "table": "policy" in results.to_table()[0],
+            "json": all("overlap_policy" in d for d in _json_rows(results)),
+        }
+        assert len(set(decisions.values())) == 1, decisions
+
+    def test_filter_keeps_formats_agreeing(self):
+        """Narrowing a swept set to one policy may drop the column, but
+        all formats must drop (or keep) it together."""
+        swept = _grid(overlap_policies=("per_layer", "cross_layer")).run(
+            level="model"
+        )
+        for policy in ("per_layer", "cross_layer"):
+            narrowed = swept.filter(overlap_policy=policy)
+            decisions = {
+                "csv": "policy" in _headers(narrowed),
+                "table": "policy" in narrowed.to_table()[0],
+                "json": all(
+                    "overlap_policy" in d for d in _json_rows(narrowed)
+                ) if narrowed.rows else False,
+            }
+            assert len(set(decisions.values())) == 1, (policy, decisions)
+
+
+class TestStragglerColumnAgreement:
+    """The new axis applies the same only-when-swept rule everywhere."""
+
+    def test_layer_level_straggler_sweep_rejected(self):
+        """Layer timings never see the spec; running the swept grid at
+        layer level would export baseline numbers labelled as straggler
+        measurements, so it raises instead."""
+        with pytest.raises(ValueError, match="level='model'"):
+            _grid(stragglers=(1.0, 1.5)).run(level="layer")
+
+    def test_swept_stragglers_in_every_format(self, level="model"):
+        results = _grid(stragglers=(1.0, 1.5)).run(level=level)
+        headers = _headers(results)
+        assert "stragglers" in headers
+        assert "stragglers" in results.to_table()[0]
+        docs = _json_rows(results)
+        assert docs and all("stragglers" in doc for doc in docs)
+        idx = headers.index("stragglers")
+        _, rows = results.to_rows()
+        labels = {row[idx] for row in rows}
+        assert "uniform" in labels and len(labels) == 2
+
+    def test_uniform_only_grid_stays_clean(self):
+        """An explicit uniform spec is the baseline: no column, and the
+        export is byte-identical to the axis-free grid."""
+        plain = _grid().run()
+        uniform = _grid(stragglers=StragglerSpec.uniform(8)).run()
+        assert "stragglers" not in _headers(uniform)
+        assert uniform.to_csv() == plain.to_csv()
+        assert uniform.to_json() == plain.to_json()
+
+    def test_model_level_json_carries_rank_detail(self):
+        results = _grid(stragglers=(1.0, 1.5)).run(level="model")
+        docs = _json_rows(results)
+        slow = [d for d in docs if d["stragglers"] != "uniform"]
+        assert slow
+        for doc in slow:
+            assert "model_makespan_ms" in doc
+            assert len(doc["rank_makespans_ms"]) == 8
+            assert doc["imbalance_ms"] >= 0.0
+        base = [d for d in docs if d["stragglers"] == "uniform"]
+        assert all("rank_makespans_ms" not in d for d in base)
+
+    def test_csv_round_trips(self):
+        results = _grid(
+            overlap_policies=("per_layer", "cross_layer"),
+            stragglers=(1.0, 1.5),
+        ).run(level="model")
+        text = results.to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        headers, data = rows[0], rows[1:]
+        assert headers.index("policy") < headers.index("stragglers")
+        assert all(len(row) == len(headers) for row in data)
+        # 2 policies x 2 straggler points x 2 systems
+        assert len(data) == 8

@@ -160,3 +160,122 @@ class TestStepCostModelCache:
         assert set(stats) == {"timing", "workload", "graph"}
         for doc in stats.values():
             assert {"hits", "misses", "evictions", "size", "maxsize"} <= set(doc)
+
+
+class TestCacheConcurrencyHammer:
+    """Eviction-race hardening: every cache operation is atomic.
+
+    Eight threads hammer one small cache (every put evicts) while a
+    reader polls stats; afterwards — and at every sampled instant — the
+    counters must be coherent: non-negative, size bounded by maxsize,
+    and hit_rate in [0, 1].  A second hammer drives the real grid
+    entry point and asserts the ResultSets are byte-identical to the
+    serial run.
+    """
+
+    THREADS = 8
+
+    def test_bounded_cache_hammer(self):
+        import threading
+
+        cache = perf.BoundedCache(maxsize=4, name="hammer")
+        samples = []
+        stop = threading.Event()
+
+        def writer(tid):
+            for i in range(400):
+                key = (tid * 7 + i) % 32
+                value = cache.get(key)
+                if value is None:
+                    cache.put(key, key + 1)
+                else:
+                    assert value == key + 1
+
+        def reader():
+            while not stop.is_set():
+                samples.append((cache.stats(), len(cache)))
+
+        threads = [
+            threading.Thread(target=writer, args=(tid,))
+            for tid in range(self.THREADS)
+        ]
+        poll = threading.Thread(target=reader)
+        poll.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        poll.join()
+
+        final = cache.stats()
+        samples.append((final, len(cache)))
+        for stats, size in samples:
+            assert stats["hits"] >= 0
+            assert stats["misses"] >= 0
+            assert stats["evictions"] >= 0
+            assert 0 <= stats["size"] <= stats["maxsize"]
+            assert 0.0 <= stats["hit_rate"] <= 1.0
+            assert 0 <= size <= stats["maxsize"]
+        assert final["hits"] + final["misses"] == self.THREADS * 400
+
+    def test_timing_cache_hammer_under_eviction(self):
+        """A tiny TimingCache forces the popitem loop on nearly every
+        put; concurrent time_layer calls must stay correct and the
+        counters coherent."""
+        import threading
+
+        cache = perf.TimingCache(maxsize=2, name="hammer-timing")
+        workloads = [_workload(tokens=1024 * (1 + i)) for i in range(4)]
+        system = Comet()
+        expected = {
+            w.fingerprint(): system.time_layer(w) for w in workloads
+        }
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(30):
+                    workload = workloads[(tid + i) % len(workloads)]
+                    timing = cache.time_layer(system, workload)
+                    assert timing == expected[workload.fingerprint()]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["evictions"] >= 1  # the hammer really evicted
+        assert stats["size"] <= 2
+        assert min(
+            stats["hits"], stats["misses"], stats["evictions"],
+            stats["time_layer_calls"],
+        ) >= 0
+
+    def test_grid_byte_identical_with_8_workers(self):
+        """The full ExperimentSpec path: 8 worker threads sharing the
+        global caches must reproduce the serial export byte for byte."""
+        from repro import ExperimentSpec
+
+        spec = ExperimentSpec.grid(
+            models="mixtral", clusters="h800", strategies="sweep",
+            tokens=(1024, 2048), seeds=(0, 1),
+            systems=("comet", "tutel", "megatron-cutlass"),
+        )
+        perf.clear_caches()
+        serial = spec.run()
+        perf.clear_caches()
+        threaded = spec.run(workers=self.THREADS)
+        assert threaded.to_csv() == serial.to_csv()
+        assert threaded.to_json() == serial.to_json()
+        for name, stats in perf.cache_stats().items():
+            assert stats["hits"] >= 0 and stats["misses"] >= 0, name
+            assert stats["evictions"] >= 0
+            assert 0 <= stats["size"] <= stats["maxsize"]

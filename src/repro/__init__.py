@@ -75,6 +75,40 @@ above.  Every registered system is servable through the same names::
 See ``examples/online_serving.py`` for a walkthrough and
 ``python -m repro serve --help`` for the CLI equivalent.
 
+Fleet serving — multi-replica clusters.  :mod:`repro.fleet` scales the
+serving simulator from one engine to a *fleet*: N continuous-batching
+replicas (optionally on heterogeneous clusters or with distinct
+:class:`StragglerSpec` s) behind a front-door router
+(:data:`repro.fleet.ROUTER_REGISTRY`: ``round_robin``, ``least_queue``,
+``session_affinity``, ``power_of_two``), with queue-driven autoscaling
+(warm-up delay, churn accounting), replica failure/recovery injection,
+and prefill/decode-disaggregated pools (``replicas="2p+2d"``)::
+
+    from repro import AutoscalerSpec, FleetSpec, TraceSpec
+
+    spec = FleetSpec.grid(
+        models="mixtral",
+        replicas=4,                        # or "2p+2d", or ReplicaSpec(...)
+        routers=("round_robin", "power_of_two"),
+        traces=TraceSpec(kind="bursty", rps=300, duration_s=8),
+        autoscalers=AutoscalerSpec(min_replicas=1),   # None = static fleet
+        systems="comet",
+    )
+    results = spec.run()                   # FleetResultSet
+    print(results.goodput_by_router())     # fleet-level SLO goodput
+    report = results.filter(router="power_of_two").best_goodput()
+    print(report.goodput_per_gpu, report.mean_utilization,
+          report.autoscaler_churn)
+
+A 1-replica round-robin fleet decomposes to the bare serving engine and
+is *bit-identical* to it (``==`` on the record tuples — the equivalence
+tests assert it); state-dependent routers, autoscaling, failures, and
+disaggregation co-simulate all replicas on the DES kernel, still fully
+deterministic.  ``router``/``replicas`` export columns appear only when
+those axes are swept, per the one-predicate schema rule shared with
+every other export.  See ``examples/fleet_serving.py`` and
+``python -m repro fleet --help``.
+
 Whole-model schedule graph and overlap policies.  :mod:`repro.graph`
 lifts the per-layer timings into a cross-layer IR: every layer lowers
 (via :meth:`MoESystem.lower_layer`) into typed nodes — attention, gate,
@@ -224,6 +258,16 @@ from repro.runtime import (
     run_model,
     run_training_step,
 )
+from repro.fleet import (
+    ROUTER_REGISTRY,
+    AutoscalerSpec,
+    FailureEvent,
+    FleetReport,
+    FleetResultSet,
+    FleetScenario,
+    FleetSpec,
+    ReplicaSpec,
+)
 from repro.serve import (
     ContinuousBatchingScheduler,
     Request,
@@ -247,17 +291,23 @@ from repro.systems import (
     UnsupportedWorkload,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALL_SYSTEMS",
+    "AutoscalerSpec",
     "BASELINE_SYSTEMS",
     "CLUSTER_REGISTRY",
     "ClusterSpec",
     "Comet",
     "ExperimentSpec",
     "ExpertWeights",
+    "FailureEvent",
     "FasterMoE",
+    "FleetReport",
+    "FleetResultSet",
+    "FleetScenario",
+    "FleetSpec",
     "GpuSpec",
     "GraphSchedule",
     "LayerPhase",
@@ -277,7 +327,9 @@ __all__ = [
     "PHI35_MOE",
     "ParallelStrategy",
     "QWEN2_MOE",
+    "ROUTER_REGISTRY",
     "ContinuousBatchingScheduler",
+    "ReplicaSpec",
     "Request",
     "ResultRow",
     "ResultSet",

@@ -14,6 +14,11 @@ Examples::
     python -m repro trace --out timeline.json
     python -m repro serve --trace poisson --rps 160 --duration 30 \
         --systems comet,tutel,megatron --slo-ttft-ms 500
+    python -m repro fleet --replicas 4 --router round_robin power_of_two \
+        --trace bursty --rps 300 --duration 8 --systems comet
+    python -m repro fleet --replicas 4 --autoscale 1 --trace diurnal \
+        --rps 150 --duration 20 --json fleet.json
+    python -m repro fleet --replicas 2p+2d --failures 1@1000:3000
 
 Models, clusters, and systems are resolved through the registries in
 :mod:`repro.api.registry`, so anything a plugin registers is addressable
@@ -240,6 +245,97 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve systems on N threads (output identical to serial)",
     )
     serve.add_argument(
+        "--report", action="store_true",
+        help="also print simulation-cache statistics (hits/misses/size)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a multi-replica serving fleet (routing, autoscaling, "
+        "failures, disaggregated pools)",
+    )
+    fleet.add_argument(
+        "--replicas", default="1", metavar="N|PpD",
+        help="fleet shape: a replica count (e.g. 4) or a disaggregated "
+        "'2p+2d' prefill+decode split (default: 1)",
+    )
+    fleet.add_argument(
+        "--router", nargs="+", default=["round_robin"], metavar="NAME",
+        help="routing policies to compare: round_robin, least_queue, "
+        "session_affinity, power_of_two (default: round_robin)",
+    )
+    fleet.add_argument(
+        "--autoscale", type=int, default=None, metavar="MIN",
+        help="enable queue-driven autoscaling with MIN always-on replicas "
+        "(the --replicas count is the ceiling)",
+    )
+    fleet.add_argument(
+        "--scale-up-queue", type=float, default=8.0,
+        help="waiting requests per active replica that trigger a scale-up "
+        "(default: 8)",
+    )
+    fleet.add_argument(
+        "--scale-down-queue", type=float, default=1.0,
+        help="waiting requests per active replica below which one replica "
+        "drains out (default: 1)",
+    )
+    fleet.add_argument(
+        "--warmup-ms", type=float, default=2000.0,
+        help="delay before a newly scaled-up replica is routable "
+        "(default: 2000)",
+    )
+    fleet.add_argument(
+        "--autoscale-interval-ms", type=float, default=1000.0,
+        help="autoscaler decision interval (default: 1000)",
+    )
+    fleet.add_argument(
+        "--failures", nargs="+", default=None, metavar="R@FAIL[:RECOVER]",
+        help="inject replica failures, e.g. '1@1000:3000' fails replica 1 "
+        "at t=1000ms and recovers it at t=3000ms; omit ':RECOVER' for a "
+        "permanent failure",
+    )
+    fleet.add_argument(
+        "--trace", default="poisson", choices=("poisson", "bursty", "diurnal"),
+        help="arrival process (default: poisson)",
+    )
+    fleet.add_argument("--rps", type=float, default=160.0,
+                       help="mean request arrival rate (default: 160)")
+    fleet.add_argument("--duration", type=float, default=30.0,
+                       help="trace duration in seconds (default: 30)")
+    fleet.add_argument(
+        "--model", choices=sorted(MODEL_REGISTRY.names()), default="mixtral"
+    )
+    fleet.add_argument(
+        "--cluster", choices=sorted(CLUSTER_REGISTRY.names()), default="h800"
+    )
+    fleet.add_argument("--tp", type=int, default=1)
+    fleet.add_argument("--ep", type=int, default=None,
+                       help="expert-parallel size (default: world size / tp)")
+    fleet.add_argument(
+        "--systems",
+        help="comma-separated registry names (default: all registered systems)",
+    )
+    fleet.add_argument("--policy", default="fcfs",
+                       help="admission policy: fcfs, spf, or slo")
+    fleet.add_argument("--slo-ttft-ms", type=float, default=500.0,
+                       help="time-to-first-token SLO (default: 500 ms)")
+    fleet.add_argument("--slo-tpot-ms", type=float, default=75.0,
+                       help="time-per-output-token SLO (default: 75 ms)")
+    fleet.add_argument("--max-batch-tokens", type=int, default=8192,
+                       help="continuous-batching token budget per iteration")
+    fleet.add_argument("--prompt-mean", type=int, default=512)
+    fleet.add_argument("--output-mean", type=int, default=128)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--router-seed", type=int, default=0,
+                       help="seed for randomized routers (default: 0)")
+    fleet.add_argument("--json", metavar="PATH", help="also export the report")
+    fleet.add_argument("--csv", metavar="PATH", help="also export a CSV table")
+    fleet.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="serve (scenario, system) pairs on N threads (output identical "
+        "to serial)",
+    )
+    fleet.add_argument(
         "--report", action="store_true",
         help="also print simulation-cache statistics (hits/misses/size)",
     )
@@ -770,6 +866,140 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_failure_specs(values: Sequence[str]):
+    """``R@FAIL[:RECOVER]`` strings into :class:`FailureEvent`s."""
+    from repro.fleet import FailureEvent
+
+    events = []
+    for value in values:
+        try:
+            replica_part, _, when = value.partition("@")
+            if not when:
+                raise ValueError("missing '@'")
+            fail_part, _, recover_part = when.partition(":")
+            events.append(
+                FailureEvent(
+                    replica=int(replica_part),
+                    fail_ms=float(fail_part),
+                    recover_ms=float(recover_part) if recover_part else None,
+                )
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"bad failure spec {value!r} (want 'R@FAIL_MS' or "
+                f"'R@FAIL_MS:RECOVER_MS'): {exc}"
+            ) from None
+    return tuple(events)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import ROUTER_REGISTRY, AutoscalerSpec, FleetSpec
+    from repro.serve import TraceSpec
+
+    try:
+        systems = _resolve_systems(args.systems)
+        routers = tuple(
+            ROUTER_REGISTRY.resolve(name)
+            for value in args.router
+            for name in value.split(",")
+            if name.strip()
+        )
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cluster = CLUSTER_REGISTRY.get(args.cluster)()
+    config = MODEL_REGISTRY.get(args.model)
+    try:
+        if args.tp <= 0:
+            raise ValueError(f"tp must be positive, got {args.tp}")
+        ep = args.ep if args.ep is not None else cluster.world_size // args.tp
+        replicas = (
+            int(args.replicas) if args.replicas.isdigit() else args.replicas
+        )
+        autoscaler = None
+        if args.autoscale is not None:
+            autoscaler = AutoscalerSpec(
+                min_replicas=args.autoscale,
+                scale_up_queue=args.scale_up_queue,
+                scale_down_queue=args.scale_down_queue,
+                interval_ms=args.autoscale_interval_ms,
+                warmup_ms=args.warmup_ms,
+            )
+        failures = (
+            _parse_failure_specs(args.failures) if args.failures else None
+        )
+        spec = FleetSpec.grid(
+            models=config,
+            clusters=cluster,
+            strategies=ParallelStrategy(tp_size=args.tp, ep_size=ep),
+            replicas=replicas,
+            routers=routers,
+            traces=TraceSpec(
+                kind=args.trace,
+                rps=args.rps,
+                duration_s=args.duration,
+                seed=args.seed,
+                prompt_mean=args.prompt_mean,
+                output_mean=args.output_mean,
+            ),
+            policies=args.policy,
+            autoscalers=autoscaler,
+            failures=failures,
+            slo_ttft_ms=args.slo_ttft_ms,
+            slo_tpot_ms=args.slo_tpot_ms,
+            max_batch_tokens=args.max_batch_tokens,
+            router_seed=args.router_seed,
+            systems=systems or None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = spec.run(workers=args.workers)
+
+    scenario = spec.scenarios[0]
+    print(
+        f"{config.name}, {cluster.name} — fleet of "
+        f"{scenario.num_replicas} ({args.replicas}), "
+        f"{scenario.trace.label}, policy={scenario.policy}, "
+        f"SLO: TTFT<={scenario.slo_ttft_ms:g}ms "
+        f"TPOT<={scenario.slo_tpot_ms:g}ms\n"
+    )
+
+    def fmt(value) -> str:
+        # The shared empty-metrics rule: None cells (a fleet that served
+        # nothing) render as an em-dash, never as "None" or "nan".
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    # One source of truth for the schema: the table renders the same
+    # rows (and the same swept-axis columns) every export uses.
+    headers, rows = results.to_rows()
+    drop = {"scenario"}  # the preamble above already identifies it
+    keep = [i for i, h in enumerate(headers) if h not in drop]
+    print(
+        format_table(
+            [headers[i] for i in keep],
+            [[fmt(row[i]) for i in keep] for row in rows],
+            title="Fleet serving (multi-replica continuous batching)",
+        )
+    )
+    for skip in results.skips:
+        print(f"skipped {skip.system}: {skip.reason}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(results.to_json())
+        print(f"\nwrote report to {args.json}")
+    if args.csv:
+        results.to_csv(args.csv)
+        print(f"wrote CSV to {args.csv}")
+    if args.report:
+        _print_cache_report()
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.hw.presets import h800_node
     from repro.kernels.fused import simulate_layer0_fused, simulate_layer1_fused
@@ -812,6 +1042,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "figure": _cmd_figure,
+        "fleet": _cmd_fleet,
         "layer": _cmd_layer,
         "model": _cmd_model,
         "serve": _cmd_serve,

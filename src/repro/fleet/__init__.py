@@ -1,0 +1,58 @@
+"""Multi-replica cluster serving: routing, autoscaling, failures, pools.
+
+``repro.fleet`` layers a cluster of serving replicas on top of
+:mod:`repro.serve`: each replica is a
+:class:`~repro.serve.engine_adapter.StepCostModel`-backed
+continuous-batching engine, a front-door router
+(:data:`~repro.fleet.router.ROUTER_REGISTRY`) spreads the trace across
+them, and optional autoscaling, failure injection, and prefill/decode
+disaggregation turn the single-engine simulator into a cluster one.
+:class:`FleetSpec` sweeps all of it declaratively; ``repro fleet`` is
+the CLI entry point.
+"""
+
+from repro.fleet.metrics import (
+    FleetEvent,
+    FleetReport,
+    FleetResultSet,
+    FleetSkip,
+    ReplicaStats,
+)
+from repro.fleet.router import (
+    ROUTER_REGISTRY,
+    LeastQueue,
+    PowerOfTwo,
+    RoundRobin,
+    Router,
+    SessionAffinity,
+    make_router,
+)
+from repro.fleet.simulator import FleetEngine
+from repro.fleet.spec import (
+    AutoscalerSpec,
+    FailureEvent,
+    FleetScenario,
+    FleetSpec,
+    ReplicaSpec,
+)
+
+__all__ = [
+    "AutoscalerSpec",
+    "FailureEvent",
+    "FleetEngine",
+    "FleetEvent",
+    "FleetReport",
+    "FleetResultSet",
+    "FleetScenario",
+    "FleetSkip",
+    "FleetSpec",
+    "LeastQueue",
+    "PowerOfTwo",
+    "ReplicaSpec",
+    "ReplicaStats",
+    "ROUTER_REGISTRY",
+    "RoundRobin",
+    "Router",
+    "SessionAffinity",
+    "make_router",
+]

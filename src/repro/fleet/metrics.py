@@ -1,0 +1,496 @@
+"""Fleet-level serving metrics: cluster goodput, churn, and utilization.
+
+A :class:`FleetReport` is the multi-replica analogue of
+:class:`~repro.serve.metrics.ServeReport`: the same
+:class:`~repro.serve.metrics.RequestRecord` lifecycle tuples and the
+same TTFT/TPOT/E2E percentile and SLO-goodput definitions, extended with
+the quantities that only exist at fleet scale — goodput *per GPU* (the
+cost-efficiency metric autoscaling optimises), per-replica utilization
+(:class:`ReplicaStats`), autoscaler churn, and the failure/recovery
+event log (:class:`FleetEvent`).  :class:`FleetResultSet` mirrors
+:class:`~repro.serve.metrics.ServeResultSet` with the same flat-row
+export conventions.
+
+Export-schema rule (the PR 5 one-predicate contract): the ``router`` and
+``replicas`` columns appear in CSV/JSON/table exports only when the set
+actually sweeps those axes — any non-default router, or any fleet larger
+than one replica — and the *same* predicate gates every export format,
+so a single-replica round-robin set exports byte-compatibly with the
+bare serving exports and formats can never disagree about the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.serve.metrics import PERCENTILES, RequestRecord, percentiles
+
+__all__ = [
+    "FleetEvent",
+    "FleetReport",
+    "FleetResultSet",
+    "FleetSkip",
+    "ReplicaStats",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Per-replica accounting over one fleet run.
+
+    ``active_ms`` is the provisioned window — the time the replica was
+    scaled in (failures do not shrink it: a crashed replica still holds
+    its GPUs).  ``busy_ms`` is the time actually spent inside engine
+    steps, so ``utilization = busy_ms / active_ms``.
+    """
+
+    replica: int
+    role: str
+    requests: int
+    steps: int
+    busy_ms: float
+    active_ms: float
+    gpus: int
+
+    @property
+    def utilization(self) -> float:
+        if self.active_ms <= 0:
+            return 0.0
+        return self.busy_ms / self.active_ms
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One fleet-level state change: scale-up/-down, failure, recovery."""
+
+    t_ms: float
+    replica: int
+    kind: str  # "up" | "down" | "fail" | "recover"
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Serving outcome of one system on one fleet scenario.
+
+    ``offered`` counts every request in the trace; ``records`` holds only
+    the ones that completed, so ``offered - num_requests`` is the unserved
+    remainder (nonzero only when replicas fail without recovery).
+    ``horizon_ms`` is the trace's arrival window, the goodput denominator
+    — identical semantics to :class:`~repro.serve.metrics.ServeReport`.
+    """
+
+    system: str
+    scenario_label: str
+    router: str
+    num_replicas: int
+    records: tuple[RequestRecord, ...]
+    replica_stats: tuple[ReplicaStats, ...]
+    events: tuple[FleetEvent, ...]
+    slo_ttft_ms: float
+    slo_tpot_ms: float
+    horizon_ms: float
+    offered: int
+
+    # -- latency ------------------------------------------------------------
+    def ttft_percentiles(self) -> dict[str, float]:
+        return percentiles([r.ttft_ms for r in self.records])
+
+    def tpot_percentiles(self) -> dict[str, float]:
+        return percentiles([r.tpot_ms for r in self.records])
+
+    def e2e_percentiles(self) -> dict[str, float]:
+        return percentiles([r.e2e_ms for r in self.records])
+
+    # -- throughput ----------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def unserved(self) -> int:
+        return self.offered - len(self.records)
+
+    @property
+    def makespan_ms(self) -> float:
+        if not self.records:
+            return 0.0
+        start = min(r.arrival_ms for r in self.records)
+        end = max(r.completion_ms for r in self.records)
+        return end - start
+
+    @property
+    def output_tokens_per_s(self) -> float:
+        span = self.makespan_ms
+        if span <= 0:
+            return 0.0
+        return sum(r.output_tokens for r in self.records) / (span / 1000.0)
+
+    # -- SLO ------------------------------------------------------------------
+    @property
+    def good_requests(self) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.meets_slo(self.slo_ttft_ms, self.slo_tpot_ms)
+        )
+
+    @property
+    def slo_attainment(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.good_requests / len(self.records)
+
+    @property
+    def goodput_rps(self) -> float:
+        if self.horizon_ms <= 0:
+            return 0.0
+        return self.good_requests / (self.horizon_ms / 1000.0)
+
+    # -- fleet economics -------------------------------------------------------
+    @property
+    def window_ms(self) -> float:
+        """The accounting window: the arrival horizon extended to the
+        last completion (overload backlogs keep burning GPU-hours)."""
+        last = max((r.completion_ms for r in self.records), default=0.0)
+        return max(self.horizon_ms, last)
+
+    @property
+    def mean_active_gpus(self) -> float:
+        """Time-averaged provisioned GPU count over the window."""
+        window = self.window_ms
+        if window <= 0:
+            return 0.0
+        return sum(s.gpus * s.active_ms for s in self.replica_stats) / window
+
+    @property
+    def goodput_per_gpu(self) -> float:
+        """SLO-attaining requests per second per provisioned GPU — the
+        metric an autoscaler earns its keep on."""
+        gpus = self.mean_active_gpus
+        if gpus <= 0:
+            return 0.0
+        return self.goodput_rps / gpus
+
+    @property
+    def mean_utilization(self) -> float:
+        """Busy fraction of provisioned replica-time, fleet-wide."""
+        active = sum(s.active_ms for s in self.replica_stats)
+        if active <= 0:
+            return 0.0
+        return sum(s.busy_ms for s in self.replica_stats) / active
+
+    # -- churn -----------------------------------------------------------------
+    def _count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def scale_ups(self) -> int:
+        return self._count("up")
+
+    @property
+    def scale_downs(self) -> int:
+        return self._count("down")
+
+    @property
+    def autoscaler_churn(self) -> int:
+        """Total scaling actions — flapping shows up here."""
+        return self.scale_ups + self.scale_downs
+
+    @property
+    def failures(self) -> int:
+        return self._count("fail")
+
+    @property
+    def recoveries(self) -> int:
+        return self._count("recover")
+
+    # -- export ---------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Flat metric dict; empty-fleet percentiles are ``None``.
+
+        Same ``count == 0`` guard as
+        :meth:`~repro.serve.metrics.ServeReport.summary`: a fleet that
+        completed nothing (zero-arrival trace, every replica dead) has
+        no latency distribution, so percentile entries export as
+        ``None`` — never NaN — while every counting metric stays a
+        well-defined zero.
+        """
+        if not self.records:
+            empty = {f"p{q}": None for q in PERCENTILES}
+            ttft, tpot, e2e = empty, dict(empty), dict(empty)
+        else:
+            ttft = self.ttft_percentiles()
+            tpot = self.tpot_percentiles()
+            e2e = self.e2e_percentiles()
+        return {
+            "system": self.system,
+            "scenario": self.scenario_label,
+            "router": self.router,
+            "replicas": self.num_replicas,
+            "offered": self.offered,
+            "requests": self.num_requests,
+            "unserved": self.unserved,
+            "ttft_p50_ms": ttft["p50"],
+            "ttft_p95_ms": ttft["p95"],
+            "ttft_p99_ms": ttft["p99"],
+            "tpot_p50_ms": tpot["p50"],
+            "tpot_p99_ms": tpot["p99"],
+            "e2e_p50_ms": e2e["p50"],
+            "e2e_p99_ms": e2e["p99"],
+            "slo_attainment": self.slo_attainment,
+            "goodput_rps": self.goodput_rps,
+            "goodput_per_gpu": self.goodput_per_gpu,
+            "output_tokens_per_s": self.output_tokens_per_s,
+            "mean_utilization": self.mean_utilization,
+            "mean_active_gpus": self.mean_active_gpus,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "failures": self.failures,
+            "recoveries": self.recoveries,
+        }
+
+
+@dataclass(frozen=True)
+class FleetSkip:
+    """One (scenario, system) pair that could not be served, and why.
+
+    Carries the fleet axes (``router``, ``num_replicas``) so
+    :meth:`FleetResultSet.filter` narrows skips consistently with
+    reports.
+    """
+
+    scenario_label: str
+    system: str
+    reason: str
+    router: str = "round_robin"
+    num_replicas: int = 1
+
+
+@dataclass(frozen=True)
+class FleetResultSet:
+    """Fleet reports across systems/scenarios, with ResultSet-style exports."""
+
+    reports: tuple[FleetReport, ...]
+    skips: tuple[FleetSkip, ...] = ()
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __bool__(self) -> bool:
+        return bool(self.reports)
+
+    def systems(self) -> tuple[str, ...]:
+        seen = dict.fromkeys(r.system for r in self.reports)
+        seen.update(dict.fromkeys(s.system for s in self.skips))
+        return tuple(seen)
+
+    def scenario_labels(self) -> tuple[str, ...]:
+        seen = dict.fromkeys(r.scenario_label for r in self.reports)
+        seen.update(dict.fromkeys(s.scenario_label for s in self.skips))
+        return tuple(seen)
+
+    def routers(self) -> tuple[str, ...]:
+        seen = dict.fromkeys(r.router for r in self.reports)
+        seen.update(dict.fromkeys(s.router for s in self.skips))
+        return tuple(seen)
+
+    def get(
+        self,
+        system: str,
+        scenario_label: str | None = None,
+        router: str | None = None,
+    ) -> FleetReport | None:
+        for report in self.reports:
+            if report.system.lower() != system.lower():
+                continue
+            if scenario_label is not None and report.scenario_label != scenario_label:
+                continue
+            if router is not None and report.router.lower() != router.lower():
+                continue
+            return report
+        return None
+
+    def filter(
+        self,
+        *,
+        router: str | None = None,
+        replicas: int | None = None,
+        system: str | None = None,
+    ) -> "FleetResultSet":
+        """Narrow to matching reports (skips narrow consistently).
+
+        ``router`` matches the report's router slug case-insensitively,
+        ``replicas`` the total replica count, ``system`` the display
+        name.
+        """
+
+        def keep(doc) -> bool:
+            if router is not None and doc.router.lower() != router.lower():
+                return False
+            if replicas is not None and doc.num_replicas != replicas:
+                return False
+            if system is not None and doc.system.lower() != system.lower():
+                return False
+            return True
+
+        return FleetResultSet(
+            reports=tuple(r for r in self.reports if keep(r)),
+            skips=tuple(s for s in self.skips if keep(s)),
+        )
+
+    def best_goodput(self) -> FleetReport:
+        if not self.reports:
+            raise ValueError("best_goodput() on an empty FleetResultSet")
+        return max(self.reports, key=lambda r: r.goodput_rps)
+
+    def goodput_by_system(self, scenario_label: str | None = None) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for report in self.reports:
+            if scenario_label is not None and report.scenario_label != scenario_label:
+                continue
+            out[report.system] = report.goodput_rps
+        return out
+
+    def goodput_by_router(self, system: str | None = None) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for report in self.reports:
+            if system is not None and report.system.lower() != system.lower():
+                continue
+            out[report.router] = report.goodput_rps
+        return out
+
+    # -- export ---------------------------------------------------------------
+    def _has_router_axis(self) -> bool:
+        """Whether any report/skip uses a non-default router.
+
+        Gates the ``router`` export column.  **Every** export —
+        :meth:`to_rows` (and therefore :meth:`to_csv`) and
+        :meth:`to_json` — applies this one predicate, so a
+        round-robin-only set and a router sweep can never disagree
+        across formats, and the column carries a cell on every row
+        (round-robin rows included) whenever it is present at all.
+        """
+        return any(r.router != "round_robin" for r in self.reports) or any(
+            s.router != "round_robin" for s in self.skips
+        )
+
+    def _has_replica_axis(self) -> bool:
+        """Whether any report/skip runs more than one replica.
+
+        Same gating rule (and the same every-export consistency
+        guarantee) as :meth:`_has_router_axis`: single-replica sets stay
+        byte-compatible with the bare serving exports, fleet sweeps
+        label every row.
+        """
+        return any(r.num_replicas != 1 for r in self.reports) or any(
+            s.num_replicas != 1 for s in self.skips
+        )
+
+    _METRIC_KEYS = (
+        "requests", "unserved",
+        "ttft_p50_ms", "ttft_p95_ms", "ttft_p99_ms",
+        "tpot_p50_ms", "tpot_p99_ms", "e2e_p99_ms",
+        "slo_attainment", "goodput_rps", "goodput_per_gpu",
+        "output_tokens_per_s", "mean_utilization", "autoscaler_churn",
+    )
+
+    def to_rows(self) -> tuple[list[str], list[list[Any]]]:
+        """Flat ``(headers, rows)`` — one row per (scenario, system).
+
+        ``router`` and ``replicas`` columns are appended only when the
+        respective axis is swept (:meth:`_has_router_axis` /
+        :meth:`_has_replica_axis`); the CLI table and every other export
+        share these rows, so formats cannot drift.
+        """
+        with_router = self._has_router_axis()
+        with_replicas = self._has_replica_axis()
+        headers = ["scenario", "system"]
+        if with_router:
+            headers.append("router")
+        if with_replicas:
+            headers.append("replicas")
+        headers += list(self._METRIC_KEYS)
+
+        def cell(value: Any) -> Any:
+            # No NaN ever reaches rows_to_csv: empty cells (None)
+            # serialise as "" in CSV and null in JSON.
+            if isinstance(value, float) and value != value:
+                return None
+            return value
+
+        table = []
+        for r in self.reports:
+            s = r.summary()
+            s["autoscaler_churn"] = r.autoscaler_churn
+            cells: list[Any] = [s["scenario"], s["system"]]
+            if with_router:
+                cells.append(s["router"])
+            if with_replicas:
+                cells.append(s["replicas"])
+            cells += [cell(s[key]) for key in self._METRIC_KEYS]
+            table.append(cells)
+        return headers, table
+
+    def to_csv(self, path: str | None = None) -> str:
+        """CSV of :meth:`to_rows`, optionally written to ``path``."""
+        from repro.api.results import rows_to_csv
+
+        headers, table = self.to_rows()
+        return rows_to_csv(headers, table, path)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Machine-readable dump; router/replicas fields follow exactly
+        the :meth:`to_rows` column rule, so CSV headers and JSON keys
+        can never disagree.  NaN-free by construction (empty-fleet
+        percentiles serialise as null)."""
+        with_router = self._has_router_axis()
+        with_replicas = self._has_replica_axis()
+
+        def clean(r: FleetReport) -> dict[str, Any]:
+            doc = r.summary()
+            doc["autoscaler_churn"] = r.autoscaler_churn
+            doc["replica_stats"] = [
+                {
+                    "replica": s.replica,
+                    "role": s.role,
+                    "requests": s.requests,
+                    "steps": s.steps,
+                    "busy_ms": s.busy_ms,
+                    "active_ms": s.active_ms,
+                    "gpus": s.gpus,
+                    "utilization": s.utilization,
+                }
+                for s in r.replica_stats
+            ]
+            doc["events"] = [
+                {"t_ms": e.t_ms, "replica": e.replica, "kind": e.kind}
+                for e in r.events
+            ]
+            if not with_router:
+                doc.pop("router")
+            if not with_replicas:
+                doc.pop("replicas")
+            return {
+                k: None if isinstance(v, float) and v != v else v
+                for k, v in doc.items()
+            }
+
+        payload: dict[str, Any] = {
+            "reports": [clean(r) for r in self.reports],
+            "skipped": [
+                {
+                    "scenario": s.scenario_label,
+                    "system": s.system,
+                    "reason": s.reason,
+                    **({"router": s.router} if with_router else {}),
+                    **({"replicas": s.num_replicas} if with_replicas else {}),
+                }
+                for s in self.skips
+            ],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)

@@ -1,0 +1,571 @@
+"""The fleet engine: N serving replicas behind one router.
+
+Two execution paths produce :class:`~repro.fleet.metrics.FleetReport`s:
+
+**Decomposed** — a static fleet (no autoscaler, no failures, all-unified
+roles) under a state-independent router is embarrassingly parallel: the
+routing decision for every request is a pure function of the arrival
+sequence, so the trace is partitioned up front and each replica runs
+through the ordinary
+:class:`~repro.serve.scheduler.ContinuousBatchingScheduler` — which
+means the PR 3 fast serving loop (and its timing caches) is reused
+verbatim, and a 1-replica round-robin fleet is *bit-identical* to the
+bare serving engine (the equivalence tests enforce ``==`` on the record
+tuples).
+
+**Co-simulated** — state-dependent routers (least-queue,
+power-of-two-choices), autoscaling, failure injection, and
+prefill/decode disaggregation all couple the replicas, so the fleet
+runs as one discrete-event simulation on the
+:class:`~repro.sim.engine.Environment`: one arrival/dispatch process,
+one engine process per replica (the same vLLM-style iteration model as
+the single-replica scheduler), plus optional failure and autoscaler
+processes.  Everything stays deterministic: the DES queue breaks ties
+by sequence number, routers are seeded, and admission sorts carry the
+request id as final tiebreaker.
+
+Modelling notes:
+
+* A failed replica loses its KV state: waiting *and* in-flight requests
+  are reclaimed, reset to un-prefilled, and re-dispatched through the
+  router (or parked in a fleet-level pending queue when no replica is
+  routable).  The interrupted step's elapsed time still counts as busy
+  (the GPUs did burn), and ``active_ms`` keeps accruing — a crashed
+  replica still holds its allocation.
+* Disaggregated pools hand a request from its prefill replica to a
+  decode replica at the prefill boundary with a **free KV transfer** —
+  an optimistic lower bound on migration cost (COMET's overlap model
+  prices compute/NVLink, not PCIe KV shipping).
+* Autoscaled replicas become routable only after their warm-up delay;
+  scale-down drains the victim (it finishes queued work but receives no
+  new requests) and its provisioned window closes when it goes idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.fleet.metrics import FleetEvent, FleetReport, ReplicaStats
+from repro.fleet.router import Router, make_router
+from repro.fleet.spec import FleetScenario, ReplicaSpec
+from repro.serve.engine_adapter import StepCostModel
+from repro.serve.metrics import RequestRecord
+from repro.serve.scheduler import (
+    POLICY_REGISTRY,
+    ContinuousBatchingScheduler,
+    _Sequence,
+)
+from repro.serve.traffic import Request
+from repro.sim.engine import Environment, Event, Interrupt
+
+__all__ = ["FleetEngine"]
+
+
+@dataclass(frozen=True)
+class _StaticView:
+    """Routing candidate for the decomposed path: identity only.
+
+    State-independent routers never read load signals, so the static
+    view pins them to zero — any policy that *does* read them is
+    state-dependent by definition and runs co-simulated instead.
+    """
+
+    index: int
+    queue_depth: int = 0
+    running: int = 0
+    backlog_tokens: int = 0
+
+
+class _Replica:
+    """Live state of one engine replica inside the co-simulation.
+
+    Doubles as the router's candidate view: ``queue_depth`` /
+    ``running`` / ``backlog_tokens`` are computed from the real queues,
+    so state-dependent policies observe exactly what the engine does.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        spec: ReplicaSpec,
+        cost_model: StepCostModel,
+        active: bool,
+    ):
+        self.index = index
+        self.spec = spec
+        self.role = spec.role
+        self.cost_model = cost_model
+        self.waiting_q: list[_Sequence] = []
+        self.running_q: list[_Sequence] = []
+        self.current_admitted: list[_Sequence] = []
+        self.healthy = True
+        self.active = active
+        self.activated_at: float | None = 0.0 if active else None
+        self.warm_until = 0.0  # initial replicas start warm
+        self.wakeup: Event | None = None
+        self.process = None
+        self.in_step = False
+        self.step_started = 0.0
+        self.busy_ms = 0.0
+        self.active_ms = 0.0
+        self.steps = 0
+        self.requests = 0
+
+    # -- router-facing load signals ------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self.waiting_q)
+
+    @property
+    def running(self) -> int:
+        return len(self.running_q) + len(self.current_admitted)
+
+    @property
+    def backlog_tokens(self) -> int:
+        """Tokens of work still owed: waiting prompts (one token per
+        waiting decode resume) plus one token per running sequence."""
+        if self.role == "decode":
+            return len(self.waiting_q) + self.running
+        return sum(s.request.prompt_tokens for s in self.waiting_q) + self.running
+
+    def routable(self, now: float) -> bool:
+        return self.healthy and self.active and now >= self.warm_until
+
+    def wake(self) -> None:
+        if self.wakeup is not None and not self.wakeup.triggered:
+            self.wakeup.succeed()
+
+    def close_window(self, now: float) -> None:
+        if self.activated_at is not None:
+            self.active_ms += now - self.activated_at
+            self.activated_at = None
+
+
+@dataclass
+class FleetEngine:
+    """Serve one trace across one fleet scenario; see the module doc."""
+
+    scenario: FleetScenario
+    cost_models: list[StepCostModel]
+    trace: tuple[Request, ...]
+
+    _records: list[RequestRecord] = field(default_factory=list, init=False)
+    _events: list[FleetEvent] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self._expanded = self.scenario.expand_replicas()
+        if len(self.cost_models) != len(self._expanded):
+            raise ValueError(
+                f"need one cost model per replica instance: got "
+                f"{len(self.cost_models)} for {len(self._expanded)} replicas"
+            )
+        self._policy = POLICY_REGISTRY.get(self.scenario.policy)
+        self._completed = 0
+        self._arrivals_done = False
+        self._recoveries_outstanding = 0
+        self._replicas: list[_Replica] = []
+        # Requests with no routable replica wait here; "entry" feeds
+        # unified/prefill replicas, "decode" the decode pool.
+        self._pending: dict[str, list[_Sequence]] = {"entry": [], "decode": []}
+
+    # -- path selection -------------------------------------------------------
+    def _decomposable(self) -> bool:
+        router_cls = type(make_router(self.scenario.router, 1))
+        return (
+            not router_cls.state_dependent
+            and self.scenario.autoscaler is None
+            and not self.scenario.failures
+            and all(spec.role == "unified" for spec in self._expanded)
+        )
+
+    def run(self, system_name: str) -> FleetReport:
+        if self._decomposable():
+            return self._run_decomposed(system_name)
+        return self._run_cosim(system_name)
+
+    def _report(
+        self, system_name: str, stats: tuple[ReplicaStats, ...]
+    ) -> FleetReport:
+        self._records.sort(key=lambda r: r.rid)
+        return FleetReport(
+            system=system_name,
+            scenario_label=self.scenario.label,
+            router=self.scenario.router,
+            num_replicas=len(self._expanded),
+            records=tuple(self._records),
+            replica_stats=stats,
+            events=tuple(self._events),
+            slo_ttft_ms=self.scenario.slo_ttft_ms,
+            slo_tpot_ms=self.scenario.slo_tpot_ms,
+            horizon_ms=self.scenario.trace.horizon_ms,
+            offered=len(self.trace),
+        )
+
+    # -- decomposed path ------------------------------------------------------
+    def _run_decomposed(self, system_name: str) -> FleetReport:
+        """Partition the trace statically, run replicas independently.
+
+        Each partition goes through the stock single-replica scheduler,
+        so the PR 3 fast loop and its shared timing caches do the work —
+        and with one replica the partition is the whole trace, making
+        the fleet run bit-identical to the bare serving engine.
+        """
+        router = make_router(
+            self.scenario.router, len(self._expanded),
+            seed=self.scenario.router_seed,
+        )
+        views = [_StaticView(i) for i in range(len(self._expanded))]
+        assigned: list[list[Request]] = [[] for _ in self._expanded]
+        for request in self.trace:
+            pick = router.choose(request, views, request.arrival_ms)
+            assigned[pick.index].append(request)
+
+        per_replica: list[tuple[int, float]] = []  # (steps, busy_ms)
+        counts: list[int] = []
+        for index, spec in enumerate(self._expanded):
+            scheduler = ContinuousBatchingScheduler(
+                cost_model=self.cost_models[index],
+                trace=tuple(assigned[index]),
+                max_batch_tokens=self.scenario.max_batch_tokens,
+                max_batch_size=self.scenario.max_batch_size,
+                policy=self.scenario.policy,
+                slo_ttft_ms=self.scenario.slo_ttft_ms,
+            )
+            records, timeline = scheduler.run()
+            self._records.extend(records)
+            per_replica.append((len(timeline), scheduler.busy_ms))
+            counts.append(len(records))
+
+        window = max(
+            self.scenario.trace.horizon_ms,
+            max((r.completion_ms for r in self._records), default=0.0),
+        )
+        stats = tuple(
+            ReplicaStats(
+                replica=index,
+                role="unified",
+                requests=counts[index],
+                steps=steps,
+                busy_ms=busy,
+                active_ms=window,
+                gpus=spec.gpus,
+            )
+            for index, (spec, (steps, busy)) in enumerate(
+                zip(self._expanded, per_replica)
+            )
+        )
+        return self._report(system_name, stats)
+
+    # -- co-simulation --------------------------------------------------------
+    def _run_cosim(self, system_name: str) -> FleetReport:
+        scenario = self.scenario
+        env = Environment()
+        self._router: Router = make_router(
+            scenario.router, len(self._expanded), seed=scenario.router_seed
+        )
+        initial_active = (
+            scenario.autoscaler.min_replicas
+            if scenario.autoscaler is not None
+            else len(self._expanded)
+        )
+        self._replicas = [
+            _Replica(
+                index=index, spec=spec, cost_model=self.cost_models[index],
+                active=index < initial_active,
+            )
+            for index, spec in enumerate(self._expanded)
+        ]
+        self._recoveries_outstanding = sum(
+            1 for event in scenario.failures if event.recover_ms is not None
+        )
+
+        # Process creation order mirrors the single-replica scheduler
+        # (arrivals first, then engines), keeping the event-id
+        # tie-breaking aligned so a 1-replica co-simulation reproduces
+        # the bare engine's records exactly.
+        env.process(self._arrivals(env))
+        for rep in self._replicas:
+            rep.process = env.process(self._engine(env, rep))
+        for event in scenario.failures:
+            env.process(self._failure(env, event))
+        if scenario.autoscaler is not None:
+            env.process(self._autoscaler(env))
+
+        total = len(self.trace)
+        # Manual stepping (not run(until=...)): the queue legitimately
+        # drains with requests still unserved when every replica is dead
+        # and no recovery is coming — peek() going +inf ends the run.
+        while self._completed < total and env.peek() != float("inf"):
+            env.step()
+
+        window = max(
+            scenario.trace.horizon_ms,
+            max((r.completion_ms for r in self._records), default=0.0),
+        )
+        for rep in self._replicas:
+            rep.close_window(window)
+        stats = tuple(
+            ReplicaStats(
+                replica=rep.index,
+                role=rep.role,
+                requests=rep.requests,
+                steps=rep.steps,
+                busy_ms=rep.busy_ms,
+                active_ms=rep.active_ms,
+                gpus=rep.spec.gpus,
+            )
+            for rep in self._replicas
+        )
+        return self._report(system_name, stats)
+
+    # -- dispatch -------------------------------------------------------------
+    def _pool(self, name: str) -> list[_Replica]:
+        if name == "decode":
+            return [r for r in self._replicas if r.role == "decode"]
+        return [r for r in self._replicas if r.role in ("unified", "prefill")]
+
+    def _dispatch(self, seq: _Sequence, now: float, pool: str = "entry") -> None:
+        """Route one sequence, or park it until a replica is routable."""
+        candidates = [r for r in self._pool(pool) if r.routable(now)]
+        if not candidates:
+            self._pending[pool].append(seq)
+            return
+        pick = self._router.choose(seq.request, candidates, now)
+        pick.waiting_q.append(seq)
+        pick.wake()
+
+    def _flush_pending(self, now: float) -> None:
+        """Re-route parked sequences after a recovery or warm-up."""
+        for pool in ("entry", "decode"):
+            queued, self._pending[pool] = self._pending[pool], []
+            for seq in queued:
+                self._dispatch(seq, now, pool=pool)
+
+    def _arrivals(self, env: Environment) -> Generator:
+        for request in self.trace:
+            delay = request.arrival_ms - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            self._dispatch(_Sequence(request), env.now)
+        self._arrivals_done = True
+
+    # -- per-replica engine ---------------------------------------------------
+    def _admit(self, rep: _Replica, now: float) -> list[_Sequence]:
+        """Replica-local admission: the single-replica algorithm, with a
+        decode twist — a resuming decode costs one budget token, not its
+        prompt length (its KV is already resident)."""
+        if not rep.waiting_q:
+            return []
+        rep.waiting_q.sort(
+            key=lambda seq: (
+                self._policy(seq, now, rep.cost_model, self.scenario.slo_ttft_ms),
+                seq.request.rid,
+            )
+        )
+        decode_role = rep.role == "decode"
+        running_count = len(rep.running_q)
+        admitted: list[_Sequence] = []
+        used = running_count
+        slots = self.scenario.max_batch_size - running_count
+        remaining: list[_Sequence] = []
+        budget = self.scenario.max_batch_tokens
+        for index, seq in enumerate(rep.waiting_q):
+            cost = 1 if decode_role else seq.request.prompt_tokens
+            if (
+                not decode_role
+                and not admitted
+                and not running_count
+                and cost > budget
+            ):
+                admitted.append(seq)
+                remaining.extend(rep.waiting_q[index + 1:])
+                break
+            if len(admitted) < slots and used + cost <= budget:
+                admitted.append(seq)
+                used += cost
+            else:
+                remaining.append(seq)
+        rep.waiting_q = remaining
+        return admitted
+
+    def _engine(self, env: Environment, rep: _Replica) -> Generator:
+        total = len(self.trace)
+        while True:
+            if not rep.waiting_q and not rep.running_q:
+                if not rep.active:
+                    # Drained after scale-down: stop the meter.
+                    rep.close_window(env.now)
+                if self._completed >= total:
+                    return
+                rep.wakeup = env.event()
+                yield rep.wakeup
+                rep.wakeup = None
+                continue
+
+            now = env.now
+            rep.current_admitted = self._admit(rep, now)
+            admitted = rep.current_admitted
+            if rep.role == "decode":
+                prefill_tokens = 0
+                decode_tokens = len(rep.running_q) + len(admitted)
+            else:
+                prefill_tokens = sum(
+                    s.request.prompt_tokens for s in admitted
+                )
+                decode_tokens = len(rep.running_q)
+            step = rep.cost_model.step_ms(prefill_tokens, decode_tokens)
+            rep.in_step = True
+            rep.step_started = now
+            try:
+                yield env.timeout(step)
+            except Interrupt:
+                # Failed mid-step: the work is lost but the GPUs burned.
+                rep.busy_ms += env.now - rep.step_started
+                rep.in_step = False
+                continue
+            rep.in_step = False
+            rep.busy_ms += step
+            rep.steps += 1
+            now = env.now
+            admitted = rep.current_admitted
+            rep.current_admitted = []
+
+            if rep.role == "prefill":
+                # Prefill boundary: first token emitted here, the rest
+                # of the generation migrates to the decode pool (KV
+                # handoff modelled as free — see module doc).
+                for seq in admitted:
+                    seq.first_token_ms = now
+                    seq.generated = 1
+                    rep.requests += 1
+                    if seq.done:
+                        self._finish(seq, now, rep, count=False)
+                    else:
+                        self._dispatch(seq, now, pool="decode")
+                continue
+
+            if rep.role == "decode":
+                for seq in rep.running_q:
+                    seq.generated += 1
+                for seq in admitted:
+                    seq.generated += 1
+            else:
+                for seq in admitted:
+                    seq.first_token_ms = now
+                    seq.generated = 1
+                for seq in rep.running_q:
+                    seq.generated += 1
+            still_running: list[_Sequence] = []
+            for seq in rep.running_q + admitted:
+                if seq.done:
+                    self._finish(seq, now, rep)
+                else:
+                    still_running.append(seq)
+            rep.running_q = still_running
+
+    def _finish(
+        self, seq: _Sequence, now: float, rep: _Replica, count: bool = True
+    ) -> None:
+        self._records.append(
+            RequestRecord(
+                rid=seq.request.rid,
+                arrival_ms=seq.request.arrival_ms,
+                first_token_ms=seq.first_token_ms,
+                completion_ms=now,
+                prompt_tokens=seq.request.prompt_tokens,
+                output_tokens=seq.request.output_tokens,
+            )
+        )
+        self._completed += 1
+        if count:
+            rep.requests += 1
+
+    # -- failure injection ----------------------------------------------------
+    def _failure(self, env: Environment, event) -> Generator:
+        yield env.timeout(event.fail_ms)
+        rep = self._replicas[event.replica]
+        if rep.healthy:
+            rep.healthy = False
+            self._events.append(FleetEvent(env.now, rep.index, "fail"))
+            # Reclaim everything the replica held; its KV is gone, so
+            # every sequence restarts from un-prefilled state.
+            reclaimed = rep.waiting_q + rep.current_admitted + rep.running_q
+            rep.waiting_q = []
+            rep.running_q = []
+            rep.current_admitted = []
+            if rep.in_step:
+                rep.process.interrupt("replica failure")
+            for seq in sorted(reclaimed, key=lambda s: s.request.rid):
+                seq.first_token_ms = float("nan")
+                seq.generated = 0
+                self._dispatch(seq, env.now)
+        if event.recover_ms is not None:
+            yield env.timeout(event.recover_ms - env.now)
+            rep.healthy = True
+            self._events.append(FleetEvent(env.now, rep.index, "recover"))
+            self._recoveries_outstanding -= 1
+            self._flush_pending(env.now)
+
+    # -- autoscaling ----------------------------------------------------------
+    def _no_progress_possible(self) -> bool:
+        """True when unserved work can never complete: arrivals over,
+        no healthy replica, and no recovery scheduled."""
+        if not self._arrivals_done or self._recoveries_outstanding:
+            return False
+        return not any(rep.healthy for rep in self._replicas)
+
+    def _fleet_backlog(self) -> int:
+        waiting = sum(len(rep.waiting_q) for rep in self._replicas)
+        return waiting + sum(len(q) for q in self._pending.values())
+
+    def _warmup_flush(self, env: Environment, rep: _Replica) -> Generator:
+        yield env.timeout(rep.warm_until - env.now)
+        if rep.routable(env.now):
+            self._flush_pending(env.now)
+
+    def _autoscaler(self, env: Environment) -> Generator:
+        scaler = self.scenario.autoscaler
+        total = len(self.trace)
+        cooldown_until = 0.0
+        while True:
+            yield env.timeout(scaler.interval_ms)
+            now = env.now
+            if self._completed >= total or self._no_progress_possible():
+                return
+            active = [rep for rep in self._replicas if rep.active]
+            pressure = self._fleet_backlog() / max(1, len(active))
+            if now < cooldown_until:
+                continue
+            if (
+                pressure > scaler.scale_up_queue
+                and len(active) < len(self._replicas)
+            ):
+                rep = next(r for r in self._replicas if not r.active)
+                rep.active = True
+                if rep.activated_at is None:
+                    # Cold start: pays the warm-up delay.
+                    rep.activated_at = now
+                    rep.warm_until = now + scaler.warmup_ms
+                # else: still draining, hence still warm — reuse as-is.
+                self._events.append(FleetEvent(now, rep.index, "up"))
+                cooldown_until = now + scaler.cooldown_ms
+                if now >= rep.warm_until:
+                    self._flush_pending(now)
+                else:
+                    env.process(self._warmup_flush(env, rep))
+            elif (
+                pressure < scaler.scale_down_queue
+                and len(active) > scaler.min_replicas
+            ):
+                # Drain the emptiest replica; ties prefer the highest
+                # index so the base replicas stay up.
+                victim = min(
+                    active,
+                    key=lambda r: (r.backlog_tokens, r.running, -r.index),
+                )
+                victim.active = False
+                self._events.append(FleetEvent(now, victim.index, "down"))
+                if not victim.waiting_q and not victim.running_q:
+                    victim.close_window(now)
+                cooldown_until = now + scaler.cooldown_ms

@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 __all__ = [
     "CONFIG",
     "GRAPH_CACHE",
+    "STEP_COST_CACHE",
     "TIMING_CACHE",
     "WORKLOAD_CACHE",
     "BoundedCache",
@@ -60,6 +61,7 @@ __all__ = [
     "clear_caches",
     "configure",
     "disabled",
+    "shared_step_cost",
     "shared_workload",
     "time_layer_calls",
 ]
@@ -257,6 +259,7 @@ class TimingCache(BoundedCache):
 TIMING_CACHE = TimingCache(maxsize=4096, name="timing")
 WORKLOAD_CACHE = BoundedCache(maxsize=256, name="workload")
 GRAPH_CACHE = BoundedCache(maxsize=1024, name="graph")
+STEP_COST_CACHE = BoundedCache(maxsize=64, name="step-cost")
 
 
 def cached_graph_schedule(graph: Any) -> Any:
@@ -332,11 +335,66 @@ def shared_workload(
     return workload
 
 
+def shared_step_cost(
+    system: "MoESystem",
+    config: Any,
+    cluster: Any,
+    strategy: Any,
+    bucket_tokens: int = 256,
+    overlap_policy: str = "per_layer",
+    stragglers: Any = None,
+) -> Any:
+    """One :class:`~repro.serve.engine_adapter.StepCostModel` per
+    distinct (system state, scenario shape), process-wide.
+
+    A homogeneous N-replica fleet prices iterations against N identical
+    cost models; sharing one instance means the per-bucket timing work
+    (and the model's internal step cache) is paid once for the whole
+    fleet instead of once per replica.  The key includes the system's
+    fingerprint *and* timing-state token, so a mutated system never hits
+    a stale entry.  Construction failures
+    (:class:`~repro.systems.base.UnsupportedWorkload` from the eager
+    support check) propagate and are never cached.  Honours the
+    ``timing_cache`` perf flag: when disabled, every caller gets a fresh
+    model.
+    """
+    from repro.serve.engine_adapter import StepCostModel
+
+    def build() -> Any:
+        return StepCostModel(
+            system=system,
+            config=config,
+            cluster=cluster,
+            strategy=strategy,
+            bucket_tokens=bucket_tokens,
+            overlap_policy=overlap_policy,
+            stragglers=stragglers,
+        )
+
+    if not CONFIG.timing_cache:
+        return build()
+    key = (
+        system.fingerprint(),
+        system.timing_state_token(),
+        config,
+        cluster,
+        strategy,
+        bucket_tokens,
+        overlap_policy,
+        stragglers.fingerprint() if stragglers is not None else None,
+    )
+    model = STEP_COST_CACHE.get(key)
+    if model is None:
+        model = STEP_COST_CACHE.put(key, build())
+    return model
+
+
 def clear_caches() -> None:
     """Empty the global caches and reset their counters."""
     TIMING_CACHE.clear()
     WORKLOAD_CACHE.clear()
     GRAPH_CACHE.clear()
+    STEP_COST_CACHE.clear()
 
 
 def cache_stats() -> dict[str, dict[str, Any]]:
@@ -345,4 +403,5 @@ def cache_stats() -> dict[str, dict[str, Any]]:
         TIMING_CACHE.name: TIMING_CACHE.stats(),
         WORKLOAD_CACHE.name: WORKLOAD_CACHE.stats(),
         GRAPH_CACHE.name: GRAPH_CACHE.stats(),
+        STEP_COST_CACHE.name: STEP_COST_CACHE.stats(),
     }

@@ -122,6 +122,10 @@ class ContinuousBatchingScheduler:
 
     records: list[RequestRecord] = field(default_factory=list, init=False)
     timeline: list[TimelinePoint] = field(default_factory=list, init=False)
+    #: Simulated time spent inside engine steps (the replica-utilization
+    #: numerator for fleet accounting). Both loops accumulate the exact
+    #: same step_ms sequence, so the value is loop-independent.
+    busy_ms: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if self.max_batch_tokens <= 0:
@@ -210,9 +214,9 @@ class ContinuousBatchingScheduler:
                     running=len(self._running) + len(admitted),
                 )
             )
-            yield env.timeout(
-                self.cost_model.step_ms(prefill_tokens, decode_tokens)
-            )
+            step = self.cost_model.step_ms(prefill_tokens, decode_tokens)
+            self.busy_ms += step
+            yield env.timeout(step)
             now = env.now
 
             for seq in admitted:
@@ -345,10 +349,9 @@ class ContinuousBatchingScheduler:
                 ).append(seq)
             pending_admitted.extend(admitted)
             eid += 1
-            e_event = (
-                t + self.cost_model.step_ms(prefill_tokens, decode_tokens),
-                eid,
-            )
+            step = self.cost_model.step_ms(prefill_tokens, decode_tokens)
+            self.busy_ms += step
+            e_event = (t + step, eid)
 
         # Initialize events fire in creation order at t=0.
         resume_arrivals(0.0)
@@ -398,6 +401,7 @@ class ContinuousBatchingScheduler:
         """
         self.records.clear()
         self.timeline.clear()
+        self.busy_ms = 0.0
         self._waiting.clear()
         self._running.clear()
         self._pending_arrivals = len(self.trace)

@@ -161,3 +161,66 @@ class TestExtremeRouting:
         assert np.isfinite(timing.total_us)
         geometry = workload.geometry
         assert geometry.rows_per_rank[4:].sum() == 0
+
+
+class TestReplicaFailure:
+    """Whole-replica crashes at the fleet layer (repro.fleet).
+
+    The layer-level injections above degrade a device; these kill an
+    entire engine replica mid-trace.  The invariants: in-flight
+    requests are re-queued through the router and complete exactly
+    once, and goodput accounting is conserved — no request is lost,
+    duplicated, or completes with different token counts than the
+    trace assigned.
+    """
+
+    def run_fleet(self, failures):
+        from repro import FleetSpec, TraceSpec
+
+        return (
+            FleetSpec.grid(
+                traces=TraceSpec(kind="poisson", rps=30, duration_s=3, seed=7),
+                systems="comet",
+                replicas=2,
+                routers="least_queue",
+                failures=failures,
+            )
+            .run()
+            .reports[0]
+        )
+
+    def test_in_flight_requests_requeued_not_lost(self):
+        from repro.fleet import FailureEvent
+
+        report = self.run_fleet(
+            (FailureEvent(replica=0, fail_ms=700.0, recover_ms=1800.0),)
+        )
+        rids = [r.rid for r in report.records]
+        assert len(rids) == len(set(rids))
+        assert report.unserved == 0
+        assert report.num_requests == report.offered
+
+    def test_goodput_accounting_conserved_across_crash(self):
+        from repro.fleet import FailureEvent
+
+        clean = self.run_fleet(())
+        crashed = self.run_fleet(
+            (FailureEvent(replica=1, fail_ms=500.0, recover_ms=1500.0),)
+        )
+        clean_tokens = {r.rid: r.output_tokens for r in clean.records}
+        crashed_tokens = {r.rid: r.output_tokens for r in crashed.records}
+        assert crashed_tokens == clean_tokens
+        # The crash can only delay completions, never accelerate the
+        # aggregate: total span is at least as long as the clean run's.
+        assert max(r.completion_ms for r in crashed.records) >= max(
+            r.completion_ms for r in clean.records
+        )
+
+    def test_crash_degrades_latency_tail(self):
+        from repro.fleet import FailureEvent
+
+        clean = self.run_fleet(())
+        crashed = self.run_fleet((FailureEvent(replica=0, fail_ms=300.0),))
+        assert (
+            crashed.ttft_percentiles()["p99"] >= clean.ttft_percentiles()["p99"]
+        )

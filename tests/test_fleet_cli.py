@@ -1,0 +1,83 @@
+"""`repro fleet` CLI: table output, exports, error paths, cache report."""
+
+import json
+
+from repro.cli import main
+
+FAST = ["--rps", "20", "--duration", "3", "--systems", "comet"]
+
+
+class TestFleetCommand:
+    def test_single_replica_smoke(self, capsys):
+        assert main(["fleet", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out and "Comet" in out
+
+    def test_router_sweep_table_has_router_column(self, capsys):
+        code = main([
+            "fleet", *FAST, "--replicas", "4",
+            "--router", "round_robin", "least_queue",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "router" in out
+        assert "round_robin" in out and "least_queue" in out
+
+    def test_json_and_csv_export(self, tmp_path, capsys):
+        json_path = tmp_path / "fleet.json"
+        csv_path = tmp_path / "fleet.csv"
+        code = main([
+            "fleet", *FAST, "--replicas", "2", "--router", "least_queue",
+            "--json", str(json_path), "--csv", str(csv_path),
+        ])
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert len(payload["reports"]) == 1
+        assert payload["reports"][0]["unserved"] == 0
+        header = csv_path.read_text().splitlines()[0]
+        assert "replicas" in header  # swept away from the 1-replica default
+
+    def test_disaggregated_with_failures(self, capsys):
+        code = main([
+            "fleet", *FAST, "--replicas", "2p+2d",
+            "--failures", "1@500:1500",
+        ])
+        assert code == 0
+        assert "goodput" in capsys.readouterr().out
+
+    def test_autoscale_smoke(self, capsys):
+        code = main([
+            "fleet", *FAST, "--replicas", "3", "--autoscale", "1",
+            "--trace", "diurnal",
+        ])
+        assert code == 0
+
+    def test_report_flag_shows_step_cost_cache(self, capsys):
+        code = main(["fleet", *FAST, "--replicas", "2", "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "step-cost" in out
+
+    def test_workers_flag(self, capsys):
+        code = main([
+            "fleet", *FAST, "--replicas", "2",
+            "--router", "round_robin", "least_queue", "--workers", "2",
+        ])
+        assert code == 0
+
+
+class TestFleetErrors:
+    def test_unknown_router_exits_2(self, capsys):
+        assert main(["fleet", "--router", "random"]) == 2
+        assert "valid router" in capsys.readouterr().err
+
+    def test_unknown_system_exits_2(self, capsys):
+        assert main(["fleet", "--systems", "nope"]) == 2
+        assert "valid system" in capsys.readouterr().err
+
+    def test_malformed_failure_spec_exits_2(self, capsys):
+        assert main(["fleet", "--failures", "bogus"]) == 2
+        assert "R@FAIL" in capsys.readouterr().err
+
+    def test_bad_replica_shape_exits_2(self, capsys):
+        assert main(["fleet", "--replicas", "2x+3q"]) == 2

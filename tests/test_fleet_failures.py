@@ -1,0 +1,131 @@
+"""Replica failure/recovery semantics: conservation of requests.
+
+A crash reclaims the victim's waiting queue, in-flight admissions, and
+running sequences, resets their generation state, and re-dispatches them
+through the router.  The invariants under *any* failure plan whose
+replicas all eventually recover:
+
+- every offered request completes exactly once (no loss, no duplication);
+- timestamps stay causally ordered per record
+  (arrival <= first token <= completion);
+- goodput accounting is conserved — generated tokens equal the sum over
+  records of their output lengths, regardless of how many times a
+  request was bounced between replicas.
+"""
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FleetSpec, TraceSpec
+from repro.fleet import FailureEvent
+
+TRACE = TraceSpec(kind="poisson", rps=40, duration_s=4, seed=5)
+
+
+def run_with_failures(failures, replicas=3, trace=TRACE, router="least_queue"):
+    return (
+        FleetSpec.grid(
+            traces=trace,
+            systems="comet",
+            replicas=replicas,
+            routers=router,
+            failures=failures,
+        )
+        .run()
+        .reports[0]
+    )
+
+
+def assert_conserved(report):
+    rids = [r.rid for r in report.records]
+    assert len(rids) == len(set(rids)), "a request completed twice"
+    assert report.num_requests == report.offered, "a request was lost"
+    assert report.unserved == 0
+    for record in report.records:
+        assert record.arrival_ms <= record.first_token_ms <= record.completion_ms
+        assert record.output_tokens >= 1
+
+
+class TestSingleFailure:
+    def test_mid_trace_crash_with_recovery_conserves_requests(self):
+        report = run_with_failures(
+            (FailureEvent(replica=0, fail_ms=1000.0, recover_ms=2500.0),)
+        )
+        assert report.failures == 1 and report.recoveries == 1
+        assert_conserved(report)
+
+    def test_crash_without_recovery_survivors_absorb_load(self):
+        report = run_with_failures((FailureEvent(replica=1, fail_ms=500.0),))
+        assert report.failures == 1 and report.recoveries == 0
+        assert_conserved(report)
+
+    def test_failed_replica_window_not_shrunk(self):
+        # active_ms is provisioned time: a crashed replica still holds
+        # its GPUs, so utilization honestly reflects the dead capacity.
+        clean = run_with_failures(())
+        failed = run_with_failures((FailureEvent(replica=0, fail_ms=500.0),))
+        dead = next(s for s in failed.replica_stats if s.replica == 0)
+        assert dead.active_ms > 0
+        # The dead replica did strictly less work than its clean twin.
+        clean0 = next(s for s in clean.replica_stats if s.replica == 0)
+        assert dead.busy_ms < clean0.busy_ms
+
+    def test_failure_events_recorded_in_timeline(self):
+        report = run_with_failures(
+            (FailureEvent(replica=2, fail_ms=800.0, recover_ms=1600.0),)
+        )
+        kinds = [(e.kind, e.replica) for e in report.events]
+        assert ("fail", 2) in kinds
+        assert ("recover", 2) in kinds
+
+
+class TestRepeatedFailures:
+    def test_same_replica_fails_twice(self):
+        plan = (
+            FailureEvent(replica=0, fail_ms=600.0, recover_ms=1200.0),
+            FailureEvent(replica=0, fail_ms=2000.0, recover_ms=2600.0),
+        )
+        report = run_with_failures(plan)
+        assert report.failures == 2 and report.recoveries == 2
+        assert_conserved(report)
+
+    def test_staggered_failures_across_replicas(self):
+        plan = (
+            FailureEvent(replica=0, fail_ms=400.0, recover_ms=1400.0),
+            FailureEvent(replica=1, fail_ms=900.0, recover_ms=1900.0),
+            FailureEvent(replica=2, fail_ms=1400.0, recover_ms=2400.0),
+        )
+        assert_conserved(run_with_failures(plan))
+
+
+@functools.lru_cache(maxsize=None)
+def clean_run(router):
+    return run_with_failures((), router=router)
+
+
+@given(
+    fail_ms=st.floats(min_value=1.0, max_value=3500.0),
+    outage_ms=st.floats(min_value=10.0, max_value=2000.0),
+    victim=st.integers(min_value=0, max_value=2),
+    router=st.sampled_from(["round_robin", "least_queue", "power_of_two"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_any_recovering_failure_conserves_requests(
+    fail_ms, outage_ms, victim, router
+):
+    report = run_with_failures(
+        (FailureEvent(replica=victim, fail_ms=fail_ms, recover_ms=fail_ms + outage_ms),),
+        router=router,
+    )
+    assert_conserved(report)
+    # Goodput accounting survives re-queues: each rid carries exactly
+    # the prompt/output lengths the trace assigned it, so total tokens
+    # match a failure-free run of the same trace.
+    by_rid = {r.rid: r for r in clean_run(router).records}
+    for record in report.records:
+        twin = by_rid[record.rid]
+        assert record.prompt_tokens == twin.prompt_tokens
+        assert record.output_tokens == twin.output_tokens
+    assert report.failures == 1 and report.recoveries == 1

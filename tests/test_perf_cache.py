@@ -157,7 +157,7 @@ class TestStepCostModelCache:
 
     def test_cache_stats_shape(self):
         stats = perf.cache_stats()
-        assert set(stats) == {"timing", "workload", "graph"}
+        assert set(stats) == {"timing", "workload", "graph", "step-cost"}
         for doc in stats.values():
             assert {"hits", "misses", "evictions", "size", "maxsize"} <= set(doc)
 

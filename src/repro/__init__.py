@@ -212,9 +212,38 @@ wholesale::
         slow = spec.run()
     fast = spec.run(workers=8)   # byte-identical ResultSet, much faster
     print(perf.cache_stats())
+
+Observability.  :mod:`repro.obs` renders what the simulators already
+computed — never instruments the computation itself, so results are
+*bit-identical* with observation on or off (the identity tests assert
+byte equality of every export both ways).  Three pillars:
+
+* **Timelines** — post-hoc builders turn a schedule graph, a serving
+  report, or a fleet report into a Chrome/Perfetto trace with counter
+  tracks (queue depth, batch tokens), flow arrows (router → replica),
+  per-rank / per-replica process grouping, and instant markers for
+  autoscale / failure events::
+
+      from repro import FleetSpec, obs
+
+      report = FleetSpec.grid(replicas=4, systems="comet").run().reports[0]
+      tracer = obs.trace_fleet_report(report)
+      tracer.save_chrome_trace("fleet.json")      # open in ui.perfetto.dev
+      obs.validate_chrome_trace(tracer.to_chrome_trace())
+
+* **Metrics** — :class:`~repro.obs.metrics.MetricsRegistry` unifies
+  cache hit rates, queue/batch stats, and autoscaler churn into one
+  snapshot: ``obs.snapshot_for(results)`` for any result set.
+* **Provenance** — every ``*Spec.run()`` result carries a deterministic
+  :class:`~repro.obs.manifest.RunManifest` (spec fingerprint, seeds,
+  version), embedded in ``to_json()`` exports.
+
+CLI: ``repro trace --graph|--serve|--fleet``, and ``--trace-out`` /
+``--metrics-out`` on ``model`` / ``serve`` / ``fleet``.  See
+``examples/trace_timelines.py``.
 """
 
-from repro import perf
+from repro import obs, perf
 from repro.graph import (
     OVERLAP_POLICIES,
     GraphSchedule,
@@ -291,7 +320,7 @@ from repro.systems import (
     UnsupportedWorkload,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ALL_SYSTEMS",
@@ -356,6 +385,7 @@ __all__ = [
     "l20_node",
     "list_schedule",
     "make_workload",
+    "obs",
     "overlap_report",
     "perf",
     "reference_moe_forward",

@@ -178,12 +178,16 @@ class ResultSet:
 
     ``grid`` preserves the expansion order of the originating
     :class:`~repro.api.scenario.ExperimentSpec`, so figure tables render
-    rows in the same order the paper plots them.
+    rows in the same order the paper plots them.  ``manifest`` is the
+    run-provenance record (:class:`repro.obs.RunManifest`) attached by
+    :meth:`ExperimentSpec.run`; it is deterministic (no wall-clock
+    unless explicitly stamped) so identical specs export identical JSON.
     """
 
     rows: tuple[ResultRow, ...]
     skips: tuple[SkipRecord, ...] = ()
     grid: tuple["Scenario", ...] = ()
+    manifest: Any = None
 
     def __iter__(self) -> Iterator[ResultRow]:
         return iter(self.rows)
@@ -294,6 +298,7 @@ class ResultSet:
                 and (system is None or _match_system(s.system, system))
             ),
             grid=tuple(s for s in self.grid if keep_scenario(s)),
+            manifest=self.manifest,
         )
 
     def best(self, key: Callable[[ResultRow], float] | None = None) -> ResultRow:
@@ -489,4 +494,6 @@ class ResultSet:
                 for s in self.skips
             ],
         }
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest.to_dict()
         return json.dumps(payload, indent=indent, sort_keys=True)

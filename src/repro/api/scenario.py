@@ -456,8 +456,11 @@ class ExperimentSpec:
             if parallel and on_skip is not None:
                 for record in scenario_skips:
                     on_skip(record)
+        from repro.obs import capture
+
         return ResultSet(
             rows=tuple(rows),
             skips=tuple(skips),
             grid=tuple(scenarios),
+            manifest=capture("experiment", scenarios, names),
         )

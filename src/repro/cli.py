@@ -132,6 +132,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="also print the critical path through the schedule graph",
     )
+    model.add_argument(
+        "--trace-out", metavar="PATH",
+        help="export a Chrome trace of the first system's schedule graph",
+    )
+    model.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="export a metrics snapshot (makespans + cache stats) as JSON",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a declarative scenario grid and tabulate it"
@@ -248,6 +256,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="also print simulation-cache statistics (hits/misses/size)",
     )
+    serve.add_argument(
+        "--trace-out", metavar="PATH",
+        help="export a Chrome trace of the first report's request timeline",
+    )
+    serve.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="export a metrics snapshot (latency histograms, occupancy, "
+        "cache stats) as JSON",
+    )
 
     fleet = sub.add_parser(
         "fleet",
@@ -339,12 +356,85 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="also print simulation-cache statistics (hits/misses/size)",
     )
+    fleet.add_argument(
+        "--trace-out", metavar="PATH",
+        help="export a Chrome trace of the first report's fleet timeline "
+        "(per-replica pids, dispatch flows, failure markers)",
+    )
+    fleet.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="export a metrics snapshot (goodput/latency histograms, "
+        "churn, cache stats) as JSON",
+    )
 
-    trace = sub.add_parser("trace", help="export a Chrome trace of COMET's kernels")
+    trace = sub.add_parser(
+        "trace",
+        help="export a Chrome/Perfetto trace of a simulated timeline "
+        "(fused kernels by default; --graph/--serve/--fleet for the "
+        "higher tiers)",
+    )
+    mode = trace.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--graph", action="store_true",
+        help="trace the whole-model schedule graph (one pid per rank, "
+        "compute/comm lanes, critical path flagged)",
+    )
+    mode.add_argument(
+        "--serve", action="store_true",
+        help="trace a serving run (request-lifecycle spans, flow arrows, "
+        "queue/batch counter tracks)",
+    )
+    mode.add_argument(
+        "--fleet", action="store_true",
+        help="trace a fleet run (one pid per replica, router dispatch "
+        "flows, failure/autoscaler markers)",
+    )
     trace.add_argument(
         "--model", choices=sorted(MODEL_REGISTRY.names()), default="mixtral"
     )
+    trace.add_argument(
+        "--cluster", choices=sorted(CLUSTER_REGISTRY.names()), default="h800"
+    )
+    trace.add_argument("--tp", type=int, default=1)
+    trace.add_argument("--ep", type=int, default=None,
+                       help="expert-parallel size (default: world size / tp)")
     trace.add_argument("--tokens", type=int, default=16384)
+    trace.add_argument(
+        "--system", default="comet",
+        help="system to trace in --graph/--serve/--fleet modes "
+        "(default: comet)",
+    )
+    trace.add_argument(
+        "--overlap-policy", choices=OVERLAP_POLICIES, default="per_layer",
+        help="overlap policy for --graph mode (default: per_layer)",
+    )
+    trace.add_argument(
+        "--stragglers", type=float, default=None, metavar="MULT",
+        help="--graph mode: slow rank 0 by MULT and trace the per-rank "
+        "schedule graphs (one pid per rank)",
+    )
+    trace.add_argument(
+        "--arrivals", default="poisson", choices=("poisson", "bursty", "diurnal"),
+        help="--serve/--fleet modes: arrival process (default: poisson)",
+    )
+    trace.add_argument("--rps", type=float, default=40.0,
+                       help="--serve/--fleet modes: arrival rate (default: 40)")
+    trace.add_argument("--duration", type=float, default=3.0,
+                       help="--serve/--fleet modes: trace seconds (default: 3)")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--replicas", default="2", metavar="N|PpD",
+        help="--fleet mode: fleet shape (default: 2)",
+    )
+    trace.add_argument(
+        "--router", default="round_robin",
+        help="--fleet mode: routing policy (default: round_robin)",
+    )
+    trace.add_argument(
+        "--failures", nargs="+", default=None, metavar="R@FAIL[:RECOVER]",
+        help="--fleet mode: failure injections (default: '0@500:1500' so "
+        "the trace shows fail/recover markers; pass 'none' to disable)",
+    )
     trace.add_argument("--out", default="comet_timeline.json")
 
     return parser
@@ -389,6 +479,33 @@ def _print_cache_report() -> None:
             title=f"Simulation caches ({perf.time_layer_calls()} time_layer "
             "simulations this process)",
         )
+    )
+
+
+def _write_metrics_snapshot(path: str, results) -> None:
+    """Write ``{"manifest": ..., "metrics": ...}`` for a result set.
+
+    The manifest is wall-clock stamped here — at the export boundary —
+    so the in-memory result set (and its ``to_json()``) stays
+    deterministic.
+    """
+    import json
+
+    from repro.obs import snapshot_for
+
+    manifest = results.manifest.stamp().to_dict() if results.manifest else None
+    payload = {"manifest": manifest, "metrics": snapshot_for(results)}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote metrics snapshot to {path}")
+
+
+def _save_trace(tracer, path: str) -> None:
+    tracer.save_chrome_trace(path)
+    extras = len(tracer.counters) + len(tracer.instants) + len(tracer.flows)
+    print(
+        f"wrote {len(tracer.events)} spans (+{extras} counter/instant/flow "
+        f"records) to {path}"
     )
 
 
@@ -532,8 +649,38 @@ def _cmd_model(args: argparse.Namespace) -> int:
         f"{cluster.name} — {kind}, {config.num_layers} layers"
         f"{straggler_note}\n"
     )
+    def lower(sys_, moe_timing):
+        # Same lowering selection the runners use for the makespans, so
+        # reports and traces match them exactly.
+        if stragglers is not None:
+            return sys_.lower_rank_phases(moe_timing, stragglers)
+        return sys_.lower_layer(moe_timing)
+
+    def build_schedule(sys_, timing, policy):
+        if args.training:
+            return training_schedule(
+                lower(sys_, timing.moe_fwd),
+                lower(sys_.backward_variant(), timing.moe_bwd),
+                timing.attention_fwd_us,
+                timing.attention_bwd_us,
+                timing.num_layers,
+                timing.grad_sync_us,
+                timing.optimizer_us,
+                policy,
+                stragglers,
+            )
+        return forward_schedule(
+            lower(sys_, timing.moe),
+            timing.attention_us,
+            timing.num_layers,
+            policy,
+            stragglers,
+        )
+
     rows = []
     report_lines = []
+    trace_target = None
+    makespans_ms: dict[tuple[str, str], float] = {}
     for name in names:
         system = SYSTEM_REGISTRY.create(name)
         cells = [system.name]
@@ -547,6 +694,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
                 )
                 timings[policy] = timing
                 cells.append(f"{timing.makespan_us / 1000:.3f}")
+                makespans_ms[(system.name, policy)] = timing.makespan_us / 1000.0
         except UnsupportedWorkload as exc:
             print(f"{system.name:>18s} |  skipped: {exc}")
             continue
@@ -559,37 +707,11 @@ def _cmd_model(args: argparse.Namespace) -> int:
                 f"{max(t.imbalance_us for t in timings.values()) / 1000:.3f}"
             )
         rows.append(cells)
+        if trace_target is None:
+            trace_target = (system, timings[policies[0]], policies[0])
         if args.report:
-
-            def lower(sys_, moe_timing):
-                # Same lowering selection the runners used for the
-                # makespans above, so the report matches them exactly.
-                if stragglers is not None:
-                    return sys_.lower_rank_phases(moe_timing, stragglers)
-                return sys_.lower_layer(moe_timing)
-
             for policy in policies:
-                timing = timings[policy]
-                if args.training:
-                    schedule = training_schedule(
-                        lower(system, timing.moe_fwd),
-                        lower(system.backward_variant(), timing.moe_bwd),
-                        timing.attention_fwd_us,
-                        timing.attention_bwd_us,
-                        timing.num_layers,
-                        timing.grad_sync_us,
-                        timing.optimizer_us,
-                        policy,
-                        stragglers,
-                    )
-                else:
-                    schedule = forward_schedule(
-                        lower(system, timing.moe),
-                        timing.attention_us,
-                        timing.num_layers,
-                        policy,
-                        stragglers,
-                    )
+                schedule = build_schedule(system, timings[policy], policy)
                 report_lines.append(
                     f"\n{system.name} — {policy}:\n"
                     + _format_critical_path(schedule)
@@ -616,6 +738,36 @@ def _cmd_model(args: argparse.Namespace) -> int:
     )
     for line in report_lines:
         print(line)
+    if args.trace_out:
+        if trace_target is None:
+            print(
+                "error: no system produced a schedule to trace",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.obs import trace_graph_schedule
+
+        sys_, timing, policy = trace_target
+        _save_trace(
+            trace_graph_schedule(build_schedule(sys_, timing, policy)),
+            args.trace_out,
+        )
+    if args.metrics_out:
+        import json
+
+        from repro.obs import MetricsRegistry, capture, collect_cache_stats
+
+        registry = MetricsRegistry(enabled=True)
+        for (sys_name, policy), value in makespans_ms.items():
+            registry.gauge(f"model.{sys_name}.{policy}.makespan_ms", value)
+        collect_cache_stats(registry)
+        manifest = capture("model", (scenario,), tuple(names)).stamp()
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"manifest": manifest.to_dict(), "metrics": registry.snapshot()},
+                fh, indent=2, sort_keys=True,
+            )
+        print(f"wrote metrics snapshot to {args.metrics_out}")
     return 0
 
 
@@ -863,6 +1015,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"wrote CSV to {args.csv}")
     if args.report:
         _print_cache_report()
+    if args.trace_out:
+        if not results.reports:
+            print("error: nothing served, no trace to write", file=sys.stderr)
+            return 1
+        from repro.obs import trace_serve_report
+
+        _save_trace(trace_serve_report(results.reports[0]), args.trace_out)
+    if args.metrics_out:
+        _write_metrics_snapshot(args.metrics_out, results)
     return 0
 
 
@@ -997,19 +1158,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"wrote CSV to {args.csv}")
     if args.report:
         _print_cache_report()
+    if args.trace_out:
+        if not results.reports:
+            print("error: nothing served, no trace to write", file=sys.stderr)
+            return 1
+        from repro.obs import trace_fleet_report
+
+        _save_trace(trace_fleet_report(results.reports[0]), args.trace_out)
+    if args.metrics_out:
+        _write_metrics_snapshot(args.metrics_out, results)
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.hw.presets import h800_node
+def _trace_kernels(args, config, cluster, strategy) -> int:
+    """Default trace mode: one rank's fused-kernel lanes."""
     from repro.kernels.fused import simulate_layer0_fused, simulate_layer1_fused
     from repro.runtime.workload import make_workload
     from repro.sim import Tracer
     from repro.tensor import build_layer0_schedule, build_layer1_schedule
 
-    cluster = h800_node()
-    config = MODEL_REGISTRY.get(args.model)
-    strategy = ParallelStrategy(1, cluster.world_size)
     workload = make_workload(config, cluster, strategy, args.tokens)
     geometry = workload.geometry
     rank = geometry.bottleneck_rank
@@ -1032,9 +1199,134 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         nc=comet.division_point(workload, 1),
         tracer=tracer, lane=f"rank{rank}/layer1",
     )
-    tracer.save_chrome_trace(args.out)
-    print(f"wrote {len(tracer.events)} events to {args.out}")
+    _save_trace(tracer, args.out)
     return 0
+
+
+def _trace_graph(args, config, cluster, strategy) -> int:
+    """--graph mode: the whole-model schedule graph, one pid per rank."""
+    from repro.api.scenario import _as_straggler_axis
+    from repro.graph.lower import forward_schedule
+    from repro.obs import trace_graph_schedule
+    from repro.runtime.model_runner import run_model
+    from repro.systems.base import UnsupportedWorkload
+
+    stragglers = None
+    if args.stragglers is not None:
+        (stragglers,) = _as_straggler_axis(
+            (args.stragglers,), cluster.world_size
+        )
+    scenario = Scenario(
+        config=config, cluster=cluster, strategy=strategy,
+        tokens=args.tokens, stragglers=stragglers,
+    )
+    system = SYSTEM_REGISTRY.create(SYSTEM_REGISTRY.resolve(args.system))
+    try:
+        timing = run_model(
+            system, config, cluster, strategy, total_tokens=args.tokens,
+            workload=scenario.build_workload(),
+            overlap_policy=args.overlap_policy, stragglers=stragglers,
+        )
+    except UnsupportedWorkload as exc:
+        print(f"error: {system.name} skipped this workload: {exc}",
+              file=sys.stderr)
+        return 1
+    if stragglers is not None:
+        moe = system.lower_rank_phases(timing.moe, stragglers)
+    else:
+        moe = system.lower_layer(timing.moe)
+    schedule = forward_schedule(
+        moe, timing.attention_us, timing.num_layers,
+        args.overlap_policy, stragglers,
+    )
+    _save_trace(trace_graph_schedule(schedule), args.out)
+    return 0
+
+
+def _trace_serve(args, config, cluster, strategy) -> int:
+    """--serve mode: one serving run's request timeline."""
+    from repro.obs import trace_serve_report
+    from repro.serve import ServeScenario, ServeSpec, TraceSpec
+
+    scenario = ServeScenario(
+        config=config, cluster=cluster, strategy=strategy,
+        trace=TraceSpec(
+            kind=args.arrivals, rps=args.rps,
+            duration_s=args.duration, seed=args.seed,
+        ),
+    )
+    results = ServeSpec(
+        scenarios=(scenario,),
+        systems=(SYSTEM_REGISTRY.resolve(args.system),),
+    ).run()
+    if not results.reports:
+        for skip in results.skips:
+            print(f"error: {skip.system} skipped: {skip.reason}",
+                  file=sys.stderr)
+        return 1
+    _save_trace(trace_serve_report(results.reports[0]), args.out)
+    return 0
+
+
+def _trace_fleet(args, config, cluster, strategy) -> int:
+    """--fleet mode: a fleet run with per-replica pids and router flows.
+
+    Defaults inject one fail/recover cycle on replica 0 so the exported
+    trace demonstrates every record type (spans, counters, flows, and
+    instant markers); ``--failures none`` disables the injection.
+    """
+    from repro.fleet import ROUTER_REGISTRY, FleetSpec
+    from repro.obs import trace_fleet_report
+    from repro.serve import TraceSpec
+
+    if args.failures is None:
+        failure_specs: tuple[str, ...] | None = ("0@500:1500",)
+    elif [v.lower() for v in args.failures] == ["none"]:
+        failure_specs = None
+    else:
+        failure_specs = tuple(args.failures)
+    replicas = int(args.replicas) if args.replicas.isdigit() else args.replicas
+    spec = FleetSpec.grid(
+        models=config,
+        clusters=cluster,
+        strategies=strategy,
+        replicas=replicas,
+        routers=ROUTER_REGISTRY.resolve(args.router),
+        traces=TraceSpec(
+            kind=args.arrivals, rps=args.rps,
+            duration_s=args.duration, seed=args.seed,
+        ),
+        failures=_parse_failure_specs(failure_specs) if failure_specs else None,
+        systems=SYSTEM_REGISTRY.resolve(args.system),
+    )
+    results = spec.run()
+    if not results.reports:
+        for skip in results.skips:
+            print(f"error: {skip.system} skipped: {skip.reason}",
+                  file=sys.stderr)
+        return 1
+    _save_trace(trace_fleet_report(results.reports[0]), args.out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        cluster = CLUSTER_REGISTRY.get(args.cluster)()
+        config = MODEL_REGISTRY.get(args.model)
+        if args.tp <= 0:
+            raise ValueError(f"tp must be positive, got {args.tp}")
+        ep = args.ep if args.ep is not None else cluster.world_size // args.tp
+        strategy = ParallelStrategy(tp_size=args.tp, ep_size=ep)
+        if args.graph:
+            return _trace_graph(args, config, cluster, strategy)
+        if args.serve:
+            return _trace_serve(args, config, cluster, strategy)
+        if args.fleet:
+            return _trace_fleet(args, config, cluster, strategy)
+        return _trace_kernels(args, config, cluster, strategy)
+    except (ValueError, UnknownNameError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: Sequence[str] | None = None) -> int:

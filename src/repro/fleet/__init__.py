@@ -12,6 +12,7 @@ the CLI entry point.
 """
 
 from repro.fleet.metrics import (
+    DispatchRecord,
     FleetEvent,
     FleetReport,
     FleetResultSet,
@@ -38,6 +39,7 @@ from repro.fleet.spec import (
 
 __all__ = [
     "AutoscalerSpec",
+    "DispatchRecord",
     "FailureEvent",
     "FleetEngine",
     "FleetEvent",

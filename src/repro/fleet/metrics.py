@@ -28,6 +28,7 @@ from typing import Any
 from repro.serve.metrics import PERCENTILES, RequestRecord, percentiles
 
 __all__ = [
+    "DispatchRecord",
     "FleetEvent",
     "FleetReport",
     "FleetResultSet",
@@ -71,6 +72,24 @@ class FleetEvent:
 
 
 @dataclass(frozen=True)
+class DispatchRecord:
+    """One routing decision: request ``rid`` sent to ``replica`` at ``t_ms``.
+
+    A request can dispatch more than once — the entry router and the
+    decode router each record a hop in a disaggregated fleet, and a
+    replica failure re-dispatches its reclaimed requests — so the
+    dispatch log, ordered by time, segments each request's life across
+    the replicas that hosted it.  ``pool`` names the routing stage
+    (``"entry"`` or ``"decode"``).
+    """
+
+    rid: int
+    t_ms: float
+    replica: int
+    pool: str = "entry"
+
+
+@dataclass(frozen=True)
 class FleetReport:
     """Serving outcome of one system on one fleet scenario.
 
@@ -92,6 +111,15 @@ class FleetReport:
     slo_tpot_ms: float
     horizon_ms: float
     offered: int
+    # Observability side-channels (PR 7).  Always collected — they are
+    # derived from bookkeeping the engine does anyway, so report
+    # equality across obs-on/obs-off runs (and fast/slow serve paths)
+    # includes them.  ``dispatches`` logs every router decision;
+    # ``replica_timelines`` holds one per-step TimelinePoint tuple per
+    # replica index (same sampling convention as the serving
+    # scheduler's timeline).
+    dispatches: tuple[DispatchRecord, ...] = ()
+    replica_timelines: tuple[tuple, ...] = ()
 
     # -- latency ------------------------------------------------------------
     def ttft_percentiles(self) -> dict[str, float]:
@@ -270,10 +298,17 @@ class FleetSkip:
 
 @dataclass(frozen=True)
 class FleetResultSet:
-    """Fleet reports across systems/scenarios, with ResultSet-style exports."""
+    """Fleet reports across systems/scenarios, with ResultSet-style exports.
+
+    ``manifest`` is the run-provenance record
+    (:class:`repro.obs.RunManifest`) attached by :meth:`FleetSpec.run`;
+    it is deterministic (no wall-clock unless explicitly stamped) so
+    identical specs export identical JSON.
+    """
 
     reports: tuple[FleetReport, ...]
     skips: tuple[FleetSkip, ...] = ()
+    manifest: Any = None
 
     def __iter__(self):
         return iter(self.reports)
@@ -341,6 +376,7 @@ class FleetResultSet:
         return FleetResultSet(
             reports=tuple(r for r in self.reports if keep(r)),
             skips=tuple(s for s in self.skips if keep(s)),
+            manifest=self.manifest,
         )
 
     def best_goodput(self) -> FleetReport:
@@ -493,4 +529,6 @@ class FleetResultSet:
                 for s in self.skips
             ],
         }
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest.to_dict()
         return json.dumps(payload, indent=indent, sort_keys=True)

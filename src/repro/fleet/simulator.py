@@ -46,11 +46,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator
 
-from repro.fleet.metrics import FleetEvent, FleetReport, ReplicaStats
+from repro.fleet.metrics import (
+    DispatchRecord,
+    FleetEvent,
+    FleetReport,
+    ReplicaStats,
+)
 from repro.fleet.router import Router, make_router
 from repro.fleet.spec import FleetScenario, ReplicaSpec
 from repro.serve.engine_adapter import StepCostModel
-from repro.serve.metrics import RequestRecord
+from repro.serve.metrics import RequestRecord, TimelinePoint
 from repro.serve.scheduler import (
     POLICY_REGISTRY,
     ContinuousBatchingScheduler,
@@ -152,6 +157,7 @@ class FleetEngine:
 
     _records: list[RequestRecord] = field(default_factory=list, init=False)
     _events: list[FleetEvent] = field(default_factory=list, init=False)
+    _dispatches: list[DispatchRecord] = field(default_factory=list, init=False)
 
     def __post_init__(self) -> None:
         self._expanded = self.scenario.expand_replicas()
@@ -185,7 +191,10 @@ class FleetEngine:
         return self._run_cosim(system_name)
 
     def _report(
-        self, system_name: str, stats: tuple[ReplicaStats, ...]
+        self,
+        system_name: str,
+        stats: tuple[ReplicaStats, ...],
+        timelines: tuple[tuple[TimelinePoint, ...], ...] = (),
     ) -> FleetReport:
         self._records.sort(key=lambda r: r.rid)
         return FleetReport(
@@ -200,6 +209,8 @@ class FleetEngine:
             slo_tpot_ms=self.scenario.slo_tpot_ms,
             horizon_ms=self.scenario.trace.horizon_ms,
             offered=len(self.trace),
+            dispatches=tuple(self._dispatches),
+            replica_timelines=timelines,
         )
 
     # -- decomposed path ------------------------------------------------------
@@ -220,9 +231,13 @@ class FleetEngine:
         for request in self.trace:
             pick = router.choose(request, views, request.arrival_ms)
             assigned[pick.index].append(request)
+            self._dispatches.append(
+                DispatchRecord(request.rid, request.arrival_ms, pick.index)
+            )
 
         per_replica: list[tuple[int, float]] = []  # (steps, busy_ms)
         counts: list[int] = []
+        timelines: list[tuple[TimelinePoint, ...]] = []
         for index, spec in enumerate(self._expanded):
             scheduler = ContinuousBatchingScheduler(
                 cost_model=self.cost_models[index],
@@ -236,6 +251,7 @@ class FleetEngine:
             self._records.extend(records)
             per_replica.append((len(timeline), scheduler.busy_ms))
             counts.append(len(records))
+            timelines.append(tuple(timeline))
 
         window = max(
             self.scenario.trace.horizon_ms,
@@ -255,7 +271,7 @@ class FleetEngine:
                 zip(self._expanded, per_replica)
             )
         )
-        return self._report(system_name, stats)
+        return self._report(system_name, stats, tuple(timelines))
 
     # -- co-simulation --------------------------------------------------------
     def _run_cosim(self, system_name: str) -> FleetReport:
@@ -279,6 +295,9 @@ class FleetEngine:
         self._recoveries_outstanding = sum(
             1 for event in scenario.failures if event.recover_ms is not None
         )
+        self._timelines: list[list[TimelinePoint]] = [
+            [] for _ in self._replicas
+        ]
 
         # Process creation order mirrors the single-replica scheduler
         # (arrivals first, then engines), keeping the event-id
@@ -317,7 +336,9 @@ class FleetEngine:
             )
             for rep in self._replicas
         )
-        return self._report(system_name, stats)
+        return self._report(
+            system_name, stats, tuple(tuple(t) for t in self._timelines)
+        )
 
     # -- dispatch -------------------------------------------------------------
     def _pool(self, name: str) -> list[_Replica]:
@@ -332,6 +353,9 @@ class FleetEngine:
             self._pending[pool].append(seq)
             return
         pick = self._router.choose(seq.request, candidates, now)
+        self._dispatches.append(
+            DispatchRecord(seq.request.rid, now, pick.index, pool)
+        )
         pick.waiting_q.append(seq)
         pick.wake()
 
@@ -414,6 +438,16 @@ class FleetEngine:
                     s.request.prompt_tokens for s in admitted
                 )
                 decode_tokens = len(rep.running_q)
+            # Same post-admission sampling convention as the
+            # single-replica scheduler's timeline.
+            self._timelines[rep.index].append(
+                TimelinePoint(
+                    t_ms=now,
+                    queue_depth=len(rep.waiting_q),
+                    batch_tokens=prefill_tokens + decode_tokens,
+                    running=len(rep.running_q) + len(admitted),
+                )
+            )
             step = rep.cost_model.step_ms(prefill_tokens, decode_tokens)
             rep.in_step = True
             rep.step_started = now

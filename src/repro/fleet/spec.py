@@ -616,4 +616,10 @@ class FleetSpec:
             outcomes = [self._serve_one(*task) for task in tasks]
         reports = tuple(o for o in outcomes if isinstance(o, FleetReport))
         skips = tuple(o for o in outcomes if isinstance(o, FleetSkip))
-        return FleetResultSet(reports=reports, skips=skips)
+        from repro.obs import capture
+
+        return FleetResultSet(
+            reports=reports,
+            skips=skips,
+            manifest=capture("fleet", self.scenarios, self.system_names()),
+        )

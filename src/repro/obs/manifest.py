@@ -1,0 +1,143 @@
+"""Run provenance: deterministic fingerprints of what produced a result.
+
+A :class:`RunManifest` records *what ran* — a stable fingerprint of the
+expanded scenario grid and system list, the seeds involved, and the
+package version — so any exported JSON/CSV can be traced back to the
+exact spec that produced it.
+
+Determinism contract: manifests attached by ``*Spec.run()`` carry **no
+wall-clock** (``created_unix is None``), so two runs of the same spec
+export byte-identical JSON — the repo's cross-run ``to_json() ==
+to_json()`` identity tests depend on this.  Call :meth:`RunManifest.stamp`
+at an explicit export boundary (the CLI's ``--metrics-out`` does) to add
+the timestamp.
+
+Fingerprints come from :func:`fingerprint_obj`, a canonical recursive
+serialisation of dataclasses / tuples / dicts / primitives hashed with
+SHA-256.  Objects whose default ``repr`` embeds a memory address
+(``... at 0x...``) collapse to their class name, so fingerprints are
+stable across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable
+
+__all__ = ["RunManifest", "capture", "fingerprint_obj"]
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable canonical form."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        doc: dict[str, Any] = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            doc[f.name] = _canonical(getattr(obj, f.name))
+        return doc
+    if isinstance(obj, Enum):
+        return [type(obj).__name__, _canonical(obj.value)]
+    if isinstance(obj, dict):
+        return {
+            str(k): _canonical(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (str, int, bool)):
+        return obj
+    if isinstance(obj, float):
+        # repr is deterministic and NaN/inf-safe (json.dumps is not).
+        return repr(obj)
+    text = repr(obj)
+    if " at 0x" in text:  # default object repr leaks memory addresses
+        return f"<{type(obj).__name__}>"
+    return text
+
+
+def fingerprint_obj(obj: Any, digits: int = 16) -> str:
+    """Stable hex fingerprint of any spec-like object tree."""
+    blob = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:digits]
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one ``*Spec.run()`` invocation.
+
+    ``created_unix`` stays ``None`` until :meth:`stamp` is called, so
+    the manifest — and every export embedding it — is a pure function
+    of the spec.
+    """
+
+    kind: str  # "experiment" | "serve" | "fleet"
+    fingerprint: str
+    scenarios: int
+    systems: tuple[str, ...]
+    seeds: tuple[int, ...]
+    version: str
+    created_unix: float | None = None
+
+    def stamp(self, now: float | None = None) -> "RunManifest":
+        """Return a copy carrying a wall-clock timestamp.
+
+        Only call this at an explicit export boundary; stamped manifests
+        break cross-run byte identity by design.
+        """
+        return dataclasses.replace(
+            self, created_unix=time.time() if now is None else now
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "scenarios": self.scenarios,
+            "systems": list(self.systems),
+            "seeds": list(self.seeds),
+            "version": self.version,
+            "created_unix": self.created_unix,
+        }
+
+
+def _collect_seeds(scenarios: Iterable[Any]) -> tuple[int, ...]:
+    """Distinct seeds across scenarios, first-seen order.
+
+    Serving/fleet scenarios carry the seed on their trace spec; offline
+    experiment scenarios carry it directly.
+    """
+    seeds: list[int] = []
+    for scenario in scenarios:
+        seed = getattr(getattr(scenario, "trace", None), "seed", None)
+        if seed is None:
+            seed = getattr(scenario, "seed", None)
+        if isinstance(seed, int) and not isinstance(seed, bool):
+            if seed not in seeds:
+                seeds.append(seed)
+    return tuple(seeds)
+
+
+def capture(
+    kind: str,
+    scenarios: Iterable[Any],
+    systems: Iterable[str],
+) -> RunManifest:
+    """Build the deterministic manifest for one spec run."""
+    from repro import __version__  # lazy: avoids an import cycle
+
+    scenario_list = list(scenarios)
+    system_list = tuple(systems)
+    return RunManifest(
+        kind=kind,
+        fingerprint=fingerprint_obj(
+            {"kind": kind, "scenarios": scenario_list, "systems": system_list}
+        ),
+        scenarios=len(scenario_list),
+        systems=system_list,
+        seeds=_collect_seeds(scenario_list),
+        version=__version__,
+    )

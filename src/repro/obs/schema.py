@@ -1,0 +1,163 @@
+"""Structural validation for Chrome Trace Event Format exports.
+
+:func:`validate_chrome_trace` checks the invariants Perfetto and
+``chrome://tracing`` rely on — per-phase required keys, non-negative
+durations, tid/pid consistency against the metadata events, and flow
+arrows that pair up — and raises :class:`ValueError` with a precise
+message on the first violation.  It returns per-phase event counts so
+tests and the CI smoke step can assert a trace is not just valid but
+non-trivial.
+
+The overlap check (no two ``X`` slices overlapping on one thread lane)
+is **opt-in**: kernel-level traces legitimately stack concurrent tiles
+on one lane (``busy_time`` merges the union), while the request-lane
+traces built by :mod:`repro.obs.timeline` allocate sub-lanes precisely
+so rendering never stacks — those call sites pass
+``check_overlap=True``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["validate_chrome_trace"]
+
+_REQUIRED_BY_PHASE = {
+    "M": ("name", "ph", "pid", "tid", "args"),
+    "X": ("name", "cat", "ph", "pid", "tid", "ts", "dur", "args"),
+    "C": ("name", "ph", "pid", "ts", "args"),
+    "i": ("name", "cat", "ph", "pid", "tid", "ts", "s", "args"),
+    "s": ("name", "cat", "ph", "pid", "tid", "ts", "id", "args"),
+    "f": ("name", "cat", "ph", "pid", "tid", "ts", "id", "bp", "args"),
+}
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_chrome_trace(
+    doc: dict | str, check_overlap: bool = False
+) -> dict[str, int]:
+    """Validate a Chrome trace object (or its JSON text).
+
+    Returns ``{phase: count}`` over the phases seen.  Raises
+    :class:`ValueError` on any schema violation.
+    """
+    if isinstance(doc, str):
+        doc = json.loads(doc)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("chrome trace must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+
+    counts: dict[str, int] = {}
+    named_threads: set[tuple[Any, Any]] = set()
+    named_processes: dict[Any, str] = {}
+    flow_ends: dict[Any, dict[str, float]] = {}
+    slices_by_thread: dict[tuple[Any, Any], list[tuple[float, float, str]]] = {}
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        if phase not in _REQUIRED_BY_PHASE:
+            raise ValueError(
+                f"traceEvents[{index}] has unsupported phase {phase!r}"
+            )
+        for key in _REQUIRED_BY_PHASE[phase]:
+            if key not in event:
+                raise ValueError(
+                    f"traceEvents[{index}] (ph={phase!r}, "
+                    f"name={event.get('name')!r}) missing key {key!r}"
+                )
+        if not isinstance(event["pid"], int) or not isinstance(
+            event.get("tid", 0), int
+        ):
+            raise ValueError(f"traceEvents[{index}]: pid/tid must be integers")
+        if not isinstance(event["args"], dict):
+            raise ValueError(f"traceEvents[{index}]: args must be an object")
+        if "ts" in _REQUIRED_BY_PHASE[phase] and not _is_number(event["ts"]):
+            raise ValueError(f"traceEvents[{index}]: ts must be a number")
+        counts[phase] = counts.get(phase, 0) + 1
+
+        if phase == "M":
+            if event["name"] == "thread_name":
+                named_threads.add((event["pid"], event["tid"]))
+            elif event["name"] == "process_name":
+                pid, pname = event["pid"], event["args"].get("name")
+                if pid in named_processes and named_processes[pid] != pname:
+                    raise ValueError(
+                        f"pid {pid} named twice: "
+                        f"{named_processes[pid]!r} vs {pname!r}"
+                    )
+                named_processes[pid] = pname
+        elif phase == "X":
+            if event["dur"] < 0:
+                raise ValueError(
+                    f"traceEvents[{index}] ({event['name']!r}) has "
+                    f"negative dur {event['dur']}"
+                )
+            slices_by_thread.setdefault((event["pid"], event["tid"]), []).append(
+                (event["ts"], event["ts"] + event["dur"], event["name"])
+            )
+        elif phase == "C":
+            for key, value in event["args"].items():
+                if not _is_number(value):
+                    raise ValueError(
+                        f"counter {event['name']!r} series {key!r} has "
+                        f"non-numeric value {value!r}"
+                    )
+        elif phase == "i":
+            if event["s"] not in ("t", "p", "g"):
+                raise ValueError(
+                    f"instant {event['name']!r} has invalid scope "
+                    f"{event['s']!r}"
+                )
+        elif phase in ("s", "f"):
+            if phase == "f" and event["bp"] != "e":
+                raise ValueError(
+                    f"flow finish {event['name']!r} must carry bp='e'"
+                )
+            ends = flow_ends.setdefault(event["id"], {})
+            if phase in ends:
+                raise ValueError(
+                    f"flow id {event['id']!r} has duplicate {phase!r} end"
+                )
+            ends[phase] = event["ts"]
+
+    # Every real event's (pid, tid) must have thread_name metadata, so
+    # viewers render named lanes instead of bare thread ids.
+    for index, event in enumerate(events):
+        if event["ph"] in ("X", "i", "s", "f"):
+            key = (event["pid"], event["tid"])
+            if key not in named_threads:
+                raise ValueError(
+                    f"traceEvents[{index}] ({event['name']!r}) uses "
+                    f"unnamed thread pid={key[0]} tid={key[1]}"
+                )
+
+    for flow_id, ends in flow_ends.items():
+        if set(ends) != {"s", "f"}:
+            raise ValueError(
+                f"flow id {flow_id!r} is unpaired: has {sorted(ends)}"
+            )
+        if ends["s"] > ends["f"]:
+            raise ValueError(
+                f"flow id {flow_id!r} finishes (ts={ends['f']}) before it "
+                f"starts (ts={ends['s']})"
+            )
+
+    if check_overlap:
+        for (pid, tid), slices in slices_by_thread.items():
+            ordered = sorted(slices)
+            for (s0, e0, n0), (s1, e1, n1) in zip(ordered, ordered[1:]):
+                if s1 < e0:
+                    raise ValueError(
+                        f"slices overlap on pid={pid} tid={tid}: "
+                        f"{n0!r} [{s0}, {e0}) vs {n1!r} [{s1}, {e1})"
+                    )
+
+    return counts

@@ -237,10 +237,17 @@ class ServeSkip:
 
 @dataclass(frozen=True)
 class ServeResultSet:
-    """Reports across systems/scenarios, with ResultSet-style exports."""
+    """Reports across systems/scenarios, with ResultSet-style exports.
+
+    ``manifest`` is the run-provenance record
+    (:class:`repro.obs.RunManifest`) attached by :meth:`ServeSpec.run`;
+    it is deterministic (no wall-clock unless explicitly stamped) so
+    identical specs export identical JSON.
+    """
 
     reports: tuple[ServeReport, ...]
     skips: tuple[ServeSkip, ...] = ()
+    manifest: Any = None
 
     def __iter__(self):
         return iter(self.reports)
@@ -339,4 +346,6 @@ class ServeResultSet:
                 for s in self.skips
             ],
         }
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest.to_dict()
         return json.dumps(payload, indent=indent, sort_keys=True)

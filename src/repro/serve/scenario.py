@@ -295,4 +295,10 @@ class ServeSpec:
             outcomes = [self._serve_one(*task) for task in tasks]
         reports = tuple(o for o in outcomes if isinstance(o, ServeReport))
         skips = tuple(o for o in outcomes if isinstance(o, ServeSkip))
-        return ServeResultSet(reports=reports, skips=skips)
+        from repro.obs import capture
+
+        return ServeResultSet(
+            reports=reports,
+            skips=skips,
+            manifest=capture("serve", self.scenarios, self.system_names()),
+        )

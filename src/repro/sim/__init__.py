@@ -25,13 +25,22 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.resources import Resource, Store
-from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.trace import (
+    CounterSample,
+    FlowEvent,
+    InstantEvent,
+    TraceEvent,
+    Tracer,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CounterSample",
     "Environment",
     "Event",
+    "FlowEvent",
+    "InstantEvent",
     "Interrupt",
     "Process",
     "Resource",

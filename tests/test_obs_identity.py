@@ -1,0 +1,123 @@
+"""Zero-perturbation guarantee: observation never changes a result.
+
+The tentpole acceptance test of the observability layer — seeded model,
+serve, and fleet grids export byte-identical JSON with observability
+enabled vs. disabled, and the trace builders never mutate the reports
+they render.
+"""
+
+from repro import ExperimentSpec, obs
+from repro.fleet import FailureEvent, FleetSpec
+from repro.obs import (
+    trace_fleet_report,
+    trace_graph_schedule,
+    trace_serve_report,
+)
+from repro.serve import ServeSpec, TraceSpec
+
+
+def _experiment():
+    return ExperimentSpec.grid(
+        tokens=4096, systems=("comet", "megatron-cutlass")
+    )
+
+
+def _serve():
+    return ServeSpec.grid(
+        traces=TraceSpec(kind="poisson", rps=30, duration_s=1.0, seed=7),
+        systems="comet",
+    )
+
+
+def _fleet():
+    return FleetSpec.grid(
+        replicas=2,
+        traces=TraceSpec(kind="bursty", rps=40, duration_s=1.0, seed=7),
+        failures=(FailureEvent(replica=0, fail_ms=300.0, recover_ms=700.0),),
+        systems="comet",
+    )
+
+
+class TestBitIdentity:
+    def test_experiment_identical_with_obs_on_and_off(self):
+        with obs.enabled():
+            on = _experiment().run().to_json()
+        with obs.disabled():
+            off = _experiment().run().to_json()
+        assert on == off
+
+    def test_serve_identical_with_obs_on_and_off(self):
+        with obs.enabled():
+            on = _serve().run().to_json()
+        with obs.disabled():
+            off = _serve().run().to_json()
+        assert on == off
+
+    def test_fleet_identical_with_obs_on_and_off(self):
+        with obs.enabled():
+            results_on = _fleet().run()
+        with obs.disabled():
+            results_off = _fleet().run()
+        assert results_on.to_json() == results_off.to_json()
+        # full report equality, including the always-collected dispatch
+        # log and per-replica timelines the trace builders consume
+        assert results_on.reports == results_off.reports
+
+    def test_tracing_a_report_does_not_mutate_it(self):
+        results = _fleet().run()
+        before = results.reports[0]
+        trace_fleet_report(results.reports[0])
+        assert results.reports[0] == before
+        serve_results = _serve().run()
+        serve_before = serve_results.reports[0]
+        trace_serve_report(serve_results.reports[0])
+        assert serve_results.reports[0] == serve_before
+
+
+class TestDisabledEmission:
+    def test_builders_emit_nothing_when_disabled(self):
+        serve_report = _serve().run().reports[0]
+        fleet_report = _fleet().run().reports[0]
+        with obs.disabled():
+            for tracer in (
+                trace_serve_report(serve_report),
+                trace_fleet_report(fleet_report),
+            ):
+                assert tracer.events == [] and tracer.counters == []
+                assert tracer.instants == [] and tracer.flows == []
+
+    def test_graph_builder_emits_nothing_when_disabled(self):
+        from repro import MIXTRAL_8X7B, Comet, ParallelStrategy, h800_node
+        from repro.graph.lower import forward_schedule
+        from repro.runtime import run_model
+
+        system = Comet()
+        cluster = h800_node()
+        strategy = ParallelStrategy(tp_size=1, ep_size=cluster.world_size)
+        timing = run_model(
+            system, MIXTRAL_8X7B, cluster, strategy, total_tokens=4096
+        )
+        schedule = forward_schedule(
+            system.lower_layer(timing.moe),
+            timing.attention_us,
+            timing.num_layers,
+            "per_layer",
+        )
+        with obs.disabled():
+            tracer = trace_graph_schedule(schedule)
+            assert tracer.events == [] and tracer.instants == []
+        with obs.enabled():
+            tracer = trace_graph_schedule(schedule)
+            assert len(tracer.events) == len(schedule.graph.nodes)
+
+    def test_flag_state_round_trips(self):
+        assert obs.is_enabled()
+        previous = obs.set_enabled(False)
+        assert previous is True and not obs.is_enabled()
+        obs.set_enabled(True)
+        with obs.disabled():
+            assert not obs.is_enabled()
+            with obs.enabled():
+                assert obs.is_enabled()
+            assert not obs.is_enabled()
+        assert obs.is_enabled()

@@ -86,3 +86,108 @@ class TestTracer:
         b.record("x", "comp", "sm", 0, 1)
         a.merge(b, lane_prefix="rank1/")
         assert a.lanes() == ["rank1/sm"]
+
+    def test_merge_respects_enabled(self):
+        a, b = Tracer(), Tracer()
+        a.enabled = False
+        b.record("x", "comp", "sm", 0, 1)
+        b.counter("q", 0.0, depth=1)
+        b.instant("hit", 0.5)
+        b.flow_begin("f", 0.0, 1)
+        a.merge(b)
+        assert a.events == [] and a.counters == []
+        assert a.instants == [] and a.flows == []
+
+    def test_merge_copies_args(self):
+        a, b = Tracer(), Tracer()
+        b.record("x", "comp", "sm", 0, 1, expert=3)
+        b.counter("q", 0.0, depth=1)
+        a.merge(b)
+        b.events[0].args["expert"] = 99
+        b.counters[0].values["depth"] = 99
+        assert a.events[0].args == {"expert": 3}
+        assert a.counters[0].values == {"depth": 1}
+
+    def test_merge_process_prefix(self):
+        a, b = Tracer(), Tracer()
+        b.record("x", "comp", "sm", 0, 1, process="replica0")
+        a.merge(b, process_prefix="fleet/")
+        assert a.events[0].process == "fleet/replica0"
+
+
+class TestTracerExtendedPhases:
+    def test_counter_export(self):
+        tracer = Tracer()
+        tracer.counter("queue", 1.0, depth=3, tokens=128)
+        doc = tracer.to_chrome_trace()
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "queue"
+        assert counters[0]["args"] == {"depth": 3, "tokens": 128}
+
+    def test_instant_export_and_scope_validation(self):
+        tracer = Tracer()
+        tracer.instant("fail", 5.0, scope="p", replica=1)
+        doc = tracer.to_chrome_trace()
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants[0]["s"] == "p"
+        assert instants[0]["args"] == {"replica": 1}
+        with pytest.raises(ValueError):
+            tracer.instant("bad", 0.0, scope="x")
+
+    def test_flow_pair_export(self):
+        tracer = Tracer()
+        tracer.flow_begin("dispatch", 1.0, 7, lane="router")
+        tracer.flow_end("dispatch", 2.0, 7, lane="engine")
+        doc = tracer.to_chrome_trace()
+        start = [e for e in doc["traceEvents"] if e["ph"] == "s"][0]
+        finish = [e for e in doc["traceEvents"] if e["ph"] == "f"][0]
+        assert start["id"] == finish["id"] == 7
+        assert "bp" not in start and finish["bp"] == "e"
+
+    def test_processes_get_distinct_pids(self):
+        tracer = Tracer()
+        tracer.record("a", "comp", "sm", 0, 1, process="replica0")
+        tracer.record("b", "comp", "sm", 0, 1, process="replica1")
+        doc = tracer.to_chrome_trace()
+        xs = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(xs) == 2
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"replica0", "replica1"}
+
+    def test_default_process_is_pid_zero_and_unnamed(self):
+        tracer = Tracer()
+        tracer.record("a", "comp", "sm", 0, 1)
+        tracer.record("b", "comp", "sm", 0, 1, process="replica0")
+        assert tracer.processes() == ["", "replica0"]
+        doc = tracer.to_chrome_trace()
+        default_x = [
+            e for e in doc["traceEvents"] if e["ph"] == "X" and e["pid"] == 0
+        ]
+        assert len(default_x) == 1
+        named = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert {e["args"]["name"] for e in named} == {"replica0"}
+
+    def test_disabled_suppresses_all_record_types(self):
+        tracer = Tracer()
+        tracer.enabled = False
+        tracer.counter("q", 0.0, depth=1)
+        tracer.instant("i", 0.0)
+        tracer.flow_begin("f", 0.0, 1)
+        tracer.flow_end("f", 1.0, 1)
+        assert tracer.counters == [] and tracer.instants == []
+        assert tracer.flows == []
+
+    def test_busy_time_separates_processes(self):
+        tracer = Tracer()
+        tracer.record("a", "comp", "l", 0, 10, process="p0")
+        tracer.record("b", "comp", "l", 0, 10, process="p1")
+        assert tracer.busy_time(lane="l") == 20

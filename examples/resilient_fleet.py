@@ -1,0 +1,134 @@
+"""Resilient fleet walkthrough: faults, migration cost, remediation.
+
+Builds on the fleet serving example: `repro.faults` schedules
+time-varying degradation and crashes against the fleet, prices KV
+migration over the inter-replica link, and runs the MegaScale-style
+detect→drain→recover loop — so the question shifts from "how fast is a
+healthy fleet" to "how much goodput survives a bad afternoon".
+
+The walkthrough covers:
+
+1. a mid-run degradation (one replica slows 4x) with and without the
+   health detector — probation re-routes around the straggler;
+2. costed prefill→decode KV migration on a disaggregated pool vs. the
+   free-handoff lower bound;
+3. a crash schedule under front-door deadlines, seeded retries, and
+   SLO-aware shedding — trading completed requests for SLO goodput.
+
+Run:
+    python examples/resilient_fleet.py
+"""
+
+from repro import (
+    DegradeEvent,
+    FailureEvent,
+    FaultPlan,
+    FleetSpec,
+    MigrationSpec,
+    ResilienceSpec,
+    TraceSpec,
+)
+
+
+def show(results, title: str) -> None:
+    print(f"\n== {title} ==")
+    print(
+        f"{'scenario':44s} {'ttft p99':>9s} {'SLO %':>6s} {'goodput':>8s} "
+        f"{'done':>5s} {'t/o':>4s} {'shed':>5s}"
+    )
+    for report in results.reports:
+        ttft = report.ttft_percentiles()
+        label = report.resilience_label or "no policy"
+        print(
+            f"{label:44s} {ttft['p99']:8.1f}ms "
+            f"{100 * report.slo_attainment:5.1f}% "
+            f"{report.goodput_rps:6.1f}/s {report.num_requests:5d} "
+            f"{report.timed_out:4d} {report.shed:5d}"
+        )
+
+
+def detect_and_drain() -> None:
+    """Replica 0 slows 4x mid-run; the detector routes around it."""
+    plan = FaultPlan(degrades=(
+        DegradeEvent(
+            replica=0, t0_ms=500.0, t1_ms=4000.0,
+            compute_mult=4.0, comm_mult=4.0,
+        ),
+    ))
+    spec = FleetSpec.grid(
+        models="mixtral",
+        replicas=3,
+        traces=TraceSpec(kind="poisson", rps=70, duration_s=4.0, seed=11),
+        faults=plan,
+        resilience=(
+            None,
+            ResilienceSpec(
+                slow_factor=1.5, check_interval_ms=250.0,
+                health_window_ms=750.0, probation_ms=1500.0,
+                max_probations=1,
+            ),
+        ),
+        systems="comet",
+    )
+    results = spec.run()
+    show(results, "mid-run 4x degradation: detector off vs on (round-robin)")
+    detected = results.reports[1]
+    print(
+        f"   detector: {detected.probations} probation(s), "
+        f"{detected.evictions} eviction(s) — p99 TTFT recovers once the "
+        f"straggler stops taking traffic"
+    )
+
+
+def costed_migration() -> None:
+    """Disaggregated prefill→decode handoff: free vs over the link."""
+    spec = FleetSpec.grid(
+        models="mixtral",
+        replicas="1p+2d",
+        traces=TraceSpec(kind="bursty", rps=60, duration_s=1.5, seed=7),
+        migrations=(None, MigrationSpec()),
+        systems="comet",
+    )
+    free, costed = spec.run().reports
+    print("\n== disaggregated KV migration: free handoff vs IB link ==")
+    for name, report in (("free (lower bound)", free), ("costed", costed)):
+        e2e = report.e2e_percentiles()
+        print(f"{name:20s} e2e p50 {e2e['p50']:7.1f}ms  p99 {e2e['p99']:7.1f}ms")
+    print(
+        "   every prefill→decode handoff ships the sequence's KV cache "
+        "bytes, batched per destination"
+    )
+
+
+def survive_crashes() -> None:
+    """Two crashes under load: no policy vs deadlines+retries+shedding."""
+    plan = FaultPlan(crashes=(
+        FailureEvent(replica=0, fail_ms=500.0, recover_ms=2500.0),
+        FailureEvent(replica=1, fail_ms=1000.0, recover_ms=2000.0),
+    ))
+    spec = FleetSpec.grid(
+        models="mixtral",
+        replicas=3,
+        routers="least_queue",
+        traces=TraceSpec(kind="bursty", rps=120, duration_s=3.0, seed=3),
+        faults=plan,
+        resilience=(
+            None,
+            ResilienceSpec(timeout_ms=8000.0, max_retries=2, shed_factor=0.75),
+        ),
+        slo_ttft_ms=300.0,
+        systems="comet",
+    )
+    results = spec.run()
+    show(results, "crash schedule: no policy vs deadlines+retry+shed")
+    print(
+        "   shedding keeps queues short, so the requests the fleet does "
+        "accept meet their TTFT SLO — goodput rises even though fewer "
+        "requests complete"
+    )
+
+
+if __name__ == "__main__":
+    detect_and_drain()
+    costed_migration()
+    survive_crashes()

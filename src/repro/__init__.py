@@ -109,6 +109,49 @@ those axes are swept, per the one-predicate schema rule shared with
 every other export.  See ``examples/fleet_serving.py`` and
 ``python -m repro fleet --help``.
 
+Faults and resilience — degradation, costed KV migration, remediation.
+:mod:`repro.faults` turns the fleet from a failure injector into a
+resilience testbed: a :class:`FaultPlan` schedules crashes, soft
+time-varying degradation (a replica's effective straggler spec becomes
+a step function over the trace), and migration-link brownouts; a
+:class:`MigrationSpec` prices prefill→decode KV handoffs and post-crash
+context re-dispatch over the inter-replica link (replacing the
+free-handoff lower bound); and a :class:`ResilienceSpec` runs the
+detect→drain→recover loop — windowed health detection with router
+probation/eviction, front-door deadlines with bounded seeded retries,
+and SLO-aware shedding::
+
+    from repro import (
+        DegradeEvent, FaultPlan, FleetSpec, MigrationSpec,
+        ResilienceSpec, TraceSpec,
+    )
+
+    plan = FaultPlan(degrades=(
+        DegradeEvent(replica=0, t0_ms=500, t1_ms=4000,
+                     compute_mult=4.0, comm_mult=4.0),
+    ))
+    spec = FleetSpec.grid(
+        models="mixtral", replicas=3, systems="comet",
+        traces=TraceSpec(kind="poisson", rps=70, duration_s=4),
+        faults=plan,
+        resilience=(None, ResilienceSpec(slow_factor=1.5)),
+        migrations=MigrationSpec(),        # KV bytes ride the link
+    )
+    results = spec.run()
+    for report in results:                 # detector vs no detector
+        print(report.resilience_label or "none",
+              report.ttft_percentiles()["p99"],
+              report.timed_out, report.shed, report.probations)
+
+Every request resolves as exactly one of completed / timed-out / shed /
+unserved (the conservation tests enforce the partition), everything is
+deterministic under a seed, and a fleet with no faults and no
+resilience stays bit-identical to the plain fleet simulator.  The
+resilience export columns follow the same swept-axis gating rule.  See
+``examples/resilient_fleet.py`` and the ``--failures`` degrade grammar,
+``--timeout-ms``/``--retry``/``--shed``/``--detect``/``--kv-migration``
+on ``python -m repro fleet --help``.
+
 Whole-model schedule graph and overlap policies.  :mod:`repro.graph`
 lifts the per-layer timings into a cross-layer IR: every layer lowers
 (via :meth:`MoESystem.lower_layer`) into typed nodes — attention, gate,
@@ -287,6 +330,14 @@ from repro.runtime import (
     run_model,
     run_training_step,
 )
+from repro.faults import (
+    BrownoutEvent,
+    DegradeEvent,
+    FaultPlan,
+    MigrationSpec,
+    OutcomeRecord,
+    ResilienceSpec,
+)
 from repro.fleet import (
     ROUTER_REGISTRY,
     AutoscalerSpec,
@@ -320,19 +371,22 @@ from repro.systems import (
     UnsupportedWorkload,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ALL_SYSTEMS",
     "AutoscalerSpec",
     "BASELINE_SYSTEMS",
+    "BrownoutEvent",
     "CLUSTER_REGISTRY",
     "ClusterSpec",
     "Comet",
+    "DegradeEvent",
     "ExperimentSpec",
     "ExpertWeights",
     "FailureEvent",
     "FasterMoE",
+    "FaultPlan",
     "FleetReport",
     "FleetResultSet",
     "FleetScenario",
@@ -346,12 +400,14 @@ __all__ = [
     "MODEL_REGISTRY",
     "MegatronCutlass",
     "MegatronTE",
+    "MigrationSpec",
     "ModelTiming",
     "MoEConfig",
     "MoELayerWorkload",
     "MoESystem",
     "NodeKind",
     "OVERLAP_POLICIES",
+    "OutcomeRecord",
     "PAPER_MODELS",
     "PHI35_MOE",
     "ParallelStrategy",
@@ -360,6 +416,7 @@ __all__ = [
     "ContinuousBatchingScheduler",
     "ReplicaSpec",
     "Request",
+    "ResilienceSpec",
     "ResultRow",
     "ResultSet",
     "RoutingPlan",

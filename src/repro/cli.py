@@ -306,10 +306,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="autoscaler decision interval (default: 1000)",
     )
     fleet.add_argument(
-        "--failures", nargs="+", default=None, metavar="R@FAIL[:RECOVER]",
-        help="inject replica failures, e.g. '1@1000:3000' fails replica 1 "
-        "at t=1000ms and recovers it at t=3000ms; omit ':RECOVER' for a "
-        "permanent failure",
+        "--failures", nargs="+", default=None, metavar="R@SPEC",
+        help="inject replica faults: '1@1000:3000' fails replica 1 at "
+        "t=1000ms and recovers it at t=3000ms (omit ':RECOVER' for a "
+        "permanent failure); '0@500:2500:x1.5' degrades replica 0 by "
+        "1.5x over the [500, 2500) ms window",
+    )
+    fleet.add_argument(
+        "--timeout-ms", type=float, default=None, metavar="MS",
+        help="front-door request deadline: cancel (and retry, if --retry "
+        "is set) requests still unfinished after MS milliseconds",
+    )
+    fleet.add_argument(
+        "--retry", type=int, default=0, metavar="N",
+        help="retries per timed-out request (seeded exponential backoff; "
+        "requires --timeout-ms)",
+    )
+    fleet.add_argument(
+        "--shed", type=float, default=None, metavar="FACTOR",
+        help="shed arrivals whose estimated queue wait exceeds FACTOR x "
+        "the TTFT SLO",
+    )
+    fleet.add_argument(
+        "--detect", type=float, default=None, metavar="SLOW",
+        help="enable the health detector: probation for replicas whose "
+        "windowed mean TTFT exceeds SLOW x the fleet median",
+    )
+    fleet.add_argument(
+        "--kv-migration", action="store_true",
+        help="price prefill-to-decode KV handoffs and post-crash context "
+        "re-dispatch over the inter-replica link (default: free handoff)",
     )
     fleet.add_argument(
         "--trace", default="poisson", choices=("poisson", "bursty", "diurnal"),
@@ -1027,30 +1053,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_failure_specs(values: Sequence[str]):
-    """``R@FAIL[:RECOVER]`` strings into :class:`FailureEvent`s."""
-    from repro.fleet import FailureEvent
+def _parse_fault_specs(values: Sequence[str]):
+    """Fault grammar strings into ``(crashes, degrades)`` event tuples.
 
-    events = []
+    Two shapes share the ``R@...`` prefix: ``R@FAIL[:RECOVER]`` is a
+    crash (recover omitted = permanent), and ``R@T0:T1:xMULT`` — the
+    third field carrying an explicit ``x`` — degrades replica ``R`` by
+    ``MULT``x (compute and comm) over the ``[T0, T1)`` window.
+    :func:`_format_fault_specs` is the exact inverse.
+    """
+    from repro.faults import DegradeEvent, FailureEvent
+
+    crashes = []
+    degrades = []
     for value in values:
         try:
             replica_part, _, when = value.partition("@")
             if not when:
                 raise ValueError("missing '@'")
-            fail_part, _, recover_part = when.partition(":")
-            events.append(
-                FailureEvent(
-                    replica=int(replica_part),
-                    fail_ms=float(fail_part),
-                    recover_ms=float(recover_part) if recover_part else None,
+            parts = when.split(":")
+            if len(parts) == 3 and parts[2].startswith("x"):
+                mult = float(parts[2][1:])
+                degrades.append(
+                    DegradeEvent(
+                        replica=int(replica_part),
+                        t0_ms=float(parts[0]),
+                        t1_ms=float(parts[1]),
+                        compute_mult=mult,
+                        comm_mult=mult,
+                    )
                 )
-            )
+            elif len(parts) <= 2:
+                crashes.append(
+                    FailureEvent(
+                        replica=int(replica_part),
+                        fail_ms=float(parts[0]),
+                        recover_ms=(
+                            float(parts[1])
+                            if len(parts) > 1 and parts[1]
+                            else None
+                        ),
+                    )
+                )
+            else:
+                raise ValueError("too many ':' fields")
         except ValueError as exc:
             raise ValueError(
-                f"bad failure spec {value!r} (want 'R@FAIL_MS' or "
-                f"'R@FAIL_MS:RECOVER_MS'): {exc}"
+                f"bad fault spec {value!r} (want 'R@FAIL_MS', "
+                f"'R@FAIL_MS:RECOVER_MS', or 'R@T0_MS:T1_MS:xMULT'): {exc}"
             ) from None
-    return tuple(events)
+    return tuple(crashes), tuple(degrades)
+
+
+def _format_fault_specs(crashes, degrades) -> tuple[str, ...]:
+    """Render fault events back into the ``--failures`` grammar.
+
+    Inverse of :func:`_parse_fault_specs`: parsing the formatted strings
+    reproduces the events exactly (the CLI round-trip tests enforce it).
+    """
+    out = []
+    for event in crashes:
+        recover = (
+            f":{event.recover_ms:g}" if event.recover_ms is not None else ""
+        )
+        out.append(f"{event.replica}@{event.fail_ms:g}{recover}")
+    for event in degrades:
+        out.append(
+            f"{event.replica}@{event.t0_ms:g}:{event.t1_ms:g}"
+            f":x{event.compute_mult:g}"
+        )
+    return tuple(out)
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -1086,9 +1158,34 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 interval_ms=args.autoscale_interval_ms,
                 warmup_ms=args.warmup_ms,
             )
-        failures = (
-            _parse_failure_specs(args.failures) if args.failures else None
+        crashes, degrades = (
+            _parse_fault_specs(args.failures) if args.failures else ((), ())
         )
+        faults = None
+        if degrades:
+            from repro.faults import FaultPlan
+
+            faults = FaultPlan(degrades=degrades)
+        resilience = None
+        if (
+            args.timeout_ms is not None
+            or args.retry
+            or args.shed is not None
+            or args.detect is not None
+        ):
+            from repro.faults import ResilienceSpec
+
+            resilience = ResilienceSpec(
+                timeout_ms=args.timeout_ms,
+                max_retries=args.retry,
+                shed_factor=args.shed,
+                slow_factor=args.detect,
+            )
+        migration = None
+        if args.kv_migration:
+            from repro.faults import MigrationSpec
+
+            migration = MigrationSpec()
         spec = FleetSpec.grid(
             models=config,
             clusters=cluster,
@@ -1105,7 +1202,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             ),
             policies=args.policy,
             autoscalers=autoscaler,
-            failures=failures,
+            failures=crashes or None,
+            faults=faults,
+            resilience=resilience,
+            migrations=migration,
             slo_ttft_ms=args.slo_ttft_ms,
             slo_tpot_ms=args.slo_tpot_ms,
             max_batch_tokens=args.max_batch_tokens,
@@ -1286,6 +1386,14 @@ def _trace_fleet(args, config, cluster, strategy) -> int:
     else:
         failure_specs = tuple(args.failures)
     replicas = int(args.replicas) if args.replicas.isdigit() else args.replicas
+    crashes, degrades = (
+        _parse_fault_specs(failure_specs) if failure_specs else ((), ())
+    )
+    faults = None
+    if degrades:
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan(degrades=degrades)
     spec = FleetSpec.grid(
         models=config,
         clusters=cluster,
@@ -1296,7 +1404,8 @@ def _trace_fleet(args, config, cluster, strategy) -> int:
             kind=args.arrivals, rps=args.rps,
             duration_s=args.duration, seed=args.seed,
         ),
-        failures=_parse_failure_specs(failure_specs) if failure_specs else None,
+        failures=crashes or None,
+        faults=faults,
         systems=SYSTEM_REGISTRY.resolve(args.system),
     )
     results = spec.run()

@@ -1,0 +1,47 @@
+"""Faults and resilience: scheduled degradation, costed KV migration,
+and detect→drain→recover policies for the fleet simulator.
+
+``repro.faults`` turns :mod:`repro.fleet` from a failure *injector*
+into a resilience *testbed*:
+
+* :class:`FaultPlan` schedules hard crashes (:class:`FailureEvent`),
+  soft time-varying degradation (:class:`DegradeEvent` — a replica's
+  effective :class:`~repro.graph.straggler.StragglerSpec` becomes a
+  step function over the trace, priced through
+  :class:`TimeVaryingStepCost`), and migration-link brownouts
+  (:class:`BrownoutEvent`);
+* :class:`MigrationSpec` prices prefill→decode KV handoffs and
+  post-crash context re-dispatch over the inter-replica link,
+  replacing the free-handoff lower bound;
+* :class:`ResilienceSpec` runs the front-door remediation loop:
+  windowed health detection with router probation/eviction, request
+  deadlines with bounded seeded retries, and SLO-aware shedding
+  (:class:`OutcomeRecord` is the timed-out/shed terminal state).
+
+All of it sweeps through :meth:`repro.fleet.FleetSpec.grid`
+(``faults=... , resilience=..., migrations=...``), stays deterministic
+under a seed, and degenerates bit-identically to PR-7 behaviour when
+nothing is configured.
+"""
+
+from repro.faults.migration import MigrationSpec, OutcomeRecord
+from repro.faults.plan import (
+    BrownoutEvent,
+    DegradeEvent,
+    FailureEvent,
+    FaultPlan,
+    TimeVaryingStepCost,
+)
+from repro.faults.resilience import RESILIENCE_EVENT_KINDS, ResilienceSpec
+
+__all__ = [
+    "BrownoutEvent",
+    "DegradeEvent",
+    "FailureEvent",
+    "FaultPlan",
+    "MigrationSpec",
+    "OutcomeRecord",
+    "RESILIENCE_EVENT_KINDS",
+    "ResilienceSpec",
+    "TimeVaryingStepCost",
+]

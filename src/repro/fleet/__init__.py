@@ -7,10 +7,23 @@ continuous-batching engine, a front-door router
 (:data:`~repro.fleet.router.ROUTER_REGISTRY`) spreads the trace across
 them, and optional autoscaling, failure injection, and prefill/decode
 disaggregation turn the single-engine simulator into a cluster one.
+:mod:`repro.faults` plugs in here too: :class:`FaultPlan` schedules
+crashes and time-varying degradation, :class:`MigrationSpec` prices KV
+handoffs over the inter-replica link, and :class:`ResilienceSpec` runs
+the detect→drain→recover loop — all swept through
+:meth:`FleetSpec.grid` (``faults=``/``resilience=``/``migrations=``).
 :class:`FleetSpec` sweeps all of it declaratively; ``repro fleet`` is
 the CLI entry point.
 """
 
+from repro.faults import (
+    BrownoutEvent,
+    DegradeEvent,
+    FaultPlan,
+    MigrationSpec,
+    OutcomeRecord,
+    ResilienceSpec,
+)
 from repro.fleet.metrics import (
     DispatchRecord,
     FleetEvent,
@@ -39,8 +52,11 @@ from repro.fleet.spec import (
 
 __all__ = [
     "AutoscalerSpec",
+    "BrownoutEvent",
+    "DegradeEvent",
     "DispatchRecord",
     "FailureEvent",
+    "FaultPlan",
     "FleetEngine",
     "FleetEvent",
     "FleetReport",
@@ -49,9 +65,12 @@ __all__ = [
     "FleetSkip",
     "FleetSpec",
     "LeastQueue",
+    "MigrationSpec",
+    "OutcomeRecord",
     "PowerOfTwo",
     "ReplicaSpec",
     "ReplicaStats",
+    "ResilienceSpec",
     "ROUTER_REGISTRY",
     "RoundRobin",
     "Router",

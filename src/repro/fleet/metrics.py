@@ -17,6 +17,11 @@ actually sweeps those axes — any non-default router, or any fleet larger
 than one replica — and the *same* predicate gates every export format,
 so a single-replica round-robin set exports byte-compatibly with the
 bare serving exports and formats can never disagree about the schema.
+The resilience columns (``timed_out``/``shed``/``retries``/
+``probations``/``evictions``) follow the identical rule through
+:meth:`FleetResultSet._has_resilience_axis`: they appear only when some
+report configured a :class:`~repro.faults.resilience.ResilienceSpec` or
+produced terminal outcomes, keeping zero-resilience exports bit-stable.
 """
 
 from __future__ import annotations
@@ -64,11 +69,18 @@ class ReplicaStats:
 
 @dataclass(frozen=True)
 class FleetEvent:
-    """One fleet-level state change: scale-up/-down, failure, recovery."""
+    """One fleet-level state change.
+
+    ``kind`` is ``"up"``/``"down"`` (autoscaler), ``"fail"``/``"recover"``
+    (crashes), ``"degrade"``/``"restore"`` (fault-plan windows),
+    ``"probation"``/``"readmit"``/``"evict"`` (health detector), or
+    ``"retry"``/``"timeout"``/``"shed"`` (front-door policy — these carry
+    ``replica == -1``, they happen at the fleet door, not on a replica).
+    """
 
     t_ms: float
     replica: int
-    kind: str  # "up" | "down" | "fail" | "recover"
+    kind: str
 
 
 @dataclass(frozen=True)
@@ -94,10 +106,14 @@ class FleetReport:
     """Serving outcome of one system on one fleet scenario.
 
     ``offered`` counts every request in the trace; ``records`` holds only
-    the ones that completed, so ``offered - num_requests`` is the unserved
-    remainder (nonzero only when replicas fail without recovery).
-    ``horizon_ms`` is the trace's arrival window, the goodput denominator
-    — identical semantics to :class:`~repro.serve.metrics.ServeReport`.
+    the ones that completed.  With a resilience policy some requests end
+    as terminal ``outcomes`` (timed out or shed) instead, so every
+    offered request is exactly one of completed / timed-out / shed /
+    unserved — ``unserved`` is the remainder that never resolved
+    (nonzero only when replicas fail without recovery and no deadline
+    policy bounds the wait).  ``horizon_ms`` is the trace's arrival
+    window, the goodput denominator — identical semantics to
+    :class:`~repro.serve.metrics.ServeReport`.
     """
 
     system: str
@@ -120,6 +136,12 @@ class FleetReport:
     # scheduler's timeline).
     dispatches: tuple[DispatchRecord, ...] = ()
     replica_timelines: tuple[tuple, ...] = ()
+    # Terminal non-completion outcomes (timed-out / shed requests) and
+    # the resilience configuration label that produced them; both stay
+    # empty without a ResilienceSpec, keeping zero-config reports equal
+    # to their pre-resilience counterparts.
+    outcomes: tuple = ()
+    resilience_label: str = ""
 
     # -- latency ------------------------------------------------------------
     def ttft_percentiles(self) -> dict[str, float]:
@@ -138,7 +160,7 @@ class FleetReport:
 
     @property
     def unserved(self) -> int:
-        return self.offered - len(self.records)
+        return self.offered - len(self.records) - self.timed_out - self.shed
 
     @property
     def makespan_ms(self) -> float:
@@ -233,6 +255,27 @@ class FleetReport:
     @property
     def recoveries(self) -> int:
         return self._count("recover")
+
+    # -- resilience ------------------------------------------------------------
+    @property
+    def timed_out(self) -> int:
+        return sum(1 for o in self.outcomes if o.kind == "timeout")
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for o in self.outcomes if o.kind == "shed")
+
+    @property
+    def retries(self) -> int:
+        return self._count("retry")
+
+    @property
+    def probations(self) -> int:
+        return self._count("probation")
+
+    @property
+    def evictions(self) -> int:
+        return self._count("evict")
 
     # -- export ---------------------------------------------------------------
     def summary(self) -> dict[str, Any]:
@@ -427,12 +470,28 @@ class FleetResultSet:
             s.num_replicas != 1 for s in self.skips
         )
 
+    def _has_resilience_axis(self) -> bool:
+        """Whether any report configured resilience or produced outcomes.
+
+        Same one-predicate contract as :meth:`_has_router_axis`: the
+        resilience columns (:attr:`_RESILIENCE_KEYS` plus the per-report
+        ``resilience``/``outcomes`` JSON detail) appear in every export
+        format or in none, so zero-resilience sets export byte-stably.
+        """
+        return any(
+            r.resilience_label or r.outcomes for r in self.reports
+        )
+
     _METRIC_KEYS = (
         "requests", "unserved",
         "ttft_p50_ms", "ttft_p95_ms", "ttft_p99_ms",
         "tpot_p50_ms", "tpot_p99_ms", "e2e_p99_ms",
         "slo_attainment", "goodput_rps", "goodput_per_gpu",
         "output_tokens_per_s", "mean_utilization", "autoscaler_churn",
+    )
+
+    _RESILIENCE_KEYS = (
+        "timed_out", "shed", "retries", "probations", "evictions",
     )
 
     def to_rows(self) -> tuple[list[str], list[list[Any]]]:
@@ -445,12 +504,15 @@ class FleetResultSet:
         """
         with_router = self._has_router_axis()
         with_replicas = self._has_replica_axis()
+        with_resilience = self._has_resilience_axis()
         headers = ["scenario", "system"]
         if with_router:
             headers.append("router")
         if with_replicas:
             headers.append("replicas")
         headers += list(self._METRIC_KEYS)
+        if with_resilience:
+            headers += list(self._RESILIENCE_KEYS)
 
         def cell(value: Any) -> Any:
             # No NaN ever reaches rows_to_csv: empty cells (None)
@@ -469,6 +531,11 @@ class FleetResultSet:
             if with_replicas:
                 cells.append(s["replicas"])
             cells += [cell(s[key]) for key in self._METRIC_KEYS]
+            if with_resilience:
+                cells += [
+                    r.timed_out, r.shed, r.retries,
+                    r.probations, r.evictions,
+                ]
             table.append(cells)
         return headers, table
 
@@ -486,10 +553,27 @@ class FleetResultSet:
         percentiles serialise as null)."""
         with_router = self._has_router_axis()
         with_replicas = self._has_replica_axis()
+        with_resilience = self._has_resilience_axis()
 
         def clean(r: FleetReport) -> dict[str, Any]:
             doc = r.summary()
             doc["autoscaler_churn"] = r.autoscaler_churn
+            if with_resilience:
+                doc["resilience"] = r.resilience_label
+                doc["timed_out"] = r.timed_out
+                doc["shed"] = r.shed
+                doc["retries"] = r.retries
+                doc["probations"] = r.probations
+                doc["evictions"] = r.evictions
+                doc["outcomes"] = [
+                    {
+                        "rid": o.rid,
+                        "t_ms": o.t_ms,
+                        "kind": o.kind,
+                        "attempts": o.attempts,
+                    }
+                    for o in r.outcomes
+                ]
             doc["replica_stats"] = [
                 {
                     "replica": s.replica,

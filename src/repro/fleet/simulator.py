@@ -33,9 +33,30 @@ Modelling notes:
   (the GPUs did burn), and ``active_ms`` keeps accruing — a crashed
   replica still holds its allocation.
 * Disaggregated pools hand a request from its prefill replica to a
-  decode replica at the prefill boundary with a **free KV transfer** —
-  an optimistic lower bound on migration cost (COMET's overlap model
-  prices compute/NVLink, not PCIe KV shipping).
+  decode replica at the prefill boundary.  Without a
+  :class:`~repro.faults.migration.MigrationSpec` the handoff is free (an
+  optimistic lower bound — COMET's overlap model prices compute/NVLink,
+  not PCIe KV shipping); with one, the KV cache bytes ride the
+  inter-replica link: handoffs are batched per destination, crashes and
+  probation drains additionally re-ship the request *context* (the KV
+  died with the source, so the destination re-prefills), and
+  :class:`~repro.faults.plan.BrownoutEvent` windows stretch every
+  in-window transfer.
+* A :class:`~repro.faults.plan.FaultPlan` makes degradation
+  time-varying: each replica's cost model becomes a
+  :class:`~repro.faults.plan.TimeVaryingStepCost` step function, priced
+  per step at its launch time (both execution paths go through
+  ``step_ms_at``), with ``degrade``/``restore`` marker events in the
+  report.
+* A :class:`~repro.faults.resilience.ResilienceSpec` runs the
+  remediation loop co-simulated: a windowed health detector flags the
+  worst slow/overloaded replica (probation drains its queue and hides it
+  from the router; repeat offenders are evicted), front-door deadlines
+  cancel and re-dispatch requests with bounded seeded retries, and
+  SLO-aware shedding rejects arrivals whose estimated wait blows the
+  TTFT budget.  Timed-out and shed requests terminate as
+  :class:`~repro.faults.migration.OutcomeRecord`\\s — every offered
+  request is exactly one of completed / timed-out / shed / unserved.
 * Autoscaled replicas become routable only after their warm-up delay;
   scale-down drains the victim (it finishes queued work but receives no
   new requests) and its provisioned window closes when it goes idle.
@@ -46,6 +67,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator
 
+from repro.faults.migration import OutcomeRecord
 from repro.fleet.metrics import (
     DispatchRecord,
     FleetEvent,
@@ -59,12 +81,22 @@ from repro.serve.metrics import RequestRecord, TimelinePoint
 from repro.serve.scheduler import (
     POLICY_REGISTRY,
     ContinuousBatchingScheduler,
+    _price_step,
     _Sequence,
 )
 from repro.serve.traffic import Request
 from repro.sim.engine import Environment, Event, Interrupt
 
 __all__ = ["FleetEngine"]
+
+
+def _discard(queue: list, seq: _Sequence) -> bool:
+    """Remove ``seq`` from ``queue`` by identity (never by equality)."""
+    for index, item in enumerate(queue):
+        if item is seq:
+            del queue[index]
+            return True
+    return False
 
 
 @dataclass(frozen=True)
@@ -116,6 +148,15 @@ class _Replica:
         self.active_ms = 0.0
         self.steps = 0
         self.requests = 0
+        # Resilience state: probation hides the replica from the router
+        # until the window passes; eviction is permanent.  TTFT samples
+        # feed the windowed health detector; last_step_ms feeds the
+        # front-door shed estimate.
+        self.probation_until = 0.0
+        self.probations = 0
+        self.evicted = False
+        self.last_step_ms = 0.0
+        self.ttft_samples: list[tuple[float, float]] = []
 
     # -- router-facing load signals ------------------------------------------
     @property
@@ -135,7 +176,13 @@ class _Replica:
         return sum(s.request.prompt_tokens for s in self.waiting_q) + self.running
 
     def routable(self, now: float) -> bool:
-        return self.healthy and self.active and now >= self.warm_until
+        return (
+            self.healthy
+            and self.active
+            and not self.evicted
+            and now >= self.warm_until
+            and now >= self.probation_until
+        )
 
     def wake(self) -> None:
         if self.wakeup is not None and not self.wakeup.triggered:
@@ -167,13 +214,28 @@ class FleetEngine:
                 f"{len(self.cost_models)} for {len(self._expanded)} replicas"
             )
         self._policy = POLICY_REGISTRY.get(self.scenario.policy)
-        self._completed = 0
+        # A request is *resolved* once it completed, timed out, or was
+        # shed — the run terminates when every offered request resolves.
+        self._resolved = 0
         self._arrivals_done = False
         self._recoveries_outstanding = 0
         self._replicas: list[_Replica] = []
         # Requests with no routable replica wait here; "entry" feeds
         # unified/prefill replicas, "decode" the decode pool.
         self._pending: dict[str, list[_Sequence]] = {"entry": [], "decode": []}
+        # Fault-plan / migration / resilience wiring.  Empty plans and
+        # all-off resilience specs normalise to None so the zero-config
+        # paths stay bit-identical.
+        self._faults = self.scenario.faults if self.scenario.faults else None
+        self._migration = self.scenario.migration
+        resilience = self.scenario.resilience
+        self._resilience = (
+            resilience if resilience is not None and resilience else None
+        )
+        self._track_health = (
+            self._resilience is not None and self._resilience.wants_detector
+        )
+        self._outcomes: list[OutcomeRecord] = []
 
     # -- path selection -------------------------------------------------------
     def _decomposable(self) -> bool:
@@ -181,7 +243,8 @@ class FleetEngine:
         return (
             not router_cls.state_dependent
             and self.scenario.autoscaler is None
-            and not self.scenario.failures
+            and not self.scenario.all_crashes
+            and self._resilience is None
             and all(spec.role == "unified" for spec in self._expanded)
         )
 
@@ -211,6 +274,12 @@ class FleetEngine:
             offered=len(self.trace),
             dispatches=tuple(self._dispatches),
             replica_timelines=timelines,
+            outcomes=tuple(sorted(self._outcomes, key=lambda o: o.rid)),
+            resilience_label=(
+                self.scenario.resilience.label
+                if self.scenario.resilience is not None
+                else ""
+            ),
         )
 
     # -- decomposed path ------------------------------------------------------
@@ -226,6 +295,18 @@ class FleetEngine:
             self.scenario.router, len(self._expanded),
             seed=self.scenario.router_seed,
         )
+        if self._faults is not None:
+            # No co-simulation to emit markers, so the degradation
+            # windows become static events (sorted chronologically).
+            markers = [
+                FleetEvent(event.t0_ms, event.replica, "degrade")
+                for event in self._faults.degrades
+            ] + [
+                FleetEvent(event.t1_ms, event.replica, "restore")
+                for event in self._faults.degrades
+            ]
+            markers.sort(key=lambda ev: (ev.t_ms, ev.replica, ev.kind))
+            self._events.extend(markers)
         views = [_StaticView(i) for i in range(len(self._expanded))]
         assigned: list[list[Request]] = [[] for _ in self._expanded]
         for request in self.trace:
@@ -277,6 +358,7 @@ class FleetEngine:
     def _run_cosim(self, system_name: str) -> FleetReport:
         scenario = self.scenario
         env = Environment()
+        self._env = env
         self._router: Router = make_router(
             scenario.router, len(self._expanded), seed=scenario.router_seed
         )
@@ -292,8 +374,9 @@ class FleetEngine:
             )
             for index, spec in enumerate(self._expanded)
         ]
+        crashes = scenario.all_crashes
         self._recoveries_outstanding = sum(
-            1 for event in scenario.failures if event.recover_ms is not None
+            1 for event in crashes if event.recover_ms is not None
         )
         self._timelines: list[list[TimelinePoint]] = [
             [] for _ in self._replicas
@@ -306,16 +389,21 @@ class FleetEngine:
         env.process(self._arrivals(env))
         for rep in self._replicas:
             rep.process = env.process(self._engine(env, rep))
-        for event in scenario.failures:
+        for event in crashes:
             env.process(self._failure(env, event))
+        if self._faults is not None:
+            for event in self._faults.degrades:
+                env.process(self._degrade_marker(env, event))
         if scenario.autoscaler is not None:
             env.process(self._autoscaler(env))
+        if self._track_health:
+            env.process(self._detector(env))
 
         total = len(self.trace)
         # Manual stepping (not run(until=...)): the queue legitimately
         # drains with requests still unserved when every replica is dead
         # and no recovery is coming — peek() going +inf ends the run.
-        while self._completed < total and env.peek() != float("inf"):
+        while self._resolved < total and env.peek() != float("inf"):
             env.step()
 
         window = max(
@@ -360,19 +448,202 @@ class FleetEngine:
         pick.wake()
 
     def _flush_pending(self, now: float) -> None:
-        """Re-route parked sequences after a recovery or warm-up."""
-        for pool in ("entry", "decode"):
-            queued, self._pending[pool] = self._pending[pool], []
-            for seq in queued:
+        """Re-route parked sequences after a recovery or warm-up.
+
+        Entry-pool parks re-route for free (they sit at the fleet's
+        front door, not on a replica); decode-pool parks carry KV state,
+        so with a :class:`MigrationSpec` they re-ship over the link.
+        """
+        queued, self._pending["entry"] = self._pending["entry"], []
+        for seq in queued:
+            self._dispatch(seq, now)
+        queued, self._pending["decode"] = self._pending["decode"], []
+        if queued:
+            self._send(queued, now, "decode")
+
+    def _send(self, seqs: list[_Sequence], now: float, pool: str) -> None:
+        """Route a batch of sequences toward ``pool``, paying migration.
+
+        Without a :class:`MigrationSpec` this is today's free handoff:
+        one router decision per sequence, enqueued instantly.  With one,
+        sequences are routed now, grouped per destination, and delivered
+        after the batched link transfer: decode-pool sends carry the KV
+        cache of every token produced so far, entry-pool sends (crash or
+        probation re-dispatch) carry only the request context — the KV
+        died with the source, so the destination re-prefills.
+        """
+        if self._migration is None:
+            for seq in seqs:
                 self._dispatch(seq, now, pool=pool)
+            return
+        groups: dict[int, list[_Sequence]] = {}
+        for seq in seqs:
+            candidates = [r for r in self._pool(pool) if r.routable(now)]
+            if not candidates:
+                self._pending[pool].append(seq)
+                continue
+            pick = self._router.choose(seq.request, candidates, now)
+            groups.setdefault(pick.index, []).append(seq)
+        config = self.scenario.config
+        for index in sorted(groups):
+            group = groups[index]
+            if pool == "decode":
+                nbytes = sum(
+                    self._migration.kv_bytes(
+                        config, seq.request.prompt_tokens + seq.generated
+                    )
+                    for seq in group
+                )
+            else:
+                nbytes = float(
+                    sum(seq.request.prompt_tokens for seq in group)
+                    * config.token_bytes
+                )
+            self._transfer(group, index, nbytes, now, pool)
+
+    def _transfer(
+        self,
+        seqs: list[_Sequence],
+        index: int,
+        nbytes: float,
+        now: float,
+        pool: str,
+    ) -> None:
+        for seq in seqs:
+            self._dispatches.append(
+                DispatchRecord(seq.request.rid, now, index, pool)
+            )
+        mult = (
+            self._faults.brownout_mult(now) if self._faults is not None else 1.0
+        )
+        delay = self._migration.transfer_ms(nbytes, len(seqs), mult=mult)
+        # Tag each sequence with its attempt number: a front-door retry
+        # cancels in-flight copies, so stale deliveries must drop.
+        tagged = [(seq, seq.attempt) for seq in seqs]
+        self._env.process(
+            self._deliver(self._env, self._replicas[index], tagged, delay, pool)
+        )
+
+    def _deliver(
+        self,
+        env: Environment,
+        rep: _Replica,
+        tagged: list[tuple[_Sequence, int]],
+        delay: float,
+        pool: str,
+    ) -> Generator:
+        if delay > 0:
+            yield env.timeout(delay)
+        now = env.now
+        arrived = [
+            seq
+            for seq, token in tagged
+            if not seq.cancelled and seq.attempt == token
+        ]
+        if not arrived:
+            return
+        if rep.routable(now):
+            rep.waiting_q.extend(arrived)
+            rep.wake()
+            return
+        # Destination crashed or was quarantined in flight: the payload
+        # re-ships to a new replica (or parks at the fleet door).
+        self._send(arrived, now, pool)
 
     def _arrivals(self, env: Environment) -> Generator:
+        res = self._resilience
         for request in self.trace:
             delay = request.arrival_ms - env.now
             if delay > 0:
                 yield env.timeout(delay)
-            self._dispatch(_Sequence(request), env.now)
+            seq = _Sequence(request)
+            seq.cancelled = False
+            seq.attempt = 0
+            seq.finished = False
+            if (
+                res is not None
+                and res.wants_shed
+                and self._should_shed(env.now)
+            ):
+                self._resolve_outcome(seq, env.now, "shed", attempts=0)
+                continue
+            self._dispatch(seq, env.now)
+            if res is not None and res.wants_deadline:
+                env.process(self._frontdoor(env, seq))
         self._arrivals_done = True
+
+    def _should_shed(self, now: float) -> bool:
+        """Reject an arrival when its estimated wait blows the TTFT SLO.
+
+        The estimate is conservative and observable at the front door:
+        the least-loaded routable entry replica's queue depth times its
+        last observed step time.  Cold replicas (no step yet) estimate
+        zero, so a fleet never sheds before producing evidence; with no
+        routable replica the request parks instead (deadlines, if
+        configured, still bound its wait).
+        """
+        res = self._resilience
+        candidates = [r for r in self._pool("entry") if r.routable(now)]
+        if not candidates:
+            return False
+        estimate = min(r.queue_depth * r.last_step_ms for r in candidates)
+        return estimate > res.shed_factor * self.scenario.slo_ttft_ms
+
+    def _resolve_outcome(
+        self, seq: _Sequence, now: float, kind: str, attempts: int
+    ) -> None:
+        seq.cancelled = True
+        self._outcomes.append(
+            OutcomeRecord(seq.request.rid, now, kind, attempts)
+        )
+        self._events.append(FleetEvent(now, -1, kind))
+        self._resolved += 1
+
+    def _cancel(self, seq: _Sequence) -> None:
+        """Pull a sequence out of every queue it could occupy.
+
+        Bumping ``attempt`` invalidates in-flight migration deliveries
+        even if the sequence is later re-dispatched.
+        """
+        seq.cancelled = True
+        seq.attempt += 1
+        for rep in self._replicas:
+            _discard(rep.waiting_q, seq)
+            _discard(rep.current_admitted, seq)
+            _discard(rep.running_q, seq)
+        for queue in self._pending.values():
+            _discard(queue, seq)
+
+    def _frontdoor(self, env: Environment, seq: _Sequence) -> Generator:
+        """Per-request deadline loop: cancel, retry with backoff, give up.
+
+        A sequence that times out mid-service is reclaimed wherever it
+        sits (queued, admitted, running, in-flight) — work already spent
+        on it stays burned, the vLLM-style wasted-work model.  Retries
+        restart from un-prefilled state through the entry pool; backoff
+        is deterministic per (seed, rid, attempt).
+        """
+        res = self._resilience
+        retries = 0
+        while True:
+            yield env.timeout(res.timeout_ms)
+            if seq.finished:
+                return
+            self._cancel(seq)
+            if retries >= res.max_retries:
+                self._resolve_outcome(
+                    seq, env.now, "timeout", attempts=retries
+                )
+                return
+            self._events.append(FleetEvent(env.now, -1, "retry"))
+            backoff = res.retry_backoff_ms(seq.request.rid, retries)
+            retries += 1
+            if backoff > 0:
+                yield env.timeout(backoff)
+            seq.first_token_ms = float("nan")
+            seq.generated = 0
+            seq.cancelled = False
+            self._dispatch(seq, env.now)
 
     # -- per-replica engine ---------------------------------------------------
     def _admit(self, rep: _Replica, now: float) -> list[_Sequence]:
@@ -420,7 +691,7 @@ class FleetEngine:
                 if not rep.active:
                     # Drained after scale-down: stop the meter.
                     rep.close_window(env.now)
-                if self._completed >= total:
+                if self._resolved >= total:
                     return
                 rep.wakeup = env.event()
                 yield rep.wakeup
@@ -448,7 +719,10 @@ class FleetEngine:
                     running=len(rep.running_q) + len(admitted),
                 )
             )
-            step = rep.cost_model.step_ms(prefill_tokens, decode_tokens)
+            step = _price_step(
+                rep.cost_model, now, prefill_tokens, decode_tokens
+            )
+            rep.last_step_ms = step
             rep.in_step = True
             rep.step_started = now
             try:
@@ -468,15 +742,23 @@ class FleetEngine:
             if rep.role == "prefill":
                 # Prefill boundary: first token emitted here, the rest
                 # of the generation migrates to the decode pool (KV
-                # handoff modelled as free — see module doc).
+                # handoff batched over the inter-replica link when a
+                # MigrationSpec is set, free otherwise — see module doc).
+                handoff: list[_Sequence] = []
                 for seq in admitted:
                     seq.first_token_ms = now
                     seq.generated = 1
+                    if self._track_health:
+                        rep.ttft_samples.append(
+                            (now, now - seq.request.arrival_ms)
+                        )
                     rep.requests += 1
                     if seq.done:
                         self._finish(seq, now, rep, count=False)
                     else:
-                        self._dispatch(seq, now, pool="decode")
+                        handoff.append(seq)
+                if handoff:
+                    self._send(handoff, now, "decode")
                 continue
 
             if rep.role == "decode":
@@ -488,6 +770,10 @@ class FleetEngine:
                 for seq in admitted:
                     seq.first_token_ms = now
                     seq.generated = 1
+                    if self._track_health:
+                        rep.ttft_samples.append(
+                            (now, now - seq.request.arrival_ms)
+                        )
                 for seq in rep.running_q:
                     seq.generated += 1
             still_running: list[_Sequence] = []
@@ -511,7 +797,8 @@ class FleetEngine:
                 output_tokens=seq.request.output_tokens,
             )
         )
-        self._completed += 1
+        seq.finished = True
+        self._resolved += 1
         if count:
             rep.requests += 1
 
@@ -530,16 +817,128 @@ class FleetEngine:
             rep.current_admitted = []
             if rep.in_step:
                 rep.process.interrupt("replica failure")
-            for seq in sorted(reclaimed, key=lambda s: s.request.rid):
+            reclaimed.sort(key=lambda s: s.request.rid)
+            for seq in reclaimed:
                 seq.first_token_ms = float("nan")
                 seq.generated = 0
-                self._dispatch(seq, env.now)
+            if reclaimed:
+                self._send(reclaimed, env.now, "entry")
         if event.recover_ms is not None:
             yield env.timeout(event.recover_ms - env.now)
             rep.healthy = True
             self._events.append(FleetEvent(env.now, rep.index, "recover"))
             self._recoveries_outstanding -= 1
             self._flush_pending(env.now)
+
+    def _degrade_marker(self, env: Environment, event) -> Generator:
+        """Emit degrade/restore markers for one scheduled degradation.
+
+        The pricing itself lives in the replica's
+        :class:`~repro.faults.plan.TimeVaryingStepCost`; these events
+        only make the window visible in reports and trace exports.
+        """
+        yield env.timeout(event.t0_ms - env.now)
+        self._events.append(FleetEvent(env.now, event.replica, "degrade"))
+        yield env.timeout(event.t1_ms - env.now)
+        self._events.append(FleetEvent(env.now, event.replica, "restore"))
+
+    # -- health detection / probation ----------------------------------------
+    def _detector(self, env: Environment) -> Generator:
+        res = self._resilience
+        total = len(self.trace)
+        while True:
+            yield env.timeout(res.check_interval_ms)
+            if self._resolved >= total or self._no_progress_possible():
+                return
+            self._health_check(env.now)
+
+    def _health_check(self, now: float) -> None:
+        """Flag at most one replica per tick: the worst offender.
+
+        Two windowed signals, both relative to the fleet (a uniformly
+        slow fleet is degraded hardware, not a straggler): mean TTFT of
+        requests first-tokened inside the window versus the fleet
+        median, and instantaneous queue depth versus the fleet mean.
+        """
+        res = self._resilience
+        routable = [r for r in self._replicas if r.routable(now)]
+        if len(routable) < 2:
+            return
+        cutoff = now - res.health_window_ms
+        suspects: list[tuple[float, int, _Replica]] = []
+        if res.slow_factor is not None:
+            means: list[tuple[_Replica, float]] = []
+            for rep in routable:
+                rep.ttft_samples = [
+                    s for s in rep.ttft_samples if s[0] >= cutoff
+                ]
+                if len(rep.ttft_samples) >= res.min_samples:
+                    means.append((
+                        rep,
+                        sum(v for _, v in rep.ttft_samples)
+                        / len(rep.ttft_samples),
+                    ))
+            if len(means) >= 2:
+                ordered = sorted(value for _, value in means)
+                # Lower median: with an even replica count the upper
+                # median is the straggler's own mean, which could never
+                # exceed slow_factor times itself — two-replica fleets
+                # would be blind to their slow half.
+                median = ordered[(len(ordered) - 1) // 2]
+                if median > 0.0:
+                    for rep, mean in means:
+                        if mean > res.slow_factor * median:
+                            suspects.append((mean / median, rep.index, rep))
+        if res.queue_factor is not None:
+            depths = [float(r.queue_depth) for r in routable]
+            fleet_mean = sum(depths) / len(depths)
+            if fleet_mean > 0.0:
+                for rep, depth in zip(routable, depths):
+                    if depth > res.queue_factor * fleet_mean:
+                        suspects.append((depth / fleet_mean, rep.index, rep))
+        if not suspects:
+            return
+        # Worst severity first, replica index as deterministic tiebreak;
+        # never quarantine a replica whose pool would be left empty.
+        suspects.sort(key=lambda item: (-item[0], item[1]))
+        for _, _, rep in suspects:
+            pool = "decode" if rep.role == "decode" else "entry"
+            peers = [
+                r
+                for r in self._pool(pool)
+                if r is not rep and r.routable(now)
+            ]
+            if peers:
+                self._quarantine(rep, now)
+                return
+
+    def _quarantine(self, rep: _Replica, now: float) -> None:
+        """Probation (drain + hide from router) or eviction if habitual."""
+        res = self._resilience
+        rep.probations += 1
+        rep.ttft_samples = []
+        drained = rep.waiting_q
+        rep.waiting_q = []
+        if rep.probations > res.max_probations:
+            rep.evicted = True
+            self._events.append(FleetEvent(now, rep.index, "evict"))
+        else:
+            rep.probation_until = now + res.probation_ms
+            self._events.append(FleetEvent(now, rep.index, "probation"))
+            self._env.process(self._readmit(self._env, rep))
+        if drained:
+            # Running sequences finish in place (their KV is resident
+            # and healthy); only queued work re-routes.
+            drained.sort(key=lambda s: s.request.rid)
+            pool = "decode" if rep.role == "decode" else "entry"
+            self._send(drained, now, pool)
+
+    def _readmit(self, env: Environment, rep: _Replica) -> Generator:
+        yield env.timeout(rep.probation_until - env.now)
+        if rep.evicted or not rep.healthy or not rep.active:
+            return
+        self._events.append(FleetEvent(env.now, rep.index, "readmit"))
+        self._flush_pending(env.now)
 
     # -- autoscaling ----------------------------------------------------------
     def _no_progress_possible(self) -> bool:
@@ -565,7 +964,7 @@ class FleetEngine:
         while True:
             yield env.timeout(scaler.interval_ms)
             now = env.now
-            if self._completed >= total or self._no_progress_possible():
+            if self._resolved >= total or self._no_progress_possible():
                 return
             active = [rep for rep in self._replicas if rep.active]
             pressure = self._fleet_backlog() / max(1, len(active))

@@ -32,6 +32,9 @@ from repro.api.registry import (
     resolve_cluster,
     resolve_model,
 )
+from repro.faults.migration import MigrationSpec
+from repro.faults.plan import FailureEvent, FaultPlan, TimeVaryingStepCost
+from repro.faults.resilience import ResilienceSpec
 from repro.fleet.metrics import FleetReport, FleetResultSet, FleetSkip
 from repro.fleet.router import ROUTER_REGISTRY
 from repro.graph.straggler import StragglerSpec
@@ -64,8 +67,10 @@ class ReplicaSpec:
     decode interleaved (the plain continuous-batching engine);
     ``"prefill"`` / ``"decode"`` replicas form disaggregated pools where
     a request prefills in one pool and migrates to the other for
-    decoding (the KV handoff is modelled as free — an optimistic lower
-    bound, documented in :mod:`repro.fleet.simulator`).
+    decoding.  The KV handoff is free only when the scenario carries no
+    :class:`~repro.faults.migration.MigrationSpec`; with one, every
+    handoff pays for its KV-cache bytes over the inter-replica link
+    (cost model documented in :mod:`repro.fleet.simulator`).
     """
 
     cluster: ClusterSpec
@@ -145,31 +150,9 @@ class AutoscalerSpec:
         return f"autoscale[min{self.min_replicas}]"
 
 
-@dataclass(frozen=True)
-class FailureEvent:
-    """One injected replica failure (and optional recovery).
-
-    At ``fail_ms`` the replica goes down: its queued and in-flight
-    requests are reclaimed and re-routed (restarting from prefill —
-    their KV state died with the replica).  At ``recover_ms`` (if set)
-    it returns to the routable pool; ``None`` means the replica stays
-    dead for the rest of the run.
-    """
-
-    replica: int
-    fail_ms: float
-    recover_ms: float | None = None
-
-    def __post_init__(self) -> None:
-        if self.replica < 0:
-            raise ValueError(f"replica index must be >= 0, got {self.replica}")
-        if self.fail_ms < 0:
-            raise ValueError(f"fail_ms must be >= 0, got {self.fail_ms}")
-        if self.recover_ms is not None and self.recover_ms <= self.fail_ms:
-            raise ValueError(
-                f"recover_ms ({self.recover_ms}) must exceed fail_ms "
-                f"({self.fail_ms})"
-            )
+# FailureEvent moved to repro.faults.plan (it is one of FaultPlan's
+# three event families); imported above and kept in __all__ so every
+# existing ``from repro.fleet.spec import FailureEvent`` still works.
 
 
 def _replica_summary(replicas: tuple[ReplicaSpec, ...]) -> str:
@@ -203,6 +186,9 @@ class FleetScenario:
     slo_tpot_ms: float = 75.0
     bucket_tokens: int = 256
     overlap_policy: str = "per_layer"
+    faults: FaultPlan | None = None
+    resilience: ResilienceSpec | None = None
+    migration: MigrationSpec | None = None
 
     def __post_init__(self) -> None:
         from repro.graph.lower import check_policy
@@ -255,7 +241,7 @@ class FleetScenario:
                     f"exceeds the fleet size {self.num_replicas}"
                 )
         by_replica: dict[int, list[FailureEvent]] = {}
-        for event in self.failures:
+        for event in self.all_crashes:
             if event.replica >= self.num_replicas:
                 raise ValueError(
                     f"failure event targets replica {event.replica}, fleet "
@@ -270,6 +256,31 @@ class FleetScenario:
                         f"overlapping failure windows on replica "
                         f"{nxt.replica}: {prev} then {nxt}"
                     )
+        if self.faults is not None:
+            expanded = self.expand_replicas()
+            for degrade in self.faults.degrades:
+                if degrade.replica >= self.num_replicas:
+                    raise ValueError(
+                        f"degrade event targets replica {degrade.replica}, "
+                        f"fleet has {self.num_replicas}"
+                    )
+                world = expanded[degrade.replica].cluster.world_size
+                if (
+                    degrade.stragglers is not None
+                    and degrade.stragglers.num_ranks != world
+                ):
+                    raise ValueError(
+                        f"degrade spec on replica {degrade.replica} covers "
+                        f"{degrade.stragglers.num_ranks} ranks, the replica "
+                        f"has {world}"
+                    )
+
+    @property
+    def all_crashes(self) -> tuple[FailureEvent, ...]:
+        """Legacy ``failures`` merged with the fault plan's crashes —
+        the one list the engine and the overlap validation consume."""
+        planned = self.faults.crashes if self.faults is not None else ()
+        return self.failures + planned
 
     @property
     def num_replicas(self) -> int:
@@ -310,6 +321,12 @@ class FleetScenario:
             parts.append(self.autoscaler.label)
         if self.failures:
             parts.append(f"fail:{len(self.failures)}")
+        if self.faults is not None and self.faults:
+            parts.append(f"faults:{self.faults.label}")
+        if self.resilience is not None and self.resilience:
+            parts.append(self.resilience.label)
+        if self.migration is not None:
+            parts.append(self.migration.label)
         return "/".join(parts)
 
     def build_trace(self) -> tuple[Request, ...]:
@@ -325,22 +342,51 @@ class FleetScenario:
         Raises :class:`~repro.systems.base.UnsupportedWorkload` if the
         system cannot run any replica shape at all (checked eagerly at
         cost-model construction, same as single-replica serving).
+
+        A replica with :class:`~repro.faults.plan.DegradeEvent` windows
+        gets a :class:`~repro.faults.plan.TimeVaryingStepCost`: one
+        fingerprint-keyed :func:`~repro.perf.shared_step_cost` model per
+        degradation window (identical windows share an instance through
+        the cache; un-degraded windows share the base model object), so
+        step costs re-price at event boundaries without any per-step
+        recomputation.
         """
         from repro import perf
         from repro.fleet.simulator import FleetEngine
 
-        cost_models = [
-            perf.shared_step_cost(
+        def shared(spec: ReplicaSpec, stragglers):
+            return perf.shared_step_cost(
                 system,
                 self.config,
                 spec.cluster,
                 spec.strategy,
                 bucket_tokens=self.bucket_tokens,
                 overlap_policy=self.overlap_policy,
-                stragglers=spec.stragglers,
+                stragglers=stragglers,
             )
-            for spec in self.expand_replicas()
-        ]
+
+        cost_models = []
+        for index, spec in enumerate(self.expand_replicas()):
+            base = shared(spec, spec.stragglers)
+            windows = (
+                self.faults.boundaries(
+                    index, spec.cluster.world_size, spec.stragglers
+                )
+                if self.faults is not None
+                else ()
+            )
+            if windows:
+                cost_models.append(
+                    TimeVaryingStepCost(
+                        starts=[start for start, _ in windows],
+                        models=[
+                            base if composed is None else shared(spec, composed)
+                            for _, composed in windows
+                        ],
+                    )
+                )
+            else:
+                cost_models.append(base)
         engine = FleetEngine(
             scenario=self,
             cost_models=cost_models,
@@ -471,6 +517,9 @@ class FleetSpec:
         max_batch_tokens: Any = 8192,
         overlap_policies: Any = "per_layer",
         stragglers: Any = None,
+        faults: Any = None,
+        resilience: Any = None,
+        migrations: Any = None,
         router_seed: int = 0,
         systems: Any = None,
         registry: SystemRegistry | None = None,
@@ -488,6 +537,17 @@ class FleetSpec:
         plans (tuples of :class:`FailureEvent`; ``None`` = no
         failures).  ``stragglers`` applies its per-cluster axis entries
         to every replica of the scenario.
+
+        The fault/resilience axes (PR 8) follow the ``autoscalers``
+        convention — ``None`` is a valid entry meaning "off":
+        ``faults`` sweeps :class:`~repro.faults.plan.FaultPlan`
+        schedules (crashes + time-varying degradation + brownouts),
+        ``resilience`` sweeps
+        :class:`~repro.faults.resilience.ResilienceSpec` policies
+        (detect→drain→recover, deadlines/retries, shedding), and
+        ``migrations`` sweeps
+        :class:`~repro.faults.migration.MigrationSpec` KV-transfer
+        cost models.
         """
         from repro.api.scenario import (
             _as_sequence,
@@ -512,6 +572,9 @@ class FleetSpec:
         replica_axis = _as_replica_axis(replicas)
         autoscaler_list = _as_optional_axis(autoscalers, AutoscalerSpec)
         failure_list = _as_failure_axis(failures)
+        fault_list = _as_optional_axis(faults, FaultPlan)
+        resilience_list = _as_optional_axis(resilience, ResilienceSpec)
+        migration_list = _as_optional_axis(migrations, MigrationSpec)
         ttft_list = [float(v) for v in _as_sequence(slo_ttft_ms, (int, float))]
         tpot_list = [float(v) for v in _as_sequence(slo_tpot_ms, (int, float))]
         budget_list = [int(v) for v in _as_sequence(max_batch_tokens, (int,))]
@@ -543,22 +606,28 @@ class FleetSpec:
                                                     for tpot in tpot_list:
                                                         for budget in budget_list:
                                                             for overlap in overlap_list:
-                                                                scenarios.append(
-                                                                    FleetScenario(
-                                                                        config=config,
-                                                                        replicas=pool,
-                                                                        trace=trace,
-                                                                        router=router,
-                                                                        router_seed=router_seed,
-                                                                        autoscaler=scaler,
-                                                                        failures=plan,
-                                                                        policy=policy,
-                                                                        slo_ttft_ms=ttft,
-                                                                        slo_tpot_ms=tpot,
-                                                                        max_batch_tokens=budget,
-                                                                        overlap_policy=overlap,
-                                                                    )
-                                                                )
+                                                                for fault_plan in fault_list:
+                                                                    for res in resilience_list:
+                                                                        for migration in migration_list:
+                                                                            scenarios.append(
+                                                                                FleetScenario(
+                                                                                    config=config,
+                                                                                    replicas=pool,
+                                                                                    trace=trace,
+                                                                                    router=router,
+                                                                                    router_seed=router_seed,
+                                                                                    autoscaler=scaler,
+                                                                                    failures=plan,
+                                                                                    policy=policy,
+                                                                                    slo_ttft_ms=ttft,
+                                                                                    slo_tpot_ms=tpot,
+                                                                                    max_batch_tokens=budget,
+                                                                                    overlap_policy=overlap,
+                                                                                    faults=fault_plan,
+                                                                                    resilience=res,
+                                                                                    migration=migration,
+                                                                                )
+                                                                            )
         if systems is None:
             names: tuple[str, ...] = ()
         else:

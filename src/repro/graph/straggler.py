@@ -219,6 +219,34 @@ class StragglerSpec:
             ),
         )
 
+    def compose(self, other: "StragglerSpec") -> "StragglerSpec":
+        """Elementwise product of two specs over the same ranks.
+
+        Composition models independent slowdown mechanisms stacking — a
+        skewed placement on a thermally throttled device, or a
+        mid-trace :class:`~repro.faults.plan.DegradeEvent` landing on a
+        replica that already has a base straggler spec.  Multiplication
+        commutes, so composition order never changes the fingerprint.
+        """
+        if other.num_ranks != self.num_ranks:
+            raise ValueError(
+                f"cannot compose specs over {self.num_ranks} and "
+                f"{other.num_ranks} ranks"
+            )
+        name = "*".join(part for part in (self.label, other.label) if part)
+        return StragglerSpec(
+            compute_mult=tuple(
+                a * b for a, b in zip(self.compute_mult, other.compute_mult)
+            ),
+            comm_mult=tuple(
+                a * b for a, b in zip(self.comm_mult, other.comm_mult)
+            ),
+            expert_mult=tuple(
+                a * b for a, b in zip(self.expert_mult, other.expert_mult)
+            ),
+            name=name,
+        )
+
     # -- structure -------------------------------------------------------------
     @property
     def num_ranks(self) -> int:

@@ -203,7 +203,7 @@ def trace_serve_report(
 def trace_fleet_report(report: Any, tracer: Tracer | None = None) -> Tracer:
     """Render one :class:`FleetReport`: one process per replica, router
     dispatch flows, per-replica counter tracks, and instant markers for
-    every autoscaler/failure event.
+    every autoscaler/failure/fault/resilience event.
 
     Each served request's life is segmented by its dispatch log — a span
     per (dispatch, replica) hop, so disaggregated prefill→decode
@@ -211,6 +211,13 @@ def trace_fleet_report(report: Any, tracer: Tracer | None = None) -> Tracer:
     connected by router arrows.  Dispatches of requests that never
     completed are skipped (their spans have no right edge), so every
     flow arrow pairs up.
+
+    Fault-plan and resilience events render too: degrade/restore and
+    probation/readmit/evict markers land on their replica's process,
+    front-door events (``retry``/``timeout``/``shed`` carry
+    ``replica == -1``) land on the router process, and a cumulative
+    ``resilience`` counter track on the router plots the running
+    retry/timeout/shed totals over the trace.
     """
     if tracer is None:
         tracer = _new_tracer()
@@ -290,14 +297,26 @@ def trace_fleet_report(report: Any, tracer: Tracer | None = None) -> Tracer:
                 "running", t, process=process, sequences=point.running
             )
 
+    frontdoor_totals = {"retry": 0, "timeout": 0, "shed": 0}
     for event in report.events:
+        process = (
+            "router" if event.replica < 0 else f"replica{event.replica}"
+        )
         tracer.instant(
             event.kind,
             event.t_ms * 1000.0,
             category="fleet_event",
             lane="events",
             scope="p",
-            process=f"replica{event.replica}",
+            process=process,
             replica=event.replica,
         )
+        if event.kind in frontdoor_totals:
+            frontdoor_totals[event.kind] += 1
+            tracer.counter(
+                "resilience",
+                event.t_ms * 1000.0,
+                process="router",
+                **frontdoor_totals,
+            )
     return tracer

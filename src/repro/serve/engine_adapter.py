@@ -195,6 +195,20 @@ class StepCostModel:
     def step_ms(self, prefill_tokens: int, decode_tokens: int) -> float:
         return self.step_us(prefill_tokens, decode_tokens) / 1000.0
 
+    def step_ms_at(
+        self, now: float, prefill_tokens: int, decode_tokens: int
+    ) -> float:
+        """Step cost for an iteration *launched at* ``now`` ms.
+
+        The schedulers price every step through this entry point.  A
+        plain cost model is time-invariant, so this delegates to
+        :meth:`step_ms` untouched; the time-varying wrapper
+        (:class:`~repro.faults.plan.TimeVaryingStepCost`) overrides the
+        selection to follow a :class:`~repro.faults.plan.FaultPlan`'s
+        degradation step function.
+        """
+        return self.step_ms(prefill_tokens, decode_tokens)
+
     def prefill_ms(self, prompt_tokens: int) -> float:
         """Estimated solo-prefill latency (used by the SLO-aware policy)."""
         return self.step_ms(prompt_tokens, 0)

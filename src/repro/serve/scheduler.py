@@ -98,6 +98,20 @@ def slo_aware(seq: _Sequence, now: float, cost: StepCostModel, slo: float) -> fl
     return deadline - now - cost.prefill_ms(seq.request.prompt_tokens)
 
 
+def _price_step(cost_model, now: float, prefill_tokens: int, decode_tokens: int) -> float:
+    """Price one engine step launched at ``now`` ms.
+
+    Cost models expose :meth:`StepCostModel.step_ms_at` so a
+    :class:`~repro.faults.plan.TimeVaryingStepCost` can follow a fault
+    plan's degradation windows; duck-typed stand-ins that only implement
+    ``step_ms`` fall back to the time-invariant price.
+    """
+    step_at = getattr(cost_model, "step_ms_at", None)
+    if step_at is not None:
+        return step_at(now, prefill_tokens, decode_tokens)
+    return cost_model.step_ms(prefill_tokens, decode_tokens)
+
+
 @dataclass
 class ContinuousBatchingScheduler:
     """Simulate one serving replica over a request trace.
@@ -214,7 +228,9 @@ class ContinuousBatchingScheduler:
                     running=len(self._running) + len(admitted),
                 )
             )
-            step = self.cost_model.step_ms(prefill_tokens, decode_tokens)
+            step = _price_step(
+                self.cost_model, now, prefill_tokens, decode_tokens
+            )
             self.busy_ms += step
             yield env.timeout(step)
             now = env.now
@@ -349,7 +365,9 @@ class ContinuousBatchingScheduler:
                 ).append(seq)
             pending_admitted.extend(admitted)
             eid += 1
-            step = self.cost_model.step_ms(prefill_tokens, decode_tokens)
+            step = _price_step(
+                self.cost_model, t, prefill_tokens, decode_tokens
+            )
             self.busy_ms += step
             e_event = (t + step, eid)
 

@@ -242,9 +242,26 @@ and ``benchmarks/bench_sim_speed.py`` measures the speedup):
   counters (``repro sweep/serve ... --report``) and ``clear()``.
 * **Fast serving loop** — the continuous-batching DES is replayed by a
   sequential transcription with identical event ordering.
+* **Graph symmetry reduction** — rank-blocked multi-rank graphs fold
+  exchangeable ranks to one representative stream pair per straggler
+  equivalence class before scheduling
+  (:func:`repro.graph.scheduler.reduce_symmetry`): a world-64 graph
+  with one slow rank schedules 2 ranks and replicates the start/finish
+  floats back out, bit for bit.
+* **Batched grid scheduling** — chain-compatible topologies compile
+  once per :func:`repro.perf.topology_key` into a max/add recurrence
+  (:mod:`repro.graph.batch`); :func:`repro.graph.batch.schedule_batch`
+  replays it across a whole ``(batch, nodes)`` duration matrix in
+  numpy.  ``benchmarks/bench_graph_speed.py`` enforces the >= 10x
+  world-64 straggler-grid floor with exact output equality.
 * **Parallel grids** — ``ExperimentSpec.run(workers=N)`` and
   ``ServeSpec.run(workers=N)`` execute grid points on threads with
-  row ordering identical to the serial run (CLI: ``--workers N``).
+  row ordering identical to the serial run (CLI: ``--workers N``);
+  add ``executor="process"`` (CLI: ``--executor process``) to run the
+  points in worker *processes* instead — specs travel by pickle, rows
+  come back in serial order, and each worker's cache counters merge
+  into :func:`repro.perf.cache_stats` (``--report`` shows the
+  per-process totals).
 
 ``repro.perf.disabled()`` restores the original serial behaviour
 wholesale::
@@ -254,6 +271,7 @@ wholesale::
     with perf.disabled():        # pre-optimisation reference behaviour
         slow = spec.run()
     fast = spec.run(workers=8)   # byte-identical ResultSet, much faster
+    wide = spec.run(workers=8, executor="process")   # same bytes again
     print(perf.cache_stats())
 
 Observability.  :mod:`repro.obs` renders what the simulators already
@@ -371,7 +389,7 @@ from repro.systems import (
     UnsupportedWorkload,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ALL_SYSTEMS",

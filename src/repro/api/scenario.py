@@ -54,6 +54,31 @@ def default_system_names() -> tuple[str, ...]:
     return tuple(cls.slug for cls in ALL_SYSTEMS)
 
 
+def _check_executor(executor: str) -> None:
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"executor must be 'thread' or 'process', got {executor!r}"
+        )
+
+
+def _run_scenario_task(payload):
+    """Process-pool task: one grid point, executed in a worker process.
+
+    Module-level (picklable by reference); rebuilds a single-scenario
+    spec against the worker's global registry and ships the rows back
+    with the worker's own cache counters, so the parent can merge them
+    into :func:`repro.perf.cache_stats`.
+    """
+    import os
+
+    from repro import perf
+
+    scenario, level, names = payload
+    spec = ExperimentSpec(scenarios=(scenario,), systems=names)
+    rows, skips = spec._run_scenario(scenario, level, names)
+    return rows, skips, os.getpid(), perf.cache_stats(include_workers=False)
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One grid point: everything that determines a workload.
@@ -399,6 +424,7 @@ class ExperimentSpec:
         level: str = "layer",
         on_skip: Callable[[SkipRecord], None] | None = None,
         workers: int | None = None,
+        executor: str = "thread",
     ) -> ResultSet:
         """Execute every (scenario, system) pair and collect a ResultSet.
 
@@ -408,15 +434,22 @@ class ExperimentSpec:
         :class:`SkipRecord` entries instead of vanishing; ``on_skip`` is
         additionally invoked per skip, for live annotation.
 
-        ``workers`` > 1 executes grid points on that many threads.  Row
-        and skip ordering (and therefore every export) is identical to
-        the serial run: results are reassembled in grid order, and each
-        scenario's systems still run in sequence on one thread.  In
+        ``workers`` > 1 executes grid points on that many workers —
+        threads by default, or worker *processes* with
+        ``executor="process"`` (sidestepping the GIL; every spec object
+        is pickle-stable, the round-trip tests enforce it).  Row and
+        skip ordering (and therefore every export) is identical to the
+        serial run: results are reassembled in grid order, and each
+        scenario's systems still run in sequence on one worker.  In
         parallel mode ``on_skip`` fires during reassembly (grid order)
-        rather than live.
+        rather than live.  Process mode requires the default registry
+        (a custom ``registry`` lives only in this process) and merges
+        each worker's cache counters into
+        :func:`repro.perf.cache_stats`.
         """
         if level not in ("layer", "model"):
             raise ValueError(f"level must be 'layer' or 'model', got {level!r}")
+        _check_executor(executor)
         if level == "layer" and any(
             s.stragglers is not None and not s.stragglers.is_uniform
             for s in self.scenarios
@@ -433,7 +466,27 @@ class ExperimentSpec:
         names = self.system_names()
         scenarios = list(dict.fromkeys(self.scenarios))
         parallel = workers is not None and workers > 1 and len(scenarios) > 1
-        if parallel:
+        if parallel and executor == "process":
+            if self.registry is not None:
+                raise ValueError(
+                    "executor='process' requires the default registry "
+                    "(a custom registry exists only in this process)"
+                )
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro import perf
+
+            payloads = [(s, level, names) for s in scenarios]
+            outcomes = []
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=perf.process_worker_init
+            ) as pool:
+                for rows_, skips_, pid, stats in pool.map(
+                    _run_scenario_task, payloads
+                ):
+                    perf.record_worker_stats(pid, stats)
+                    outcomes.append((rows_, skips_))
+        elif parallel:
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(max_workers=workers) as pool:

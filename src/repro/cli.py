@@ -181,7 +181,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", metavar="PATH", help="also export raw data")
     sweep.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="run grid points on N threads (output identical to serial)",
+        help="run grid points on N workers (output identical to serial)",
+    )
+    sweep.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker kind for --workers: threads (default) or processes "
+        "(GIL-free; per-process cache stats merge into --report)",
     )
     sweep.add_argument(
         "--report", action="store_true",
@@ -250,7 +255,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--csv", metavar="PATH", help="also export a CSV table")
     serve.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="serve systems on N threads (output identical to serial)",
+        help="serve systems on N workers (output identical to serial)",
+    )
+    serve.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker kind for --workers: threads (default) or processes "
+        "(GIL-free; per-process cache stats merge into --report)",
     )
     serve.add_argument(
         "--report", action="store_true",
@@ -375,8 +385,13 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--csv", metavar="PATH", help="also export a CSV table")
     fleet.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="serve (scenario, system) pairs on N threads (output identical "
+        help="serve (scenario, system) pairs on N workers (output identical "
         "to serial)",
+    )
+    fleet.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker kind for --workers: threads (default) or processes "
+        "(GIL-free; per-process cache stats merge into --report)",
     )
     fleet.add_argument(
         "--report", action="store_true",
@@ -483,9 +498,16 @@ def _resolve_systems(values: Sequence[str] | str | None) -> tuple[str, ...]:
 
 
 def _print_cache_report() -> None:
-    """Tabulate the perf-layer cache statistics (``--report``)."""
+    """Tabulate the perf-layer cache statistics (``--report``).
+
+    With ``--executor process``, counters reported back by the worker
+    processes are already merged into each row (``perf.cache_stats``
+    sums them), and the title names how many workers contributed.
+    """
     from repro import perf
 
+    workers = perf.worker_process_count()
+    suffix = f" + {workers} worker processes merged" if workers else ""
     print()
     print(
         format_table(
@@ -503,7 +525,7 @@ def _print_cache_report() -> None:
                 for stats in perf.cache_stats().values()
             ],
             title=f"Simulation caches ({perf.time_layer_calls()} time_layer "
-            "simulations this process)",
+            f"simulations this process{suffix})",
         )
     )
 
@@ -888,7 +910,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # layer-level default.
     straggling = any(m != 1.0 for m in straggler_mults)
     level = "model" if (args.overlap_policy or straggling) else "layer"
-    results = spec.run(level=level, workers=args.workers)
+    results = spec.run(level=level, workers=args.workers, executor=args.executor)
     headers, rows = results.to_table()
     metric = "end-to-end model ms" if level == "model" else "MoE layer ms"
     print(
@@ -980,7 +1002,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     results = ServeSpec(scenarios=(scenario,), systems=systems).run(
-        workers=args.workers
+        workers=args.workers, executor=args.executor
     )
 
     trace = scenario.trace
@@ -1215,7 +1237,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    results = spec.run(workers=args.workers)
+    results = spec.run(workers=args.workers, executor=args.executor)
 
     scenario = spec.scenarios[0]
     print(

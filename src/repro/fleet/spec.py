@@ -664,25 +664,70 @@ class FleetSpec:
                 num_replicas=scenario.num_replicas,
             )
 
-    def run(self, workers: int | None = None) -> FleetResultSet:
+    def run(
+        self, workers: int | None = None, executor: str = "thread"
+    ) -> FleetResultSet:
         """Serve every (scenario, system) pair and collect the reports.
 
-        ``workers`` > 1 serves pairs on that many threads; report and
-        skip ordering is reassembled to match the serial run exactly, so
-        every export is byte-identical either way.
+        ``workers`` > 1 serves pairs on that many workers — threads by
+        default, or worker processes with ``executor="process"`` (traces
+        rebuilt deterministically per worker, worker cache counters
+        merged into :func:`repro.perf.cache_stats`); report and skip
+        ordering is reassembled to match the serial run exactly, so
+        every export is byte-identical either way.  Process mode
+        requires the default registry.
         """
+        from repro.api.scenario import _check_executor
+
+        _check_executor(executor)
+        parallel = workers is not None and workers > 1
+        if parallel and executor == "process":
+            if self.registry is not None:
+                raise ValueError(
+                    "executor='process' requires the default registry "
+                    "(a custom registry exists only in this process)"
+                )
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro import perf
+
+            payloads = [
+                (scenario, name)
+                for scenario in dict.fromkeys(self.scenarios)
+                for name in self.system_names()
+            ]
+            if len(payloads) > 1:
+                outcomes = []
+                with ProcessPoolExecutor(
+                    max_workers=workers, initializer=perf.process_worker_init
+                ) as pool:
+                    for outcome, pid, stats in pool.map(
+                        _fleet_one_task, payloads
+                    ):
+                        perf.record_worker_stats(pid, stats)
+                        outcomes.append(outcome)
+            else:
+                outcomes = [
+                    self._serve_one(s, s.build_trace(), n) for s, n in payloads
+                ]
+            return self._collect(outcomes)
         tasks = [
             (scenario, trace, name)
             for scenario, trace in self.traces()
             for name in self.system_names()
         ]
-        if workers is not None and workers > 1 and len(tasks) > 1:
+        if parallel and len(tasks) > 1:
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 outcomes = list(pool.map(lambda t: self._serve_one(*t), tasks))
         else:
             outcomes = [self._serve_one(*task) for task in tasks]
+        return self._collect(outcomes)
+
+    def _collect(
+        self, outcomes: list[FleetReport | FleetSkip]
+    ) -> FleetResultSet:
         reports = tuple(o for o in outcomes if isinstance(o, FleetReport))
         skips = tuple(o for o in outcomes if isinstance(o, FleetSkip))
         from repro.obs import capture
@@ -692,3 +737,21 @@ class FleetSpec:
             skips=skips,
             manifest=capture("fleet", self.scenarios, self.system_names()),
         )
+
+
+def _fleet_one_task(payload):
+    """Process-pool task: serve one fleet (scenario, system) pair.
+
+    Module-level (picklable by reference); the trace is rebuilt inside
+    the worker from the seeded :class:`~repro.serve.traffic.TraceSpec`,
+    and the worker's cache counters ride back for
+    :func:`repro.perf.record_worker_stats`.
+    """
+    import os
+
+    from repro import perf
+
+    scenario, name = payload
+    spec = FleetSpec(scenarios=(scenario,), systems=(name,))
+    outcome = spec._serve_one(scenario, scenario.build_trace(), name)
+    return outcome, os.getpid(), perf.cache_stats(include_workers=False)

@@ -16,9 +16,19 @@ intra-layer overlapping the systems already model:
 * :mod:`repro.graph.straggler` — per-rank straggler/skew multiplier
   specs (slow ranks, degraded links, skewed expert placement) that turn
   the lowering per-rank, with cross-rank barrier edges at every
-  dispatch/combine/grad-sync collective.
+  dispatch/combine/grad-sync collective;
+* :mod:`repro.graph.batch` — compiled chain-topology recurrence and
+  batched scheduling over same-topology duration vectors, plus the
+  rank-symmetry fold in :mod:`repro.graph.scheduler` — both bit-exact
+  against the list scheduler and gated by :mod:`repro.perf` flags.
 """
 
+from repro.graph.batch import (
+    CompiledTopology,
+    compile_topology,
+    fast_schedule,
+    schedule_batch,
+)
 from repro.graph.des_ref import des_schedule
 from repro.graph.ir import (
     COMM,
@@ -40,12 +50,20 @@ from repro.graph.lower import (
     training_makespan,
     training_schedule,
 )
-from repro.graph.scheduler import GraphSchedule, list_schedule, rank_makespans
+from repro.graph.scheduler import (
+    GraphSchedule,
+    SymmetryReduction,
+    expand_symmetry,
+    list_schedule,
+    rank_makespans,
+    reduce_symmetry,
+)
 from repro.graph.straggler import StragglerSpec
 
 __all__ = [
     "COMM",
     "COMPUTE",
+    "CompiledTopology",
     "GraphNode",
     "GraphSchedule",
     "LayerPhase",
@@ -54,15 +72,21 @@ __all__ = [
     "ScheduleGraph",
     "StragglerSpec",
     "Stream",
+    "SymmetryReduction",
     "build_forward_graph",
     "build_moe_chain",
     "build_training_graph",
     "check_policy",
+    "compile_topology",
     "des_schedule",
+    "expand_symmetry",
+    "fast_schedule",
     "forward_makespan",
     "forward_schedule",
     "list_schedule",
     "rank_makespans",
+    "reduce_symmetry",
+    "schedule_batch",
     "training_makespan",
     "training_schedule",
 ]

@@ -132,6 +132,17 @@ class ScheduleGraph:
     def __init__(self) -> None:
         self.nodes: list[GraphNode] = []
         self.preds: list[tuple[int, ...]] = []
+        #: Node durations, parallel to ``nodes`` — kept as a plain list so
+        #: the batch scheduler can lift a graph's duration vector into
+        #: numpy in one C call instead of touching every node object.
+        self.durations: list[float] = []
+        #: Cheap structural identity set by the lowering builders (see
+        #: :func:`repro.graph.lower.build_forward_graph`): two graphs with
+        #: equal tokens are guaranteed topology-identical without hashing
+        #: every node.  ``None`` for hand-built graphs (and after any
+        #: post-build :meth:`add`), in which case
+        #: :meth:`topology_fingerprint` is the identity.
+        self.topology_token: tuple | None = None
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -169,6 +180,8 @@ class ScheduleGraph:
             )
         )
         self.preds.append(dep_ids)
+        self.durations.append(self.nodes[-1].duration_us)
+        self.topology_token = None  # builder tokens cover finished graphs only
         return node_id
 
     def streams(self) -> tuple[Stream, ...]:
@@ -207,6 +220,26 @@ class ScheduleGraph:
                 (
                     f"{node.kind.value}|{node.stream}|{node.layer}|{node.tag}|"
                     f"{node.duration_us.hex()}|{','.join(map(str, deps))};"
+                ).encode()
+            )
+        return digest.hexdigest()
+
+    def topology_fingerprint(self) -> str:
+        """Stable digest of the graph's *structure only* — durations
+        excluded.
+
+        Keys :data:`repro.perf.GRAPH_BATCH_CACHE`: all the graphs a grid
+        sweep produces for one (model, policy, straggler-shape) point
+        share a topology fingerprint while differing in durations, so the
+        compiled schedule recurrence (:mod:`repro.graph.batch`) is built
+        once and replayed per duration vector.
+        """
+        digest = hashlib.sha1()
+        for node, deps in zip(self.nodes, self.preds):
+            digest.update(
+                (
+                    f"{node.kind.value}|{node.stream}|{node.layer}|{node.tag}|"
+                    f"{','.join(map(str, deps))};"
                 ).encode()
             )
         return digest.hexdigest()

@@ -377,6 +377,33 @@ def _rank_streams(num_ranks: int) -> list[tuple[Stream, Stream]]:
     ]
 
 
+def _table_token(
+    table: Sequence[Sequence[LayerPhase]], attention0: float
+) -> tuple:
+    """Structural summary of one phase table: everything ``_add_layer``
+    branches on besides the policy.
+
+    Node topology depends on durations only through their zero/nonzero
+    pattern — ``_add_layer`` prunes positions where *every* rank is zero
+    and skips attention when rank 0's attention is zero — so the token
+    records per-position (kind, stream side, any-rank-active) plus the
+    attention flag and the rank count.  Two builder calls with equal
+    tokens therefore produce identical topologies.
+    """
+    return (
+        len(table),
+        tuple(
+            (
+                phase.kind.value,
+                phase.comm,
+                any(rank[i].duration_us > 0.0 for rank in table),
+            )
+            for i, phase in enumerate(table[0])
+        ),
+        attention0 > 0.0,
+    )
+
+
 def build_forward_graph(
     phases: Sequence,
     attention_us: float,
@@ -401,6 +428,11 @@ def build_forward_graph(
     streams = _rank_streams(len(table))
     for layer in range(num_layers):
         _add_layer(graph, table, attention, policy, layer, states, streams)
+    # O(1) structural identity for the perf-layer caches (set last: any
+    # ``add`` resets it).
+    graph.topology_token = (
+        "fwd", policy, num_layers, _table_token(table, attention[0])
+    )
     return graph
 
 
@@ -507,6 +539,15 @@ def build_training_graph(
                 streams[rank][0],
                 deps=(*tail_deps[rank], *sync_chunks[rank]),
             )
+    graph.topology_token = (
+        "train",
+        policy,
+        num_layers,
+        _table_token(fwd_table, attention_fwd[0]),
+        _table_token(bwd_table, attention_bwd[0]),
+        grad_sync_us > 0.0,
+        optimizer_us > 0.0,
+    )
     return graph
 
 

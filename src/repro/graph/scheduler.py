@@ -25,7 +25,14 @@ from dataclasses import dataclass, field
 
 from repro.graph.ir import GraphNode, ScheduleGraph, Stream
 
-__all__ = ["GraphSchedule", "list_schedule", "rank_makespans"]
+__all__ = [
+    "GraphSchedule",
+    "SymmetryReduction",
+    "expand_symmetry",
+    "list_schedule",
+    "rank_makespans",
+    "reduce_symmetry",
+]
 
 
 def rank_makespans(
@@ -241,6 +248,236 @@ def list_schedule(graph: ScheduleGraph) -> GraphSchedule:
             f"schedule graph has a dependency cycle: scheduled {scheduled} "
             f"of {n} nodes"
         )
+    return GraphSchedule(
+        graph=graph, start_us=tuple(start), finish_us=tuple(finish)
+    )
+
+
+# -- graph-level symmetry reduction -------------------------------------------
+#
+# The per-rank lowering (graph/lower.py) emits *rank-blocked* graphs:
+# every structural position of the model is a block of ``world`` nodes —
+# one per rank, in rank order — whose dependency sets are either a
+# barrier (one node-id tuple shared by all ranks) or rank-local (every
+# dep lands on the same rank, with one dep *block* pattern shared by all
+# ranks).  In such a graph, two ranks whose duration bits agree in every
+# block are exchangeable: their streams see the same ready times and the
+# same dispatch order, so the list scheduler assigns them identical
+# start/finish floats.  ``reduce_symmetry`` detects this shape, folds
+# each equivalence class of ranks down to its lowest-ranked
+# representative, and ``expand_symmetry`` replicates the representative
+# times back out — bit-identical to scheduling the full graph (the
+# property suite cross-checks against ``list_schedule`` and the DES
+# reference).  Uniform and k-distinct-straggler graphs collapse from
+# O(world) to O(k) scheduled streams.
+
+
+@dataclass(frozen=True)
+class SymmetryReduction:
+    """A rank-blocked graph folded to one representative rank per class."""
+
+    reduced: ScheduleGraph = field(repr=False)
+    reps: tuple[int, ...]  # representative rank per class, ascending
+    rep_index: tuple[int, ...]  # rank -> class index (into ``reps``)
+    world: int
+    blocks: int
+
+
+@dataclass(frozen=True)
+class BlockStructure:
+    """The duration-independent half of a symmetry reduction.
+
+    Everything here is a function of the graph's *topology* alone, so the
+    perf layer caches it per topology key and re-runs only the (cheap,
+    vectorisable) duration classification per graph.
+    """
+
+    world: int
+    blocks: int
+    #: Per block: ``None`` for a barrier (one dep tuple shared by all
+    #: ranks), else the rank-local dep *block* pattern.
+    local_pattern: tuple[tuple[int, ...] | None, ...]
+    #: True when every barrier's deps cover each referenced block for
+    #: *all* ranks.  Then the reduced dependency structure is determined
+    #: by the class count alone — first-occurrence class labels ascend in
+    #: rank order, so each fully-covered dep block maps to all of its
+    #: class representatives regardless of which ranks form the classes —
+    #: and the perf layer may reuse one compiled reduced topology across
+    #: graphs with different rank→class assignments.
+    reusable_deps: bool
+
+
+def block_structure(graph: ScheduleGraph) -> BlockStructure | None:
+    """Detect the rank-blocked shape :func:`reduce_symmetry` folds.
+
+    Returns ``None`` whenever the graph is not rank-blocked or a block's
+    dependency sets are neither barriers nor rank-local.
+    """
+    n = len(graph)
+    if n == 0:
+        return None
+    ranks = graph.ranks()
+    world = len(ranks)
+    if world <= 1 or ranks != tuple(range(world)) or n % world:
+        return None
+    blocks = n // world
+    nodes = graph.nodes
+    preds = graph.preds
+
+    # Rank-blocked layout: block b holds ranks 0..world-1 in order, all
+    # sharing kind/layer/tag and the compute-or-comm stream side.
+    for b in range(blocks):
+        base = b * world
+        first = nodes[base]
+        if first.stream.rank != 0:
+            return None
+        for r in range(1, world):
+            node = nodes[base + r]
+            if (
+                node.stream.rank != r
+                or node.stream.kind != first.stream.kind
+                or node.kind is not first.kind
+                or node.layer != first.layer
+                or node.tag != first.tag
+            ):
+                return None
+
+    # Classify each block's dependencies: a barrier (identical tuple for
+    # every rank) or rank-local (all deps on the own rank, one shared
+    # block pattern).  Deps must come from strictly earlier blocks so the
+    # reduced graph can be emitted in the same block order.
+    local_pattern: list[tuple[int, ...] | None] = []
+    reusable = True
+    for b in range(blocks):
+        base = b * world
+        deps0 = preds[base]
+        if all(preds[base + r] == deps0 for r in range(1, world)):
+            if any(d // world >= b for d in deps0):
+                return None
+            local_pattern.append(None)
+            if reusable:
+                covered: dict[int, set[int]] = {}
+                for d in deps0:
+                    covered.setdefault(d // world, set()).add(d % world)
+                reusable = all(
+                    len(members) == world for members in covered.values()
+                )
+        else:
+            pattern = tuple(d // world for d in deps0)
+            if any(p >= b for p in pattern):
+                return None
+            for r in range(world):
+                deps = preds[base + r]
+                if any(d % world != r for d in deps):
+                    return None
+                if tuple(d // world for d in deps) != pattern:
+                    return None
+            local_pattern.append(pattern)
+    return BlockStructure(
+        world=world,
+        blocks=blocks,
+        local_pattern=tuple(local_pattern),
+        reusable_deps=reusable,
+    )
+
+
+def reduce_symmetry(graph: ScheduleGraph) -> SymmetryReduction | None:
+    """Fold exchangeable ranks of a rank-blocked multi-rank graph.
+
+    Returns ``None`` whenever the graph is not rank-blocked, its
+    dependency sets are neither barriers nor rank-local, or every rank
+    is already distinct — callers then schedule the full graph.  When a
+    reduction is returned, scheduling ``reduced`` and replicating via
+    :func:`expand_symmetry` equals scheduling ``graph`` directly, float
+    bit for float bit.
+    """
+    structure = block_structure(graph)
+    if structure is None:
+        return None
+    world = structure.world
+    blocks = structure.blocks
+    nodes = graph.nodes
+    preds = graph.preds
+    local_pattern = structure.local_pattern
+
+    # Equivalence classes: ranks whose duration bits agree in every block.
+    classes: dict[tuple[str, ...], int] = {}
+    reps: list[int] = []
+    rep_index = [0] * world
+    for r in range(world):
+        signature = tuple(
+            nodes[b * world + r].duration_us.hex() for b in range(blocks)
+        )
+        j = classes.get(signature)
+        if j is None:
+            j = len(reps)
+            classes[signature] = j
+            reps.append(r)
+        rep_index[r] = j
+    k = len(reps)
+    if k >= world:
+        return None  # every rank distinct: nothing to fold
+
+    reduced = ScheduleGraph()
+    for b in range(blocks):
+        base = b * world
+        pattern = local_pattern[b]
+        if pattern is None:
+            # Barrier: map every dep to its class representative.  Class
+            # members finish at bit-equal times, so the max over the
+            # deduplicated representative set is the same float.
+            shared = tuple(
+                dict.fromkeys(
+                    (d // world) * k + rep_index[d % world]
+                    for d in preds[base]
+                )
+            )
+        for j, r in enumerate(reps):
+            node = nodes[base + r]
+            deps = (
+                shared
+                if pattern is None
+                else tuple(pb * k + j for pb in pattern)
+            )
+            reduced.add(
+                node.kind,
+                node.duration_us,
+                node.stream,
+                deps=deps,
+                layer=node.layer,
+                tag=node.tag,
+            )
+    return SymmetryReduction(
+        reduced=reduced,
+        reps=tuple(reps),
+        rep_index=tuple(rep_index),
+        world=world,
+        blocks=blocks,
+    )
+
+
+def expand_symmetry(
+    graph: ScheduleGraph,
+    symmetry: SymmetryReduction,
+    reduced_schedule: GraphSchedule,
+) -> GraphSchedule:
+    """Replicate representative start/finish times to all class members.
+
+    The returned :class:`GraphSchedule` wraps the *full* graph, so
+    ``rank_makespans`` / ``imbalance_us`` / ``critical_path`` report over
+    every rank exactly as if the full graph had been scheduled.
+    """
+    world = symmetry.world
+    k = len(symmetry.reps)
+    rep_index = symmetry.rep_index
+    rstart = reduced_schedule.start_us
+    rfinish = reduced_schedule.finish_us
+    start: list[float] = []
+    finish: list[float] = []
+    for i in range(len(graph)):
+        rid = (i // world) * k + rep_index[i % world]
+        start.append(rstart[rid])
+        finish.append(rfinish[rid])
     return GraphSchedule(
         graph=graph, start_us=tuple(start), finish_us=tuple(finish)
     )

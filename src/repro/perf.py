@@ -6,7 +6,7 @@ replaces (the test suite enforces it), and :func:`disabled` restores the
 original serial behaviour wholesale — which is also how
 ``benchmarks/bench_sim_speed.py`` measures the speedup honestly.
 
-Four switchable fast paths (see :class:`PerfConfig`):
+Six switchable fast paths (see :class:`PerfConfig`):
 
 * ``analytic_layer0`` — the vectorised wave scheduler in
   :mod:`repro.kernels.fused` replacing the per-tile heapq loop;
@@ -16,7 +16,17 @@ Four switchable fast paths (see :class:`PerfConfig`):
   ``LayerTiming`` by ``(system fingerprint, workload fingerprint)``
   across grids, training steps, and serving runs;
 * ``fast_serve_loop`` — the sequential transcription of the serving
-  DES in :mod:`repro.serve.scheduler`.
+  DES in :mod:`repro.serve.scheduler`;
+* ``graph_symmetry`` — rank-blocked multi-rank graphs fold
+  exchangeable ranks to one representative per equivalence class
+  before scheduling (:func:`repro.graph.scheduler.reduce_symmetry`);
+* ``graph_batch`` — chain-compatible topologies schedule through the
+  compiled max/add recurrence of :mod:`repro.graph.batch` instead of
+  the heapq list scheduler, one compiled topology per
+  :func:`topology_key` cached in :data:`GRAPH_BATCH_CACHE` (with both
+  flags on, the symmetry fold itself is vectorised: cached block
+  structure + ``np.unique`` rank classification + cached reduced
+  recurrence).
 
 Two cache layers live here:
 
@@ -42,12 +52,15 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Hashable, Iterator
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.runtime.workload import MoELayerWorkload
     from repro.systems.base import LayerTiming, MoESystem
 
 __all__ = [
     "CONFIG",
+    "GRAPH_BATCH_CACHE",
     "GRAPH_CACHE",
     "STEP_COST_CACHE",
     "TIMING_CACHE",
@@ -59,11 +72,16 @@ __all__ = [
     "cached_graph_schedule",
     "cached_time_layer",
     "clear_caches",
+    "compiled_topology",
     "configure",
     "disabled",
+    "process_worker_init",
+    "record_worker_stats",
     "shared_step_cost",
     "shared_workload",
     "time_layer_calls",
+    "topology_key",
+    "worker_process_count",
 ]
 
 
@@ -77,6 +95,8 @@ class PerfConfig:
     rank_dedup: bool = True
     timing_cache: bool = True
     fast_serve_loop: bool = True
+    graph_symmetry: bool = True
+    graph_batch: bool = True
 
 
 CONFIG = PerfConfig()
@@ -105,6 +125,8 @@ def disabled() -> Iterator[PerfConfig]:
         rank_dedup=False,
         timing_cache=False,
         fast_serve_loop=False,
+        graph_symmetry=False,
+        graph_batch=False,
     ) as config:
         yield config
 
@@ -226,9 +248,15 @@ class TimingCache(BoundedCache):
             with self._lock:
                 self.computed += 1
             return system.time_layer(workload)
+        # timing_key (not timing_state_token): systems whose timing is a
+        # pure function of per-workload *resolved* state — e.g. COMET's
+        # adaptive division points — return that state so equal-config
+        # instances share entries across runs instead of cold-missing on
+        # a per-instance epoch (any probe side effects run during key
+        # resolution, exactly as an uncached call would run them).
         key = (
             system.fingerprint(),
-            system.timing_state_token(),
+            system.timing_key(workload),
             workload.fingerprint(),
         )
         timing = self.get(key)
@@ -259,30 +287,222 @@ class TimingCache(BoundedCache):
 TIMING_CACHE = TimingCache(maxsize=4096, name="timing")
 WORKLOAD_CACHE = BoundedCache(maxsize=256, name="workload")
 GRAPH_CACHE = BoundedCache(maxsize=1024, name="graph")
+GRAPH_BATCH_CACHE = BoundedCache(maxsize=256, name="graph_batch")
 STEP_COST_CACHE = BoundedCache(maxsize=64, name="step-cost")
+
+
+def topology_key(graph: Any) -> tuple:
+    """Cheap structural identity for the graph-level caches.
+
+    The lowering builders stamp every graph with an O(1)
+    ``topology_token`` covering everything node topology depends on
+    (policy, layer count, rank count, per-position phase shape with its
+    zero/nonzero activity pattern); hand-built graphs — and any graph
+    mutated after building, which resets the token — fall back to the
+    sha1 :meth:`~repro.graph.ir.ScheduleGraph.topology_fingerprint`.
+    The two forms are prefix-tagged so they can never collide.
+    """
+    token = getattr(graph, "topology_token", None)
+    if token is not None:
+        return ("token", token)
+    return ("sha1", graph.topology_fingerprint())
+
+
+def compiled_topology(graph: Any) -> Any:
+    """The :class:`repro.graph.batch.CompiledTopology` for ``graph``,
+    through the bounded :data:`GRAPH_BATCH_CACHE`.
+
+    Keyed by :func:`topology_key` (durations excluded), so every graph a
+    sweep produces for one (model, policy, straggler-shape) point reuses
+    one compiled recurrence.  With the ``graph_batch`` flag off the
+    topology is compiled fresh and unrecorded.
+    """
+    from repro.graph.batch import compile_topology
+
+    if not CONFIG.graph_batch:
+        return compile_topology(graph)
+    key = topology_key(graph)
+    topology = GRAPH_BATCH_CACHE.get(("topo", key))
+    if topology is None:
+        topology = GRAPH_BATCH_CACHE.put(
+            ("topo", key), compile_topology(graph, key)
+        )
+    return topology
+
+
+def _schedule_plain(graph: Any) -> Any:
+    """Schedule one graph via the fastest enabled per-graph path."""
+    from repro.graph.scheduler import list_schedule
+
+    if CONFIG.graph_batch:
+        from repro.graph.batch import fast_schedule
+
+        return fast_schedule(graph, compiled_topology(graph))
+    return list_schedule(graph)
+
+
+# GRAPH_BATCH_CACHE sentinels (BoundedCache cannot store None).
+_NO_STRUCTURE = "no-structure"
+_NOT_CHAIN = "not-chain"
+
+
+def _cached_block_structure(graph: Any, key: tuple) -> Any:
+    """:func:`repro.graph.scheduler.block_structure`, cached per topology."""
+    from repro.graph.scheduler import block_structure
+
+    entry = GRAPH_BATCH_CACHE.get(("sym", key))
+    if entry is None:
+        entry = GRAPH_BATCH_CACHE.put(
+            ("sym", key), block_structure(graph) or _NO_STRUCTURE
+        )
+    return None if entry is _NO_STRUCTURE else entry
+
+
+def _reduced_recurrence(graph: Any, key: tuple, k: int) -> Any:
+    """Dependency structure of the compiled *reduced* topology for a
+    class count ``k``, cached per (topology, k); ``None`` when the
+    reduced graph is not chain-compatible.
+
+    One compiled structure serves every rank→class assignment with the
+    same ``k``: the cache is only consulted for structures whose
+    ``reusable_deps`` flag proves the reduced dependency sets are
+    assignment-independent (first-occurrence class labels ascend in rank
+    order, so fully-covered barriers always map to all ``k``
+    representatives of each dep block, and rank-local patterns map
+    within the own class by construction).
+    """
+    from repro.graph.batch import compile_topology
+    from repro.graph.scheduler import reduce_symmetry
+
+    entry = GRAPH_BATCH_CACHE.get(("symred", key, k))
+    if entry is None:
+        symmetry = reduce_symmetry(graph)
+        if symmetry is None or len(symmetry.reps) != k:
+            payload = _NOT_CHAIN  # defensive: classification disagreed
+        else:
+            topology = compile_topology(
+                symmetry.reduced, key=("reduced", key, k)
+            )
+            payload = topology.deps if topology.chain_ok else _NOT_CHAIN
+        entry = GRAPH_BATCH_CACHE.put(("symred", key, k), payload)
+    return None if entry is _NOT_CHAIN else entry
+
+
+def _fast_symmetric_schedule(
+    graph: Any, key: tuple, structure: Any, durations: Any = None
+) -> Any:
+    """Vectorised symmetry fold + compiled recurrence for one graph.
+
+    All per-node work runs in C: the rank equivalence classes come from
+    exact equality of each rank's duration *bit pattern* (the same
+    partition the hex-signature loop in ``reduce_symmetry`` computes —
+    one ``bytes`` signature per rank, grouped by dict), the recurrence
+    runs over the k-class reduced dependency structure, and the
+    expansion back to all ranks is one fancy-indexing gather.  Returns
+    ``None`` when no reduction applies — callers fall back to the
+    generic path, so every outcome stays bit-identical to
+    :func:`~repro.graph.scheduler.list_schedule`.
+    """
+    from repro.graph.scheduler import GraphSchedule
+
+    if not structure.reusable_deps:
+        return None
+    world = structure.world
+    blocks = structure.blocks
+    if durations is None:
+        durations = np.asarray(graph.durations, dtype=np.float64)
+    if durations.shape[0] != blocks * world:
+        return None  # stale durations list (defensive; add() maintains it)
+    matrix = durations.reshape(blocks, world)
+    signatures = np.ascontiguousarray(matrix.T).tobytes()
+    stride = blocks * 8  # one rank's duration bits
+    reps: list[int] = []
+    relabel: dict[bytes, int] = {}
+    rep_index = [0] * world
+    for rank in range(world):
+        signature = signatures[rank * stride : (rank + 1) * stride]
+        j = relabel.get(signature)
+        if j is None:
+            j = len(reps)
+            relabel[signature] = j
+            reps.append(rank)
+        rep_index[rank] = j
+    k = len(reps)
+    if k >= world:
+        return None  # every rank distinct: nothing to fold
+    deps = _reduced_recurrence(graph, key, k)
+    if deps is None:
+        return None
+    reduced_durations = matrix[:, reps].reshape(-1).tolist()
+    reduced_n = blocks * k
+    start = [0.0] * reduced_n
+    finish = [0.0] * reduced_n
+    for i, node_deps in enumerate(deps):
+        begin = 0.0
+        for d in node_deps:
+            f = finish[d]
+            if f > begin:
+                begin = f
+        start[i] = begin
+        finish[i] = begin + reduced_durations[i]
+    node_ids = np.arange(blocks * world)
+    expand = (node_ids // world) * k + np.asarray(rep_index)[node_ids % world]
+    return GraphSchedule(
+        graph=graph,
+        start_us=tuple(np.asarray(start)[expand].tolist()),
+        finish_us=tuple(np.asarray(finish)[expand].tolist()),
+    )
+
+
+def _schedule_graph(graph: Any, durations: Any = None) -> Any:
+    """Uncached scheduling dispatch: symmetry fold, then plain path.
+
+    Every branch returns floats bit-identical to
+    :func:`repro.graph.scheduler.list_schedule` on the full graph (the
+    property suite enforces it); the flags only pick how much work that
+    costs.
+    """
+    if CONFIG.graph_symmetry:
+        if CONFIG.graph_batch:
+            key = topology_key(graph)
+            structure = _cached_block_structure(graph, key)
+            if structure is None:
+                return _schedule_plain(graph)  # known: not rank-blocked
+            schedule = _fast_symmetric_schedule(graph, key, structure, durations)
+            if schedule is not None:
+                return schedule
+        from repro.graph.scheduler import expand_symmetry, reduce_symmetry
+
+        symmetry = reduce_symmetry(graph)
+        if symmetry is not None:
+            return expand_symmetry(
+                graph, symmetry, _schedule_plain(symmetry.reduced)
+            )
+    return _schedule_plain(graph)
 
 
 def cached_graph_schedule(graph: Any) -> Any:
     """Schedule a :class:`repro.graph.ir.ScheduleGraph` through the
     bounded :data:`GRAPH_CACHE`.
 
-    Keyed by :meth:`~repro.graph.ir.ScheduleGraph.fingerprint`, which
-    covers structure, streams (every node's per-rank stream tag, so a
-    straggler spec's per-rank graph and the single-rank graph it
-    degenerates to key separately), and the exact IEEE-754 duration
-    bits.  A cache hit is byte-identical to rescheduling — grids with
-    ``workers=N`` and warm-cache reruns produce the same floats.
-    Honours the ``timing_cache`` perf flag (:func:`disabled` bypasses
-    it).
+    Keyed by (:func:`topology_key`, duration bits): the structural key
+    covers node order, kinds, and streams (every node's per-rank stream
+    tag, so a straggler spec's per-rank graph and the single-rank graph
+    it degenerates to key separately), and the raw IEEE-754 byte dump of
+    the duration vector covers the timings exactly.  A cache hit is
+    byte-identical to rescheduling — grids with ``workers=N`` and
+    warm-cache reruns produce the same floats.  On a miss, scheduling
+    runs through the symmetry-reduction and compiled-recurrence fast
+    paths (``graph_symmetry`` / ``graph_batch`` flags);
+    :func:`disabled` restores the plain list scheduler wholesale.
     """
-    from repro.graph.scheduler import list_schedule
-
     if not CONFIG.timing_cache:
-        return list_schedule(graph)
-    key = graph.fingerprint()
+        return _schedule_graph(graph)
+    durations = np.asarray(graph.durations, dtype=np.float64)
+    key = (topology_key(graph), durations.tobytes())
     schedule = GRAPH_CACHE.get(key)
     if schedule is None:
-        schedule = GRAPH_CACHE.put(key, list_schedule(graph))
+        schedule = GRAPH_CACHE.put(key, _schedule_graph(graph, durations))
     return schedule
 
 
@@ -389,19 +609,118 @@ def shared_step_cost(
     return model
 
 
+# -- process-worker statistics -------------------------------------------------
+#
+# ``executor="process"`` grids run scenarios in forked workers whose
+# caches are private; each task returns a ``cache_stats`` snapshot which
+# the parent records here, so ``--report`` stays attributable.  Within
+# one worker the counters are monotone (the pool initializer clears
+# inherited state once, at fork), so snapshots from the same pid merge
+# by elementwise max — results may be collected out of execution order,
+# and the max is exactly the pid's latest state.
+
+_WORKER_STATS: dict[int, dict[str, dict[str, Any]]] = {}
+_WORKER_LOCK = threading.Lock()
+
+_MERGED_COUNTERS = ("hits", "misses", "evictions", "time_layer_calls")
+
+
+def process_worker_init() -> None:
+    """Pool initializer for ``executor="process"`` workers.
+
+    Forked children inherit the parent's cache *contents* (free warm
+    starts) but also its counters; reset only the counters so the
+    returned snapshots count the worker's own activity.
+    """
+    for cache in (
+        TIMING_CACHE,
+        WORKLOAD_CACHE,
+        GRAPH_CACHE,
+        GRAPH_BATCH_CACHE,
+        STEP_COST_CACHE,
+    ):
+        with cache._lock:
+            cache.hits = 0
+            cache.misses = 0
+            cache.evictions = 0
+            if isinstance(cache, TimingCache):
+                cache.computed = 0
+    with _WORKER_LOCK:
+        _WORKER_STATS.clear()
+
+
+def record_worker_stats(pid: int, stats: dict[str, dict[str, Any]]) -> None:
+    """Fold one worker's ``cache_stats`` snapshot into the parent's view."""
+    with _WORKER_LOCK:
+        previous = _WORKER_STATS.get(pid)
+        if previous is None:
+            _WORKER_STATS[pid] = stats
+            return
+        for name, doc in stats.items():
+            merged = previous.get(name)
+            if merged is None:
+                previous[name] = doc
+                continue
+            for counter in _MERGED_COUNTERS + ("size",):
+                if counter in doc:
+                    merged[counter] = max(
+                        merged.get(counter, 0), doc[counter]
+                    )
+
+
+def worker_process_count() -> int:
+    """Distinct worker processes that have reported statistics."""
+    with _WORKER_LOCK:
+        return len(_WORKER_STATS)
+
+
 def clear_caches() -> None:
     """Empty the global caches and reset their counters."""
     TIMING_CACHE.clear()
     WORKLOAD_CACHE.clear()
     GRAPH_CACHE.clear()
+    GRAPH_BATCH_CACHE.clear()
     STEP_COST_CACHE.clear()
+    with _WORKER_LOCK:
+        _WORKER_STATS.clear()
 
 
-def cache_stats() -> dict[str, dict[str, Any]]:
-    """Per-cache statistics, keyed by cache name (for ``--report``)."""
-    return {
+def cache_stats(include_workers: bool = True) -> dict[str, dict[str, Any]]:
+    """Per-cache statistics, keyed by cache name (for ``--report``).
+
+    With ``include_workers`` (the default), counters reported back by
+    ``executor="process"`` workers are summed into each cache's entry —
+    ``hit_rate`` is recomputed over the merged totals, the per-worker
+    contribution stays visible under ``worker_*`` keys, and every entry
+    carries the distinct worker-``processes`` count.  Workers themselves
+    snapshot with ``include_workers=False`` to return only their own
+    counters.
+    """
+    stats = {
         TIMING_CACHE.name: TIMING_CACHE.stats(),
         WORKLOAD_CACHE.name: WORKLOAD_CACHE.stats(),
         GRAPH_CACHE.name: GRAPH_CACHE.stats(),
+        GRAPH_BATCH_CACHE.name: GRAPH_BATCH_CACHE.stats(),
         STEP_COST_CACHE.name: STEP_COST_CACHE.stats(),
     }
+    if not include_workers:
+        return stats
+    with _WORKER_LOCK:
+        if not _WORKER_STATS:
+            return stats
+        processes = len(_WORKER_STATS)
+        for snapshot in _WORKER_STATS.values():
+            for name, doc in snapshot.items():
+                entry = stats.get(name)
+                if entry is None:
+                    continue
+                for counter in _MERGED_COUNTERS:
+                    if counter in doc and counter in entry:
+                        entry[counter] += doc[counter]
+                        key = f"worker_{counter}"
+                        entry[key] = entry.get(key, 0) + doc[counter]
+    for entry in stats.values():
+        entry["processes"] = processes
+        total = entry["hits"] + entry["misses"]
+        entry["hit_rate"] = entry["hits"] / total if total else 0.0
+    return stats

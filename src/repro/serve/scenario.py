@@ -274,25 +274,70 @@ class ServeSpec:
                 reason=str(exc),
             )
 
-    def run(self, workers: int | None = None) -> ServeResultSet:
+    def run(
+        self, workers: int | None = None, executor: str = "thread"
+    ) -> ServeResultSet:
         """Serve every (scenario, system) pair and collect the reports.
 
-        ``workers`` > 1 serves pairs on that many threads; report and
-        skip ordering is reassembled to match the serial run exactly, so
-        every export is byte-identical either way.
+        ``workers`` > 1 serves pairs on that many workers — threads by
+        default, or worker processes with ``executor="process"`` (the
+        traces are rebuilt deterministically inside each worker, and
+        worker cache counters merge into :func:`repro.perf.cache_stats`);
+        report and skip ordering is reassembled to match the serial run
+        exactly, so every export is byte-identical either way.  Process
+        mode requires the default registry.
         """
+        from repro.api.scenario import _check_executor
+
+        _check_executor(executor)
+        parallel = workers is not None and workers > 1
+        if parallel and executor == "process":
+            if self.registry is not None:
+                raise ValueError(
+                    "executor='process' requires the default registry "
+                    "(a custom registry exists only in this process)"
+                )
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro import perf
+
+            payloads = [
+                (scenario, name)
+                for scenario in dict.fromkeys(self.scenarios)
+                for name in self.system_names()
+            ]
+            if len(payloads) > 1:
+                outcomes = []
+                with ProcessPoolExecutor(
+                    max_workers=workers, initializer=perf.process_worker_init
+                ) as pool:
+                    for outcome, pid, stats in pool.map(
+                        _serve_one_task, payloads
+                    ):
+                        perf.record_worker_stats(pid, stats)
+                        outcomes.append(outcome)
+            else:
+                outcomes = [
+                    self._serve_one(s, s.build_trace(), n) for s, n in payloads
+                ]
+            return self._collect(outcomes)
         tasks = [
             (scenario, trace, name)
             for scenario, trace in self.traces()
             for name in self.system_names()
         ]
-        if workers is not None and workers > 1 and len(tasks) > 1:
+        if parallel and len(tasks) > 1:
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 outcomes = list(pool.map(lambda t: self._serve_one(*t), tasks))
         else:
             outcomes = [self._serve_one(*task) for task in tasks]
+        return self._collect(outcomes)
+
+    def _collect(
+        self, outcomes: list[ServeReport | ServeSkip]
+    ) -> ServeResultSet:
         reports = tuple(o for o in outcomes if isinstance(o, ServeReport))
         skips = tuple(o for o in outcomes if isinstance(o, ServeSkip))
         from repro.obs import capture
@@ -302,3 +347,21 @@ class ServeSpec:
             skips=skips,
             manifest=capture("serve", self.scenarios, self.system_names()),
         )
+
+
+def _serve_one_task(payload):
+    """Process-pool task: serve one (scenario, system) pair in a worker.
+
+    Module-level (picklable by reference).  The trace is rebuilt inside
+    the worker — :meth:`ServeScenario.build_trace` is seeded and pure,
+    so the rebuilt trace equals the parent's — and the worker's own
+    cache counters ride back for :func:`repro.perf.record_worker_stats`.
+    """
+    import os
+
+    from repro import perf
+
+    scenario, name = payload
+    spec = ServeSpec(scenarios=(scenario,), systems=(name,))
+    outcome = spec._serve_one(scenario, scenario.build_trace(), name)
+    return outcome, os.getpid(), perf.cache_stats(include_workers=False)

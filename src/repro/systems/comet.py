@@ -154,6 +154,28 @@ class Comet(MoESystem):
             return self._timing_epoch
         return None
 
+    def timing_key(self, workload: MoELayerWorkload) -> object | None:
+        """Resolve the adaptive state this workload's timing depends on.
+
+        ``time_layer`` is a pure function of (constructor knobs, the two
+        division points, workload), so keying the timing cache by the
+        *resolved* ``(nc0, nc1)`` pair — instead of the per-instance
+        epoch of :meth:`timing_state_token` — lets equal-config COMET
+        instances share entries across runs.  Resolving the division
+        points here records any missing profile buckets at exactly the
+        moment an uncached ``time_layer`` call would have recorded them
+        (``_adaptive_nc`` is idempotent once a bucket is warm), so
+        instance history stays identical whether the lookup hits or
+        misses.
+        """
+        if not (self.adaptive and self.fixed_nc is None):
+            return None
+        self.check_supported(workload)
+        return (
+            self.division_point(workload, layer=0),
+            self.division_point(workload, layer=1),
+        )
+
     # -- timing ----------------------------------------------------------------
     def time_layer(self, workload: MoELayerWorkload) -> LayerTiming:
         self.check_supported(workload)

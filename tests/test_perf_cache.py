@@ -157,7 +157,13 @@ class TestStepCostModelCache:
 
     def test_cache_stats_shape(self):
         stats = perf.cache_stats()
-        assert set(stats) == {"timing", "workload", "graph", "step-cost"}
+        assert set(stats) == {
+            "timing",
+            "workload",
+            "graph",
+            "graph_batch",
+            "step-cost",
+        }
         for doc in stats.values():
             assert {"hits", "misses", "evictions", "size", "maxsize"} <= set(doc)
 

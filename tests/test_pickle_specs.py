@@ -1,0 +1,129 @@
+"""Pickle round-trips for every spec type the grids are built from.
+
+``executor="process"`` ships specs to worker processes via pickle, so
+every ``*Spec`` (and the frozen event/scenario dataclasses they embed)
+must survive ``pickle.loads(pickle.dumps(spec))`` with equality and an
+identical fingerprint — otherwise a process-based sweep could silently
+run a different experiment than the serial path.
+"""
+
+import pickle
+
+import pytest
+
+from repro import (
+    MIXTRAL_8X7B,
+    AutoscalerSpec,
+    BrownoutEvent,
+    DegradeEvent,
+    ExperimentSpec,
+    FailureEvent,
+    FaultPlan,
+    FleetScenario,
+    FleetSpec,
+    MigrationSpec,
+    ParallelStrategy,
+    ReplicaSpec,
+    ResilienceSpec,
+    Scenario,
+    ServeScenario,
+    ServeSpec,
+    StragglerSpec,
+    TraceSpec,
+    h800_node,
+)
+from repro.hw.multinode import IB_400G
+from repro.hw.presets import NVLINK_H800
+from repro.obs.manifest import fingerprint_obj
+
+CLUSTER = h800_node()
+STRATEGY = ParallelStrategy(1, 8)
+
+STRAGGLERS = StragglerSpec.slow_rank(8, rank=3, compute_mult=1.7, comm_mult=1.2)
+TRACE = TraceSpec(kind="bursty", rps=120, duration_s=4, seed=3)
+FAULTS = FaultPlan(
+    crashes=(FailureEvent(replica=0, fail_ms=300.0, recover_ms=900.0),),
+    degrades=(
+        DegradeEvent(
+            replica=1, t0_ms=200.0, t1_ms=800.0, compute_mult=2.0, comm_mult=1.5
+        ),
+    ),
+    brownouts=(BrownoutEvent(t0_ms=100.0, t1_ms=400.0, mult=3.0),),
+)
+
+SPECS = [
+    STRAGGLERS,
+    StragglerSpec.degraded_link(8, rank=2, link=IB_400G, baseline=NVLINK_H800),
+    TRACE,
+    TraceSpec(kind="replay", arrivals_ms=(0.0, 10.0, 250.0)),
+    FailureEvent(replica=0, fail_ms=300.0, recover_ms=900.0),
+    DegradeEvent(replica=1, t0_ms=200.0, t1_ms=800.0, compute_mult=2.0),
+    BrownoutEvent(t0_ms=100.0, t1_ms=400.0, mult=3.0),
+    FAULTS,
+    ResilienceSpec(timeout_ms=1500.0, max_retries=2, shed_factor=2.0),
+    MigrationSpec(messages_per_seq=4),
+    AutoscalerSpec(min_replicas=1, warmup_ms=500.0),
+    ReplicaSpec(cluster=CLUSTER, strategy=STRATEGY, count=2, stragglers=STRAGGLERS),
+    Scenario(
+        config=MIXTRAL_8X7B,
+        cluster=CLUSTER,
+        strategy=STRATEGY,
+        tokens=2048,
+        imbalance_std=0.3,
+        seed=1,
+        overlap_policy="cross_layer",
+        stragglers=STRAGGLERS,
+    ),
+    ServeScenario(
+        config=MIXTRAL_8X7B,
+        cluster=CLUSTER,
+        strategy=STRATEGY,
+        trace=TRACE,
+        policy="spf",
+        stragglers=STRAGGLERS,
+    ),
+    FleetScenario(
+        config=MIXTRAL_8X7B,
+        replicas=(ReplicaSpec(cluster=CLUSTER, strategy=STRATEGY, count=3),),
+        trace=TRACE,
+        router="least_queue",
+        autoscaler=AutoscalerSpec(min_replicas=1, warmup_ms=500.0),
+        faults=FAULTS,
+        resilience=ResilienceSpec(timeout_ms=1500.0, max_retries=1),
+        migration=MigrationSpec(),
+    ),
+    ExperimentSpec.grid(
+        models="mixtral",
+        clusters="h800",
+        strategies="sweep",
+        tokens=(1024, 2048),
+        seeds=(0, 1),
+        systems=("comet", "tutel"),
+    ),
+    ServeSpec.grid(
+        traces=TRACE, systems=("comet", "megatron-cutlass"), policies="spf"
+    ),
+    FleetSpec.grid(traces=TRACE, replicas=2, systems="comet"),
+]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: type(s).__name__)
+def test_round_trip_equal_with_identical_fingerprint(spec):
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert type(clone) is type(spec)
+    assert fingerprint_obj(clone) == fingerprint_obj(spec)
+
+
+def test_straggler_fingerprint_survives_round_trip():
+    clone = pickle.loads(pickle.dumps(STRAGGLERS))
+    assert clone.fingerprint() == STRAGGLERS.fingerprint()
+
+
+def test_round_tripped_experiment_spec_runs_identically():
+    spec = ExperimentSpec.grid(
+        models="mixtral", clusters="h800", strategies=STRATEGY,
+        tokens=1024, systems=("comet",),
+    )
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone.run().to_json() == spec.run().to_json()

@@ -1,0 +1,108 @@
+"""Process-based sweep execution: byte-identity and merged cache stats.
+
+``executor="process"`` sidesteps the GIL for the pure-Python scheduling
+hot loops, but it must be unobservable in the results: every export is
+byte-identical to the serial run, worker cache counters merge back into
+:func:`repro.perf.cache_stats`, and misuse (bad executor names, custom
+registries that only exist in the parent process) fails loudly.
+"""
+
+import pytest
+
+from repro import ExperimentSpec, FleetSpec, ServeSpec, TraceSpec, perf
+from repro.api.registry import SystemRegistry
+from repro.api.scenario import _check_executor
+
+TRACE = TraceSpec(kind="poisson", rps=30, duration_s=2, seed=0)
+
+
+def _grid():
+    return ExperimentSpec.grid(
+        models="mixtral", clusters="h800", strategies="sweep",
+        tokens=(1024, 2048), systems=("comet", "tutel"),
+    )
+
+
+class TestExperimentProcessRuns:
+    def test_rows_byte_identical_to_serial(self):
+        spec = _grid()
+        perf.clear_caches()
+        serial = spec.run()
+        perf.clear_caches()
+        processed = spec.run(workers=2, executor="process")
+        assert processed.to_csv() == serial.to_csv()
+        assert processed.to_json() == serial.to_json()
+
+    def test_worker_stats_merge_into_cache_stats(self):
+        perf.clear_caches()
+        assert perf.worker_process_count() == 0
+        _grid().run(workers=2, executor="process")
+        assert perf.worker_process_count() >= 1
+        stats = perf.cache_stats()
+        for entry in stats.values():
+            assert entry["processes"] == perf.worker_process_count()
+        # The sweep ran in the workers, so the merged totals must show
+        # activity the parent-local counters alone would miss.
+        merged = stats["timing"]
+        assert merged["worker_hits"] + merged["worker_misses"] > 0
+
+    def test_model_level_identical(self):
+        spec = ExperimentSpec.grid(
+            models="mixtral", clusters="h800", strategies=(1, 8),
+            tokens=1024, overlap_policies=("per_layer", "shortcut"),
+            stragglers=(None, 1.5), systems=("comet",),
+        )
+        perf.clear_caches()
+        serial = spec.run(level="model")
+        perf.clear_caches()
+        processed = spec.run(level="model", workers=2, executor="process")
+        assert processed.to_csv() == serial.to_csv()
+
+
+class TestServeAndFleetProcessRuns:
+    def test_serve_reports_identical(self):
+        spec = ServeSpec.grid(
+            traces=TRACE, systems=("comet", "megatron-cutlass")
+        )
+        perf.clear_caches()
+        serial = spec.run()
+        perf.clear_caches()
+        processed = spec.run(workers=2, executor="process")
+        assert processed.to_csv() == serial.to_csv()
+        assert processed.to_json() == serial.to_json()
+
+    def test_fleet_reports_identical(self):
+        spec = FleetSpec.grid(
+            traces=TRACE, replicas=2,
+            routers=("round_robin", "least_queue"), systems="comet",
+        )
+        serial = spec.run()
+        processed = spec.run(workers=2, executor="process")
+        assert processed.to_rows() == serial.to_rows()
+        assert processed.to_json() == serial.to_json()
+
+
+class TestGuards:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            _check_executor("greenlet")
+        with pytest.raises(ValueError, match="executor"):
+            _grid().run(workers=2, executor="greenlet")
+
+    def test_custom_registry_rejected_in_process_mode(self):
+        registry = SystemRegistry()
+        registry.register("comet", lambda: None)
+        spec = ExperimentSpec(
+            scenarios=_grid().scenarios,
+            systems=("comet",),
+            registry=registry,
+        )
+        with pytest.raises(ValueError, match="registry"):
+            spec.run(workers=2, executor="process")
+
+    def test_single_worker_process_request_falls_back_to_serial(self):
+        spec = _grid()
+        perf.clear_caches()
+        result = spec.run(workers=1, executor="process")
+        assert perf.worker_process_count() == 0  # never left the process
+        assert result.to_csv() == spec.run().to_csv()

@@ -302,6 +302,32 @@ byte equality of every export both ways).  Three pillars:
 CLI: ``repro trace --graph|--serve|--fleet``, and ``--trace-out`` /
 ``--metrics-out`` on ``model`` / ``serve`` / ``fleet``.  See
 ``examples/trace_timelines.py``.
+
+Correctness tooling.  The guarantees above lean on conventions no type
+checker sees — every fingerprint hashes every field, specs stay frozen
+and pickle-stable, scoped simulators never read wall clocks or iterate
+bare sets, exporters share one column predicate, registries and CLI
+``choices=`` agree, and every fast path names its cross-checked
+reference.  :mod:`repro.lint` turns each convention into an AST rule
+(``fingerprint-completeness``, ``spec-hygiene``, ``determinism``,
+``export-gating``, ``registry-consistency``, ``fast-slow-parity``) and
+the tree ships lint-clean — CI runs it next to the test suite and fails
+on any unsuppressed finding::
+
+    $ python -m repro lint src/repro --verbose   # or: --json findings.json
+    0 finding(s), 3 suppressed, 100 files checked
+
+    from repro.lint import run_lint
+    report = run_lint(["src/repro"])
+    assert report.ok, [f.render() for f in report.findings]
+
+Intentional exceptions are suppressed in place and must say why —
+``# repro-lint: disable=RULE -- justification`` — and a suppression
+without a justification is itself a finding.  ``repro lint
+--list-rules`` prints the rule registry; ``--rule NAME`` narrows a run;
+``--fail-on none`` reports without gating.  Style is pinned separately
+by ruff (``pyproject.toml``: pycodestyle/pyflakes/isort subset) in the
+same CI job.
 """
 
 from repro import obs, perf
@@ -389,7 +415,7 @@ from repro.systems import (
     UnsupportedWorkload,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ALL_SYSTEMS",

@@ -34,7 +34,7 @@ one of completed / timed-out / shed / unserved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hw.link import LinkSpec
 from repro.hw.multinode import IB_400G
@@ -56,7 +56,7 @@ class MigrationSpec:
             costs model the paged-KV block scatter).
     """
 
-    link: LinkSpec = field(default_factory=lambda: IB_400G)
+    link: LinkSpec = IB_400G
     kv_bytes_per_token: float | None = None
     messages_per_seq: int = 1
 

@@ -283,6 +283,7 @@ class FleetEngine:
         )
 
     # -- decomposed path ------------------------------------------------------
+    # parity: repro.fleet.simulator.FleetEngine._run_cosim
     def _run_decomposed(self, system_name: str) -> FleetReport:
         """Partition the trace statically, run replicas independently.
 
@@ -403,7 +404,14 @@ class FleetEngine:
         # Manual stepping (not run(until=...)): the queue legitimately
         # drains with requests still unserved when every replica is dead
         # and no recovery is coming — peek() going +inf ends the run.
-        while self._resolved < total and env.peek() != float("inf"):
+        # Scheduled recoveries are part of the fault plan even when the
+        # last request resolves first, so drain them before closing the
+        # window: otherwise a recovery a few ms past the final
+        # completion never lands in the event log and the report
+        # undercounts `recoveries`.
+        while (
+            self._resolved < total or self._recoveries_outstanding
+        ) and env.peek() != float("inf"):
             env.step()
 
         window = max(

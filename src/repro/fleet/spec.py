@@ -23,7 +23,7 @@ one step-cost model through :func:`repro.perf.shared_step_cost`, so an
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.api.registry import (

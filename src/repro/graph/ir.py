@@ -23,7 +23,7 @@ systems.  :mod:`repro.graph.lower` builds model-level graphs out of
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Iterator
 

@@ -381,6 +381,7 @@ def block_structure(graph: ScheduleGraph) -> BlockStructure | None:
     )
 
 
+# parity: repro.graph.scheduler.list_schedule
 def reduce_symmetry(graph: ScheduleGraph) -> SymmetryReduction | None:
     """Fold exchangeable ranks of a rank-blocked multi-rank graph.
 
@@ -456,6 +457,7 @@ def reduce_symmetry(graph: ScheduleGraph) -> SymmetryReduction | None:
     )
 
 
+# parity: repro.graph.scheduler.list_schedule
 def expand_symmetry(
     graph: ScheduleGraph,
     symmetry: SymmetryReduction,

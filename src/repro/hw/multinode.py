@@ -18,7 +18,7 @@ fabric (RDMA/InfiniBand, inter-node).  This module models that setting:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.hw.cluster import ClusterSpec
 from repro.hw.gpu import GpuSpec

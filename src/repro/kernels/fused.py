@@ -153,6 +153,7 @@ def layer0_makespan_reference(
     return makespan
 
 
+# parity: repro.kernels.fused.layer0_makespan_reference
 def layer0_makespan_analytic(
     ready_sorted: np.ndarray,
     col_tiles: int,

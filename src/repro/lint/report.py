@@ -1,0 +1,65 @@
+"""Reporters: findings JSON (schema version 1) and human-readable text."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.lint.engine import Finding, LintReport
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "to_json", "to_json_doc"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _finding_doc(finding: Finding) -> dict:
+    doc = {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "message": finding.message,
+    }
+    if finding.suppressed:
+        doc["suppressed"] = True
+        doc["justification"] = finding.justification
+    return doc
+
+
+def to_json_doc(report: LintReport) -> dict:
+    by_rule = Counter(f.rule for f in report.findings)
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "paths": list(report.paths),
+        "files": report.file_count,
+        "rules": list(report.rules),
+        "ok": report.ok,
+        "counts": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "findings": [_finding_doc(f) for f in report.findings],
+        "suppressed": [_finding_doc(f) for f in report.suppressed],
+        "errors": list(report.errors),
+    }
+
+
+def to_json(report: LintReport, indent: int = 2) -> str:
+    return json.dumps(to_json_doc(report), indent=indent, sort_keys=False)
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    lines = [f.render() for f in report.findings]
+    if verbose:
+        lines.extend(f.render() for f in report.suppressed)
+    noun = "file" if report.file_count == 1 else "files"
+    summary = (
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{report.file_count} {noun} checked"
+    )
+    if report.errors:
+        summary += f", {len(report.errors)} parse error(s)"
+    lines.append(summary)
+    return "\n".join(lines)

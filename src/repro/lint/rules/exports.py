@@ -1,0 +1,114 @@
+"""export-gating — one predicate decides optional columns everywhere.
+
+The PR 5 schema-drift bug: ``to_csv`` grew an optional column gated by
+an inline ``any(...)`` while ``to_json`` kept its own copy of the
+condition, and the two drifted.  The repo's rule since then: within one
+ResultSet-style class, every exporter (``to_rows``/``to_csv``/
+``to_json``/``to_table``) must source optional-column decisions from the
+*same shared predicate methods* (``self._has_*()`` / ``self._is_*()``),
+either directly or by delegating to a sibling exporter.
+
+Two findings implement that:
+
+* an exporter whose (delegation-closed) predicate set differs from its
+  siblings' — the drift itself;
+* an inline ``any(...)`` inside an exporter body — a gating decision
+  that never got hoisted into a named predicate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, LintFile, Project, Rule
+
+__all__ = ["ExportGatingRule", "EXPORTERS"]
+
+EXPORTERS = ("to_rows", "to_csv", "to_json", "to_table")
+
+_PREDICATE_PREFIXES = ("_has_", "_is_")
+
+
+def _self_calls(method: ast.FunctionDef) -> set[str]:
+    calls: set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            calls.add(node.func.attr)
+    return calls
+
+
+def _inline_any_lines(method: ast.FunctionDef) -> list[int]:
+    return [
+        node.lineno
+        for node in ast.walk(method)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "any"
+    ]
+
+
+class ExportGatingRule(Rule):
+    name = "export-gating"
+    description = (
+        "to_rows/to_csv/to_json/to_table of one class must gate optional "
+        "columns through the same shared _has_*/_is_* predicates"
+    )
+
+    def check_file(
+        self, project: Project, lint_file: LintFile
+    ) -> Iterable[Finding]:
+        for node in ast.walk(lint_file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            exporters = {
+                stmt.name: stmt for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name in EXPORTERS
+            }
+            if len(exporters) < 2:
+                continue
+            calls = {name: _self_calls(m) for name, m in exporters.items()}
+            gates = {
+                name: {
+                    c for c in called
+                    if c.startswith(_PREDICATE_PREFIXES)
+                }
+                for name, called in calls.items()
+            }
+            # Delegation closure: to_csv(self.to_rows()) inherits
+            # to_rows' gate set, transitively.
+            changed = True
+            while changed:
+                changed = False
+                for name, called in calls.items():
+                    for sibling in called & exporters.keys():
+                        if sibling == name:
+                            continue
+                        if not gates[sibling] <= gates[name]:
+                            gates[name] |= gates[sibling]
+                            changed = True
+            union = set().union(*gates.values())
+            for name, method in exporters.items():
+                missing = union - gates[name]
+                if missing:
+                    yield self.finding(
+                        lint_file, method.lineno,
+                        f"{node.name}.{name} never consults "
+                        f"{', '.join(sorted(missing))} while a sibling "
+                        "exporter does; optional columns must be gated by "
+                        "one shared predicate across all exporters",
+                    )
+            for name, method in exporters.items():
+                for lineno in _inline_any_lines(method):
+                    yield self.finding(
+                        lint_file, lineno,
+                        f"{node.name}.{name} computes an optional-column "
+                        "decision inline with any(...); hoist it into a "
+                        "shared self._has_* predicate",
+                    )

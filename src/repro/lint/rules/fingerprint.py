@@ -1,0 +1,154 @@
+"""fingerprint-completeness — every dataclass field must reach the digest.
+
+The PR 9 ``timing_key`` bug class: a frozen dataclass keys a cache via
+``fingerprint()``/``timing_key()``/``topology_token()`` but a
+behavior-affecting field never flows into the digest, so two unequal
+configurations silently share a cache entry (or equal ones miss).  This
+rule dataflow-checks that every declared field of such a dataclass is
+read (``self.<field>``) somewhere in the union of its fingerprint-method
+bodies, is covered by a whole-object dump (``astuple``/``asdict``/
+``vars``/``repr(self)``/``self.__dict__``), or is named in a documented
+``_fingerprint_exclude = ("field", ...)`` class attribute.
+
+Stale exclusion entries (naming no current field) are also flagged, so
+the exclusion list cannot outlive a refactor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, LintFile, Project, Rule
+
+__all__ = ["FingerprintCompletenessRule", "FINGERPRINT_METHODS"]
+
+FINGERPRINT_METHODS = (
+    "fingerprint",
+    "timing_key",
+    "timing_state_token",
+    "topology_token",
+    "topology_fingerprint",
+)
+
+EXCLUDE_ATTR = "_fingerprint_exclude"
+
+_WHOLE_OBJECT_CALLS = {"astuple", "asdict", "vars", "repr", "hash"}
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+    return False
+
+
+def _declared_fields(node: ast.ClassDef) -> list[tuple[str, int]]:
+    fields: list[tuple[str, int]] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        if "ClassVar" in ast.dump(stmt.annotation):
+            continue
+        fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def _exclusions(node: ast.ClassDef) -> tuple[set[str], int]:
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == EXCLUDE_ATTR
+        ):
+            names = {
+                elt.value
+                for elt in ast.walk(stmt.value)
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            }
+            return names, stmt.lineno
+    return set(), node.lineno
+
+
+def _referenced_fields(methods: list[ast.FunctionDef]) -> tuple[set[str], bool]:
+    """``self.<attr>`` reads plus whether a whole-object dump covers all."""
+    referenced: set[str] = set()
+    whole_object = False
+    for method in methods:
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                if node.attr == "__dict__":
+                    whole_object = True
+                else:
+                    referenced.add(node.attr)
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name in _WHOLE_OBJECT_CALLS and any(
+                    isinstance(arg, ast.Name) and arg.id == "self"
+                    for arg in node.args
+                ):
+                    whole_object = True
+    return referenced, whole_object
+
+
+class FingerprintCompletenessRule(Rule):
+    name = "fingerprint-completeness"
+    description = (
+        "every field of a dataclass defining fingerprint()/timing_key()/"
+        "topology_token() must reach the digest or a documented "
+        "_fingerprint_exclude list"
+    )
+
+    def check_file(
+        self, project: Project, lint_file: LintFile
+    ) -> Iterable[Finding]:
+        for node in ast.walk(lint_file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass_decorated(node):
+                continue
+            methods = [
+                stmt for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name in FINGERPRINT_METHODS
+            ]
+            fields = _declared_fields(node)
+            if not methods or not fields:
+                continue
+            excluded, exclude_line = _exclusions(node)
+            referenced, whole_object = _referenced_fields(methods)
+            if whole_object:
+                referenced |= {name for name, _ in fields}
+            method_names = "/".join(m.name for m in methods)
+            for field_name, lineno in fields:
+                if field_name in referenced or field_name in excluded:
+                    continue
+                yield self.finding(
+                    lint_file, lineno,
+                    f"field '{field_name}' of {node.name} never reaches "
+                    f"{method_names}(); digest it or add it to "
+                    f"{EXCLUDE_ATTR} with a comment saying why it cannot "
+                    "affect timing",
+                )
+            field_names = {name for name, _ in fields}
+            for stale in sorted(excluded - field_names):
+                yield self.finding(
+                    lint_file, exclude_line,
+                    f"{EXCLUDE_ATTR} entry '{stale}' names no field of "
+                    f"{node.name}; remove the stale exclusion",
+                )

@@ -1,0 +1,105 @@
+"""fast-slow-parity — every fast path names its arbitrating slow path.
+
+The repo's speed story (PR 3/PR 9) is "fast paths exist only while a
+retained slow path arbitrates them ``==``".  The declaration that pairs
+them lives in the source as a marker comment on the fast-path
+definition::
+
+    # parity: repro.graph.scheduler.list_schedule
+    def fast_schedule(...):
+
+This rule enforces both directions: a function whose name announces a
+fast path (a ``fast``/``analytic``/``decomposed``/``symmetry`` name
+segment) must carry a ``# parity:`` marker within its header, and every
+marker anywhere must resolve to a real definition in the scanned
+project (dotted references against the cross-file index, bare names
+against the same file), so a renamed slow path cannot orphan its
+declaration.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.lint.engine import Finding, LintFile, Project, Rule
+
+__all__ = ["FastSlowParityRule", "FAST_PATH_SEGMENTS"]
+
+FAST_PATH_SEGMENTS = {
+    "fast", "analytic", "decomposed", "symmetry", "symmetric",
+}
+
+_MARKER_RE = re.compile(r"#\s*parity:\s*(?P<ref>[A-Za-z0-9_.]+)")
+
+#: How many lines above a ``def`` the marker may sit (decorators and a
+#: leading comment block both count as the header).
+_HEADER_REACH = 3
+
+
+def _is_speedup_name(name: str) -> bool:
+    return any(seg in FAST_PATH_SEGMENTS for seg in name.split("_"))
+
+
+def _marker_near(
+    lint_file: LintFile, def_line: int, body_line: int
+) -> str | None:
+    for lineno in range(def_line - _HEADER_REACH, body_line + 1):
+        comment = lint_file.comments.get(lineno)
+        if comment is None:
+            continue
+        match = _MARKER_RE.search(comment)
+        if match is not None:
+            return match.group("ref")
+    return None
+
+
+class FastSlowParityRule(Rule):
+    name = "fast-slow-parity"
+    description = (
+        "fast-path functions must carry a '# parity: <dotted.ref>' "
+        "marker naming an existing arbitrating slow path"
+    )
+
+    def check_file(
+        self, project: Project, lint_file: LintFile
+    ) -> Iterable[Finding]:
+        locals_ = project.local_definitions.get(
+            lint_file.display_path, set()
+        )
+        for node in ast.walk(lint_file.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not _is_speedup_name(node.name):
+                continue
+            def_line = min(
+                [node.lineno] + [d.lineno for d in node.decorator_list]
+            )
+            body_line = node.body[0].lineno if node.body else node.lineno
+            ref = _marker_near(lint_file, def_line, body_line)
+            if ref is None:
+                yield self.finding(
+                    lint_file, node.lineno,
+                    f"fast path '{node.name}' lacks a "
+                    "'# parity: <dotted.ref>' marker naming its "
+                    "arbitrating slow path",
+                )
+        for lineno, comment in sorted(lint_file.comments.items()):
+            match = _MARKER_RE.search(comment)
+            if match is None:
+                continue
+            ref = match.group("ref")
+            resolved = (
+                ref in project.definitions if "." in ref
+                else ref in locals_
+            )
+            if not resolved:
+                yield self.finding(
+                    lint_file, lineno,
+                    f"parity marker references '{ref}', which names no "
+                    "definition in the scanned project; the arbitrating "
+                    "slow path must exist",
+                )

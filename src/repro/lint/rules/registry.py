@@ -1,0 +1,165 @@
+"""registry-consistency — registries construct, CLI choices match keys.
+
+Two halves:
+
+* **Static**: every ``add_argument(..., choices=(...))`` literal whose
+  option maps to a registry (``--trace``/``--arrivals`` → trace
+  builders, ``--model``/``--cluster``/``--system`` → their presets,
+  ``--router``/``--policy`` → fleet/serve registries) must list exactly
+  the registry's canonical keys — no phantom choices, no silently
+  unreachable registrations.  ``choices=sorted(X_REGISTRY.names())`` is
+  consistent by construction and skipped.
+* **Live** (only when the scan covers the installed ``repro`` package):
+  every registered key must actually be constructible — systems
+  instantiate, cluster factories build, routers route, policy/trace
+  entries are callable.  A registration that explodes on first use is a
+  broken CLI promise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, LintFile, Project, Rule
+
+__all__ = ["RegistryConsistencyRule", "OPTION_REGISTRIES"]
+
+#: CLI option string -> registry slug checked against literal choices.
+OPTION_REGISTRIES = {
+    "--trace": "trace",
+    "--arrivals": "trace",
+    "--router": "router",
+    "--policy": "policy",
+    "--model": "model",
+    "--cluster": "cluster",
+    "--system": "system",
+}
+
+_LIVE_PATH = "<live-registries>"
+
+
+def _load_registries() -> dict[str, object]:
+    from repro.api.registry import (
+        CLUSTER_REGISTRY, MODEL_REGISTRY, SYSTEM_REGISTRY,
+    )
+    from repro.fleet.router import ROUTER_REGISTRY
+    from repro.serve.scheduler import POLICY_REGISTRY
+    from repro.serve.traffic import TRACE_REGISTRY
+
+    return {
+        "system": SYSTEM_REGISTRY,
+        "model": MODEL_REGISTRY,
+        "cluster": CLUSTER_REGISTRY,
+        "router": ROUTER_REGISTRY,
+        "policy": POLICY_REGISTRY,
+        "trace": TRACE_REGISTRY,
+    }
+
+
+def _literal_strings(node: ast.expr) -> list[str] | None:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: list[str] = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        values.append(elt.value)
+    return values
+
+
+class RegistryConsistencyRule(Rule):
+    name = "registry-consistency"
+    description = (
+        "registry keys must be constructible and CLI choices= literals "
+        "must match their registry's keys exactly"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        try:
+            registries = _load_registries()
+        except Exception:  # pragma: no cover - only when repro is absent
+            registries = {}
+        for lint_file in project.files:
+            yield from self._check_choices(lint_file, registries)
+        if project.has_repro_sources() and registries:
+            yield from self._check_constructible(registries)
+
+    def _check_choices(
+        self, lint_file: LintFile, registries: dict[str, object]
+    ) -> Iterable[Finding]:
+        for node in ast.walk(lint_file.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                continue
+            option = None
+            if node.args and isinstance(node.args[0], ast.Constant):
+                option = node.args[0].value
+            slug = OPTION_REGISTRIES.get(option)
+            if slug is None or slug not in registries:
+                continue
+            choices_kw = next(
+                (kw for kw in node.keywords if kw.arg == "choices"), None
+            )
+            if choices_kw is None:
+                continue
+            literal = _literal_strings(choices_kw.value)
+            if literal is None:
+                continue  # sorted(X_REGISTRY.names()) et al: by construction
+            registry = registries[slug]
+            expected = set(registry.names())
+            got = set(literal)
+            line = choices_kw.value.lineno
+            for missing in sorted(expected - got):
+                yield self.finding(
+                    lint_file, line,
+                    f"{option} choices omit registered {slug} key "
+                    f"'{missing}'; list it or derive choices from the "
+                    "registry",
+                )
+            for phantom in sorted(got - expected):
+                yield self.finding(
+                    lint_file, line,
+                    f"{option} choices list '{phantom}', which is not a "
+                    f"registered {slug} key",
+                )
+
+    def _check_constructible(
+        self, registries: dict[str, object]
+    ) -> Iterable[Finding]:
+        def probe(slug: str, name: str, build) -> Finding | None:
+            try:
+                build()
+            except Exception as exc:
+                return Finding(
+                    rule=self.name, path=_LIVE_PATH, line=0,
+                    message=(
+                        f"{slug} registry key '{name}' is not "
+                        f"constructible: {type(exc).__name__}: {exc}"
+                    ),
+                )
+            return None
+
+        probes = {
+            "system": lambda reg, name: reg.create(name),
+            "model": lambda reg, name: reg.get(name),
+            "cluster": lambda reg, name: reg.get(name)(8),
+            "router": lambda reg, name: reg.get(name)(2),
+            "policy": lambda reg, name: (
+                reg.get(name) if callable(reg.get(name))
+                else (_ for _ in ()).throw(TypeError("entry not callable"))
+            ),
+            "trace": lambda reg, name: (
+                reg.get(name) if callable(reg.get(name))
+                else (_ for _ in ()).throw(TypeError("entry not callable"))
+            ),
+        }
+        for slug, registry in registries.items():
+            build = probes[slug]
+            for name in registry.names():
+                finding = probe(slug, name, lambda: build(registry, name))
+                if finding is not None:
+                    yield finding

@@ -1,0 +1,121 @@
+"""spec-hygiene — ``*Spec`` classes must stay frozen and pickle-stable.
+
+Specs are the repo's cache keys and cross-process currency: grids hash
+them, ``executor="process"`` pickles them, and reports embed them in
+manifests.  That only works if every ``*Spec`` class is
+
+* ``@dataclass(frozen=True)`` — hashable, immutable, ``==`` by value;
+* free of mutable (``list``/``dict``/``set`` display) and ``lambda``
+  defaults — shared mutable state and unpicklable closures;
+* defined at module top level — nested classes do not pickle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, LintFile, Project, Rule
+
+__all__ = ["SpecHygieneRule"]
+
+_MUTABLE_NODES = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_MUTABLE_BUILTINS = {"list", "dict", "set"}
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return deco
+    return None
+
+
+def _is_frozen(deco: ast.expr) -> bool:
+    if not isinstance(deco, ast.Call):
+        return False
+    for kw in deco.keywords:
+        if kw.arg == "frozen":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _bad_default(value: ast.expr) -> str | None:
+    if isinstance(value, _MUTABLE_NODES):
+        return "mutable default"
+    if isinstance(value, ast.Lambda):
+        return "lambda default (not pickle-stable)"
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name in _MUTABLE_BUILTINS:
+            return "mutable default"
+        if name == "field":
+            for kw in value.keywords:
+                if kw.arg == "default_factory" and isinstance(
+                    kw.value, ast.Lambda
+                ):
+                    return "lambda default_factory (not pickle-stable)"
+    return None
+
+
+class SpecHygieneRule(Rule):
+    name = "spec-hygiene"
+    description = (
+        "*Spec classes must be @dataclass(frozen=True), carry no "
+        "mutable/lambda defaults, and be defined at module top level"
+    )
+
+    def check_file(
+        self, project: Project, lint_file: LintFile
+    ) -> Iterable[Finding]:
+        top_level = {
+            stmt for stmt in lint_file.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        }
+        for node in ast.walk(lint_file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Spec"):
+                continue
+            if node not in top_level:
+                yield self.finding(
+                    lint_file, node.lineno,
+                    f"{node.name} is not defined at module top level; "
+                    "nested specs do not pickle under executor='process'",
+                )
+            deco = _dataclass_decorator(node)
+            if deco is None:
+                yield self.finding(
+                    lint_file, node.lineno,
+                    f"{node.name} must be declared @dataclass(frozen=True) "
+                    "so it hashes into cache keys and grid points",
+                )
+            elif not _is_frozen(deco):
+                yield self.finding(
+                    lint_file, node.lineno,
+                    f"{node.name} must pass frozen=True to @dataclass; "
+                    "mutable specs cannot key caches",
+                )
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    reason = _bad_default(stmt.value)
+                    if reason is not None:
+                        target = (
+                            stmt.target.id
+                            if isinstance(stmt.target, ast.Name) else "?"
+                        )
+                        yield self.finding(
+                            lint_file, stmt.lineno,
+                            f"field '{target}' of {node.name} has a "
+                            f"{reason}; use an immutable value or a "
+                            "module-level default_factory",
+                        )

@@ -388,6 +388,7 @@ def _reduced_recurrence(graph: Any, key: tuple, k: int) -> Any:
     return None if entry is _NOT_CHAIN else entry
 
 
+# parity: repro.graph.scheduler.list_schedule
 def _fast_symmetric_schedule(
     graph: Any, key: tuple, structure: Any, durations: Any = None
 ) -> Any:

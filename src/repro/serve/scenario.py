@@ -18,14 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.graph.straggler import StragglerSpec
-
 from repro.api.registry import (
     SYSTEM_REGISTRY,
     SystemRegistry,
     resolve_cluster,
     resolve_model,
 )
+from repro.graph.straggler import StragglerSpec
 from repro.hw.cluster import ClusterSpec
 from repro.moe.config import MoEConfig
 from repro.parallel.strategy import ParallelStrategy

@@ -33,8 +33,8 @@ from repro.api.registry import Registry
 from repro.perf import CONFIG as PERF_CONFIG
 from repro.serve.engine_adapter import StepCostModel
 from repro.serve.metrics import RequestRecord, TimelinePoint
-from repro.sim.engine import Environment, Event
 from repro.serve.traffic import Request
+from repro.sim.engine import Environment, Event
 
 __all__ = [
     "POLICY_REGISTRY",
@@ -260,6 +260,7 @@ class ContinuousBatchingScheduler:
             self._running = still_running
 
     # -- fast sequential loop -------------------------------------------------
+    # parity: repro.serve.scheduler.ContinuousBatchingScheduler._run_des
     def _run_fast(self) -> None:
         """Sequential transcription of the DES run — bit-identical output.
 

@@ -9,7 +9,7 @@ top-k reducer).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Optional
+from typing import Any
 
 from repro.sim.engine import Environment, Event, SimulationError
 

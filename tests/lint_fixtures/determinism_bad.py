@@ -1,0 +1,27 @@
+"""Bad: wall clocks, ambient entropy, unseeded RNGs, bare-set iteration."""
+
+import os
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def entropy() -> bytes:
+    return os.urandom(8)
+
+
+def draw() -> float:
+    jitter = random.random()
+    noise = np.random.rand()
+    rng = default_rng()
+    unseeded = random.Random()
+    total = 0.0
+    for value in {3, 1, 2}:
+        total += value
+    return jitter + noise + rng.random() + unseeded.random() + total

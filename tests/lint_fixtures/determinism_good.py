@@ -1,0 +1,14 @@
+"""Good: seeded generators, sorted set iteration."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    total = 0.0
+    for value in sorted({3, 1, 2}):
+        total += value
+    return rng.random() + local.random() + total

@@ -1,0 +1,18 @@
+"""Bad: to_json re-derives the optional column inline and drifts."""
+
+
+class DriftingResultSet:
+    def __init__(self, rows):
+        self.rows = rows
+
+    def _has_extra(self) -> bool:
+        return bool(self.rows)
+
+    def to_rows(self):
+        extra = self._has_extra()
+        return [dict(row, extra=extra) for row in self.rows]
+
+    def to_json(self):
+        if any("extra" in row for row in self.rows):
+            return {"rows": list(self.rows), "extra": True}
+        return {"rows": list(self.rows)}

@@ -1,0 +1,19 @@
+"""Good: one shared predicate gates the optional column everywhere."""
+
+
+class SteadyResultSet:
+    def __init__(self, rows):
+        self.rows = rows
+
+    def _has_extra(self) -> bool:
+        return bool(self.rows)
+
+    def to_rows(self):
+        extra = self._has_extra()
+        return [dict(row, extra=extra) for row in self.rows]
+
+    def to_csv(self):
+        return "\n".join(str(row) for row in self.to_rows())
+
+    def to_json(self):
+        return {"rows": list(self.rows), "extra": self._has_extra()}

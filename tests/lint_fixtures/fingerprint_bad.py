@@ -1,0 +1,14 @@
+"""Bad: 'gamma' never reaches the digest; 'ghost' is a stale exclusion."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LeakyKey:
+    alpha: float
+    gamma: float
+
+    _fingerprint_exclude = ("ghost",)
+
+    def fingerprint(self) -> str:
+        return str(self.alpha)

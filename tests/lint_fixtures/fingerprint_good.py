@@ -1,0 +1,27 @@
+"""Good: every field reaches the digest or the documented exclusion."""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompleteKey:
+    alpha: float
+    beta: float
+    label: str = ""
+
+    _fingerprint_exclude = ("label",)
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha1()
+        digest.update(f"{self.alpha}|{self.beta}".encode())
+        return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class WholeObjectKey:
+    gamma: float
+    delta: float
+
+    def fingerprint(self) -> str:
+        return repr(self)

@@ -1,0 +1,10 @@
+"""Bad: one fast path is unmarked, the other names a missing reference."""
+
+
+def fast_unmarked(values):
+    return list(values)
+
+
+# parity: ghost_module.missing_reference
+def fast_orphaned(values):
+    return list(values)

@@ -1,0 +1,10 @@
+"""Good: the fast path declares its arbitrating slow path, which exists."""
+
+
+def slow_reference(values):
+    return sorted(values)
+
+
+# parity: slow_reference
+def fast_sorted(values):
+    return sorted(values)

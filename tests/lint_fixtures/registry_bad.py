@@ -1,0 +1,8 @@
+"""Bad: choices omit registered trace keys and list a phantom one."""
+
+
+def build_parser(parser):
+    parser.add_argument(
+        "--trace", default="poisson", choices=("poisson", "wavelet"),
+    )
+    return parser

@@ -1,0 +1,9 @@
+"""Good: the choices literal matches the trace registry exactly."""
+
+
+def build_parser(parser):
+    parser.add_argument(
+        "--trace", default="poisson",
+        choices=("poisson", "bursty", "diurnal", "replay"),
+    )
+    return parser

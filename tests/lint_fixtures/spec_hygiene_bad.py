@@ -1,0 +1,31 @@
+"""Bad: unfrozen, mutable/lambda defaults, nested definition.
+
+Parsed only — several of these would raise at import time.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ThawedSpec:
+    count: int = 0
+
+
+@dataclass(frozen=False)
+class UnfrozenSpec:
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class SloppySpec:
+    items: list = []
+    pick: object = lambda: 1
+    table: dict = field(default_factory=lambda: {})
+
+
+def make_inner():
+    @dataclass(frozen=True)
+    class InnerSpec:
+        x: int = 0
+
+    return InnerSpec

@@ -1,0 +1,13 @@
+"""Good: frozen, immutable defaults, module top level."""
+
+from dataclasses import dataclass, field
+
+
+def _default_tags() -> tuple:
+    return ()
+
+
+@dataclass(frozen=True)
+class TidySpec:
+    retries: int = 3
+    tags: tuple = field(default_factory=_default_tags)

@@ -1,0 +1,7 @@
+"""A suppression without a justification is itself a finding."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=determinism

@@ -1,0 +1,12 @@
+"""Suppressions with justifications: findings recorded, run stays clean."""
+
+import time
+
+
+def trailing_stamp() -> float:
+    return time.time()  # repro-lint: disable=determinism -- fixture: the wall clock is the point here
+
+
+def standalone_stamp() -> float:
+    # repro-lint: disable=determinism -- fixture: exercises standalone comments
+    return time.time()

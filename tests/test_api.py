@@ -20,7 +20,6 @@ from repro import (
 from repro.api import CLUSTER_REGISTRY, MODEL_REGISTRY, SYSTEM_REGISTRY
 from repro.api.scenario import default_system_names
 from repro.systems import ALL_SYSTEMS
-from repro.systems.base import MoESystem
 
 
 def small_scenario(tp=1, ep=8, tokens=2048, **kwargs):

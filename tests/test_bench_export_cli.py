@@ -15,7 +15,7 @@ class TestFormatTable:
         text = format_table(["a", "bbb"], [(1, 2.5), (10, 3.25)])
         lines = text.splitlines()
         assert lines[0].endswith("bbb")
-        assert all(len(l) == len(lines[0]) for l in lines)
+        assert all(len(line) == len(lines[0]) for line in lines)
 
     def test_title(self):
         text = format_table(["x"], [(1,)], title="My Table")

@@ -17,7 +17,6 @@ from repro.bench import (
     fig14_imbalance,
     table3_memory,
 )
-from repro.hw import h800_node
 
 
 class TestFig01:

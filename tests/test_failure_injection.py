@@ -10,8 +10,6 @@ and empty experts must cost nothing.
 import dataclasses
 
 import numpy as np
-import pytest
-
 from repro.hw import ClusterSpec, GpuSpec, LinkSpec, h800_node
 from repro.hw.presets import H800, NVLINK_H800
 from repro.moe import MIXTRAL_8X7B, RoutingPlan

@@ -15,7 +15,7 @@ replicas all eventually recover:
 
 import functools
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro import FleetSpec, TraceSpec
@@ -105,6 +105,9 @@ def clean_run(router):
     return run_with_failures((), router=router)
 
 
+# Regression: a recovery scheduled just past the final completion must
+# still fire (and be counted) before the run closes.
+@example(fail_ms=3413.0, outage_ms=1983.0, victim=0, router="least_queue")
 @given(
     fail_ms=st.floats(min_value=1.0, max_value=3500.0),
     outage_ms=st.floats(min_value=10.0, max_value=2000.0),

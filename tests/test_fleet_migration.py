@@ -8,8 +8,6 @@ stretch transfers in flight.  The free path must remain a lower bound,
 and pricing must never break request conservation.
 """
 
-import pytest
-
 from repro import (
     BrownoutEvent,
     FailureEvent,

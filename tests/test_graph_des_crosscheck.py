@@ -18,9 +18,9 @@ from hypothesis import strategies as st
 from repro.graph import (
     COMM,
     COMPUTE,
+    OVERLAP_POLICIES,
     LayerPhase,
     NodeKind,
-    OVERLAP_POLICIES,
     ScheduleGraph,
     Stream,
     build_forward_graph,

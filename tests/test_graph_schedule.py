@@ -5,10 +5,9 @@ import pytest
 from repro.graph import (
     COMM,
     COMPUTE,
-    GraphSchedule,
+    OVERLAP_POLICIES,
     LayerPhase,
     NodeKind,
-    OVERLAP_POLICIES,
     ScheduleGraph,
     Stream,
     build_forward_graph,
@@ -56,8 +55,8 @@ class TestScheduleGraph:
     def test_fingerprint_sensitivity(self):
         def build(dur, dep):
             graph = ScheduleGraph()
-            a = graph.add(NodeKind.GATE, 1.0, COMPUTE0)
-            b = graph.add(NodeKind.EXPERT, 2.0, COMPUTE0)
+            graph.add(NodeKind.GATE, 1.0, COMPUTE0)
+            graph.add(NodeKind.EXPERT, 2.0, COMPUTE0)
             graph.add(NodeKind.COMBINE, dur, COMM0, deps=(dep,))
             return graph
 

@@ -37,7 +37,6 @@ from repro.graph import (
     build_forward_graph,
     build_training_graph,
     des_schedule,
-    forward_schedule,
     list_schedule,
     rank_makespans,
 )

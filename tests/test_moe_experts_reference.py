@@ -7,9 +7,9 @@ from repro.moe import (
     ExpertWeights,
     RoutingPlan,
     TopKGate,
+    balanced_fractions,
     reference_moe_forward,
     routing_from_fractions,
-    balanced_fractions,
     silu,
 )
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.moe import RoutingPlan, balanced_fractions, routing_from_fractions, token_owner_ranks
+from repro.moe import balanced_fractions, routing_from_fractions, token_owner_ranks
 from repro.parallel import ExpertPlacement, ParallelStrategy
 
 

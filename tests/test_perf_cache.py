@@ -4,8 +4,8 @@ import pytest
 
 from repro import (
     MIXTRAL_8X7B,
-    ParallelStrategy,
     SYSTEM_REGISTRY,
+    ParallelStrategy,
     StepCostModel,
     h800_node,
     perf,

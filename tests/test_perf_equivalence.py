@@ -22,9 +22,9 @@ from hypothesis import strategies as st
 from repro import (
     MIXTRAL_8X7B,
     QWEN2_MOE,
+    SYSTEM_REGISTRY,
     ExperimentSpec,
     ParallelStrategy,
-    SYSTEM_REGISTRY,
     h800_node,
     perf,
 )
@@ -33,7 +33,6 @@ from repro.kernels.fused import (
     layer0_makespan_reference,
     simulate_layer0_fused,
 )
-from repro.kernels.gemm import tile_time_us
 from repro.runtime.workload import make_workload
 from repro.serve import ServeScenario, ServeSpec, TraceSpec
 from repro.systems import Comet

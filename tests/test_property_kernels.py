@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hw import h800_node
-from repro.kernels import gemm_time_us, group_gemm_time_us
+from repro.kernels import gemm_time_us
 from repro.kernels.fused import (
     Layer1CommWork,
     simulate_layer0_fused,

@@ -33,8 +33,8 @@ class TestBreakdownBars:
         """The slowest system's bar fills the width; faster ones are shorter."""
         width = 50
         text = render_breakdown_bars(timings, width=width)
-        lines = [l for l in text.splitlines() if "|" in l]
-        fills = [l.split("|")[1].rstrip().__len__() for l in lines]
+        lines = [line for line in text.splitlines() if "|" in line]
+        fills = [len(line.split("|")[1].rstrip()) for line in lines]
         assert fills[0] >= fills[-1]
         assert fills[0] == pytest.approx(width, abs=4)  # rounding slack
 
@@ -59,13 +59,13 @@ class TestOverlapLanes:
 
     def test_megatron_shows_no_hidden(self, timings):
         text = render_overlap_lanes(timings["Megatron-Cutlass"])
-        comm_line = [l for l in text.splitlines() if l.startswith("  comm")][0]
+        comm_line = [line for line in text.splitlines() if line.startswith("  comm")][0]
         # No overlap: no dimmed (hidden) cells before the exposed run.
         assert "." not in comm_line.split("|")[1]
 
     def test_comet_shows_mostly_hidden(self, timings):
         text = render_overlap_lanes(timings["Comet"])
-        comm_line = [l for l in text.splitlines() if l.startswith("  comm")][0]
+        comm_line = [line for line in text.splitlines() if line.startswith("  comm")][0]
         cells = comm_line.split("|")[1]
         assert cells.count(".") > cells.count("!")
 

@@ -6,11 +6,10 @@ import json
 import pytest
 
 from repro import ExperimentSpec, ServeScenario, ServeSpec, TraceSpec
-from repro.api import SYSTEM_REGISTRY
 from repro.api.results import rows_to_csv
 from repro.cli import main
-from repro.moe.config import MIXTRAL_8X7B
 from repro.hw.presets import h800_node
+from repro.moe.config import MIXTRAL_8X7B
 from repro.parallel.strategy import ParallelStrategy
 from repro.serve.metrics import RequestRecord, ServeReport
 

@@ -6,10 +6,8 @@ from repro.sim import (
     AllOf,
     AnyOf,
     Environment,
-    Event,
     Interrupt,
     SimulationError,
-    Timeout,
 )
 
 

@@ -5,9 +5,9 @@ import pytest
 
 from repro.hw import h800_node, l20_node
 from repro.moe import (
-    ExpertWeights,
     MIXTRAL_8X7B,
     QWEN2_MOE,
+    ExpertWeights,
     reference_moe_forward,
 )
 from repro.parallel import ParallelStrategy

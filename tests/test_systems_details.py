@@ -1,8 +1,6 @@
 """Deeper behavioural tests of the individual systems' mechanisms."""
 
 import numpy as np
-import pytest
-
 from repro.hw import h800_node, l20_node
 from repro.moe import MIXTRAL_8X7B, QWEN2_MOE
 from repro.parallel import ParallelStrategy
